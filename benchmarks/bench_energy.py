@@ -1,0 +1,65 @@
+"""Extension bench: register-file energy across the Table VI design points.
+
+The paper motivates static conflict elimination with performance *per
+watt* (§I) and justifies the DSA's crossbar-free datapath with power
+(§III-C) but reports no energy numbers.  This bench extends Table VI's
+comparison with the energy model of :mod:`repro.sim.energy`: the 2x4
+bank-subgroup file + bpc vs plain 2/4/8/16-banked hardware + non, per
+DSA-OP kernel.
+
+Expected shape: the software solution wins twice — it avoids conflict
+re-arbitration energy *and* the per-access overhead of wider bank
+decoding, so its total register-file energy undercuts every plain-banked
+hardware point at equal or better conflict counts.
+
+Timed unit: one energy estimation over the allocated idft kernel.
+"""
+
+from repro.experiments import render_table
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.sim import estimate_energy
+
+
+def test_energy_comparison(benchmark, ctx, record_text):
+    suite = ctx.suite("DSA-OP")
+    dsa_rf = ctx.register_file("dsa", 0)
+
+    rows = []
+    totals = {"bpc": 0.0, 2: 0.0, 4: 0.0, 8: 0.0, 16: 0.0}
+    for program in suite.programs:
+        fn = program.functions()[0]
+        bpc = run_pipeline(fn, PipelineConfig(dsa_rf, "bpc"))
+        bpc_energy = estimate_energy(bpc.function, dsa_rf).total
+        row = [program.name, round(bpc_energy)]
+        totals["bpc"] += bpc_energy
+        for banks in (2, 4, 8, 16):
+            hw_rf = ctx.register_file("dsa", banks)
+            non = run_pipeline(fn, PipelineConfig(hw_rf, "non"))
+            energy = estimate_energy(non.function, hw_rf).total
+            row.append(round(energy))
+            totals[banks] += energy
+        rows.append(row)
+    rows.append(
+        ["total", *(round(totals[k]) for k in ("bpc", 2, 4, 8, 16))]
+    )
+
+    text = render_table(
+        "Extension: register-file energy, 2x4-bpc vs N-banked non "
+        "(units: 1-bank register accesses)",
+        ["DSA-OP", "2x4-bpc", "2-non", "4-non", "8-non", "16-non"],
+        rows,
+    )
+    record_text("energy", text)
+
+    # Shape 1: software beats every hardware point in total energy.
+    for banks in (2, 4, 8, 16):
+        assert totals["bpc"] < totals[banks], banks
+    # Shape 2: wider banking costs more access energy even as conflicts
+    # fall — 16-non is not the cheapest hardware point.
+    assert totals[16] > min(totals[b] for b in (2, 4, 8))
+
+    idft = next(p for p in suite.programs if p.name == "idft")
+    allocated = run_pipeline(
+        idft.functions()[0], PipelineConfig(dsa_rf, "bpc")
+    ).function
+    benchmark(estimate_energy, allocated, dsa_rf)

@@ -1,0 +1,43 @@
+"""Regenerates Figure 10: RV#1 static conflicts per benchmark.
+
+Paper shape (Fig. 10a/10b): under `non`, conflicts roughly halve each time
+the bank count doubles; both bcr and bpc land well below 1.0 normalized,
+with bpc at or below bcr for most benchmarks; CNN categories see the
+largest reductions.
+
+Timed unit: one non pipeline run over the largest SPECfp program on RV#1.
+"""
+
+from repro.experiments import figure10
+from repro.experiments.harness import run_program
+
+
+def test_figure10(benchmark, ctx, record_text):
+    figure = figure10(ctx)
+    record_text("figure10", figure.render())
+
+    spec_names = [p.name for p in ctx.suite("SPECfp").programs]
+    # Shape 1: the hardware trend — non conflicts fall as banks grow.
+    falling = 0
+    for bench in spec_names:
+        series = [figure.series[f"{bench}/{banks}/non"] for banks in (2, 4, 8)]
+        if series[0] >= series[1] >= series[2]:
+            falling += 1
+    assert falling >= len(spec_names) - 1  # allow one noisy benchmark
+
+    # Shape 2: normalized bcr/bpc below 1 on conflict-heavy benchmarks.
+    heavy = max(spec_names, key=lambda b: figure.series[f"{b}/2/non"])
+    assert figure.series[f"{heavy}/2/bcr"] < 1.0
+    assert figure.series[f"{heavy}/2/bpc"] < 1.0
+    # Shape 3: bpc <= bcr on the heavy benchmark at 2 banks.
+    assert (
+        figure.series[f"{heavy}/2/bpc"]
+        <= figure.series[f"{heavy}/2/bcr"] + 0.05
+    )
+
+    program = max(
+        ctx.suite("SPECfp").programs,
+        key=lambda p: sum(f.instruction_count() for f in p.functions()),
+    )
+    register_file = ctx.register_file("rv1", 8)
+    benchmark(run_program, program, register_file, "non")

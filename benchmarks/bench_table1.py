@@ -1,0 +1,31 @@
+"""Regenerates Table I: suite characteristics (Exes/Mods/Fns/Reles/spills).
+
+Timed unit: one default-RA pipeline run over a representative SPECfp
+program on the 32-register platform (the measurement Table I's spill
+columns are built from).
+"""
+
+from repro.experiments import table1
+from repro.experiments.harness import run_program
+
+
+def test_table1(benchmark, ctx, record_text):
+    table = table1(ctx)
+    record_text("table1", table.render())
+
+    rows = table.row_map()
+    # Shape checks against Table I's structure.
+    spec_rows = [name for name in rows if name.startswith("SPECfp.")]
+    assert len(spec_rows) == 8
+    # povray/dealII are the Reles-heaviest SPECfp benchmarks (allow the
+    # per-function lognormal size noise to shuffle them within the top 4).
+    reles = {name: rows[name][4] for name in spec_rows}
+    top4 = set(sorted(reles, key=reles.get, reverse=True)[:4])
+    assert {"SPECfp.453.povray", "SPECfp.447.dealII"} <= top4
+    # High-pressure benchmarks spill at 32 registers; lbm/sphinx3 do not.
+    assert rows["SPECfp.444.namd"][5] > 0
+    assert rows["SPECfp.470.lbm"][5] == 0
+
+    program = ctx.suite("SPECfp").programs[0]
+    register_file = ctx.register_file("rv2", 2)
+    benchmark(run_program, program, register_file, "non")

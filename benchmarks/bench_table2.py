@@ -1,0 +1,37 @@
+"""Regenerates Table II: RV#1 combined conflicts and reductions.
+
+Paper values (for shape comparison; absolute counts differ by substrate):
+
+    BANK  CONFS  Redu.bcr  Redu.bpc  IMPV
+       2  33374     27777     30663  2886
+       4  10023      6616      8426  1810
+       8   4815      3684      4084   400
+
+Timed unit: one bpc pipeline run over a CNN conv kernel on RV#1.
+"""
+
+from repro.experiments import table2
+from repro.experiments.harness import run_program
+
+
+def test_table2(benchmark, ctx, record_text):
+    table = table2(ctx)
+    record_text("table2", table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    # Shape 1: baseline conflicts fall as banks grow.
+    assert rows[2][1] > rows[4][1] > rows[8][1]
+    for banks in (2, 4, 8):
+        __, confs, redu_bcr, redu_bpc, impv = rows[banks]
+        # Shape 2: both methods reduce conflicts.
+        assert 0 < redu_bcr <= confs
+        assert 0 < redu_bpc <= confs
+        # Shape 3: bpc reduces at least as much as bcr (IMPV >= 0).
+        assert impv >= 0
+    # Shape 4: the 2-bank IMPV is the largest in absolute terms (the
+    # paper's hardest setting benefits most from pressure tracking).
+    assert rows[2][4] >= rows[8][4]
+
+    program = ctx.suite("CNN-KERNEL").programs[0]
+    register_file = ctx.register_file("rv1", 2)
+    benchmark(run_program, program, register_file, "bpc")

@@ -1,0 +1,48 @@
+"""Regenerates Table VII: DSA spills, copies, and cycles.
+
+Paper shape: bank-conflict elimination pays off in cycles for the
+reduction-style kernels (reduce, red-ur, tr15651 in the paper); the copy
+traffic from subgroup splitting concentrates on the shared-operand stress
+cases (idft dominates with 2936 copies in the paper); spills stay at or
+near zero everywhere.
+
+Timed unit: the DSA cycle model on the allocated idft kernel.
+"""
+
+from repro.experiments import table7
+from repro.sim import DsaMachine
+
+
+def test_table7(benchmark, ctx, record_text):
+    table = table7(ctx)
+    record_text("table7", table.render())
+
+    rows = table.row_map()
+    # Shape 1: spills at or near zero under both methods (the paper has
+    # a single idft spill pair).
+    for name, row in rows.items():
+        assert row[1] <= 4 and row[2] <= 4, name
+    # Shape 2: bpc inserts copies; non does not need them.
+    total_bpc_copies = sum(row[3] for row in rows.values())
+    total_non_copies = sum(row[4] for row in rows.values())
+    assert total_bpc_copies > total_non_copies
+    # Shape 3: copies concentrate on the shared-operand stress kernels;
+    # idft is among the top two (the absolute leader flips with the
+    # configured IDFT size; the paper's 16269-conflict idft dominates).
+    top2 = sorted((row[3] for row in rows.values()), reverse=True)[:2]
+    assert rows["idft"][3] in top2
+    # Shape 4: reductions gain cycles under bpc vs 2-banked non.
+    assert rows["reduce"][5] < rows["reduce"][6]
+    assert rows["red-ur"][5] < rows["red-ur"][6]
+
+    bpc = {r.program: r for r in ctx.results("DSA-OP", "dsa", 0, "bpc")}
+    register_file = ctx.register_file("dsa", 0)
+    machine = DsaMachine(register_file)
+    # Re-run the allocated idft through the cycle model as the timed unit.
+    from repro.prescount import PipelineConfig, run_pipeline
+
+    idft = next(p for p in ctx.suite("DSA-OP").programs if p.name == "idft")
+    allocated = run_pipeline(
+        idft.functions()[0], PipelineConfig(register_file, "bpc")
+    ).function
+    benchmark(machine.run, allocated)

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+One :class:`ExperimentContext` is shared across the whole benchmark
+session, so the expensive suite sweeps (SPECfp x platforms x methods) are
+computed once and reused by every table/figure bench.  Rendered outputs
+are also written to ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from a bench run.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SPEC_SCALE``  (default 0.04) — SPECfp function-count scale;
+* ``REPRO_CNN_SCALE``   (default 0.4)  — CNN-KERNEL kernel-count scale;
+* ``REPRO_IDFT_POINTS`` (default 16)   — IDFT size on the DSA.
+
+Set them higher for a closer-to-paper run, e.g.::
+
+    REPRO_SPEC_SCALE=0.2 pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(
+        spec_scale=float(os.environ.get("REPRO_SPEC_SCALE", "0.04")),
+        cnn_scale=float(os.environ.get("REPRO_CNN_SCALE", "0.4")),
+        idft_points=int(os.environ.get("REPRO_IDFT_POINTS", "16")),
+    )
+
+
+@pytest.fixture(scope="session")
+def record_text():
+    """Writer: record_text(name, text) -> saved under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

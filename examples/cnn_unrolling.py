@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The paper's CNN story: unrolling raises bank pressure; bpc absorbs it.
+
+Most MobileNet kernels have only a handful of FP operations per loop body,
+so the paper unrolls them manually to create different levels of bank
+pressure (§IV-A1).  This example sweeps the unroll factor of a conv2d+relu
+kernel and shows how static bank conflicts grow under the default
+allocator while PresCount keeps them near zero — until the register budget
+itself becomes the constraint.
+
+Run:  python examples/cnn_unrolling.py
+"""
+
+from repro.banks import BankedRegisterFile
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.sim import analyze_static, count_conflict_relevant
+from repro.workloads import conv2d_relu_kernel
+
+
+def measure(kernel, register_file, method):
+    result = run_pipeline(kernel, PipelineConfig(register_file, method))
+    stats = analyze_static(result.function, register_file)
+    return stats.bank_conflicts, result.spill_count
+
+
+def main():
+    rich = BankedRegisterFile(1024, 2)   # RV#1-style
+    tight = BankedRegisterFile(32, 2)    # RV#2-style
+
+    header = (
+        f"{'unroll':>6} {'reles':>6} | {'non':>5} {'bcr':>5} {'bpc':>5} "
+        f"| {'non/32':>7} {'bpc/32':>7} {'spills(bpc/32)':>15}"
+    )
+    print("conv2d+relu, 8 channels, static bank conflicts by method")
+    print(header)
+    print("-" * len(header))
+
+    for unroll in (1, 2, 4, 6, 8, 12):
+        kernel = conv2d_relu_kernel(
+            f"conv_u{unroll}", channels=8, unroll=unroll, seed=7
+        )
+        reles = count_conflict_relevant(kernel)
+        non_rich, __ = measure(kernel, rich, "non")
+        bcr_rich, __ = measure(kernel, rich, "bcr")
+        bpc_rich, __ = measure(kernel, rich, "bpc")
+        non_tight, __ = measure(kernel, tight, "non")
+        bpc_tight, bpc_tight_spills = measure(kernel, tight, "bpc")
+        print(
+            f"{unroll:>6} {reles:>6} | {non_rich:>5} {bcr_rich:>5} "
+            f"{bpc_rich:>5} | {non_tight:>7} {bpc_tight:>7} "
+            f"{bpc_tight_spills:>15}"
+        )
+
+    print(
+        "\nReading the table: with rich registers (RV#1 columns) bpc stays"
+        "\nnear zero as unrolling multiplies the conflict-relevant"
+        "\ninstructions; with the 32-register budget (RV#2 columns) the"
+        "\nallocator must reuse banks and some conflicts/spills return —"
+        "\nthe same erosion the paper reports in Tables IV/V."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The bank-subgroup DSA: alignment violations, SDG splitting, Algorithm 2.
+
+Walks the paper's §III-C machinery on real kernels:
+
+1. decodes registers through the Fig. 6 bank/subgroup formulas;
+2. shows the Same Displacement Graph of a reduction and a shared-input
+   kernel, with their sharing centers;
+3. runs the full DSA pipeline (SDG splitting + Algorithm 2 hints) and
+   compares hazards and cycles against plain N-banked hardware running
+   the default allocator — the Table VI/VII co-design experiment.
+
+Run:  python examples/dsa_subgroups.py
+"""
+
+from repro.analysis import SameDisplacementGraph
+from repro.banks import BankedRegisterFile, BankSubgroupRegisterFile
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.sim import DsaMachine, analyze_static
+from repro.workloads import idft_kernel, reduce_kernel, shared_use_kernel
+
+
+def show_decoding(register_file):
+    print(f"Register file: {register_file.describe()}")
+    print("  reg:      ", "  ".join(f"{i:3d}" for i in range(12)))
+    print(
+        "  bank:     ",
+        "  ".join(f"{register_file.bank_of(i):3d}" for i in range(12)),
+    )
+    print(
+        "  subgroup: ",
+        "  ".join(f"{register_file.subgroup_of(i):3d}" for i in range(12)),
+    )
+    print()
+
+
+def show_sdg(name, kernel):
+    sdg = SameDisplacementGraph.build(kernel)
+    components = sdg.components()
+    largest = max(components, key=len)
+    centers = sdg.sharing_centers(largest, threshold=4)
+    print(
+        f"{name}: SDG has {len(sdg)} vertices in {len(components)} "
+        f"component(s); largest = {len(largest)} registers"
+    )
+    for reg, kind, fanout in centers[:3]:
+        print(f"  center {reg!r}: {kind} with fanout {fanout}")
+    print()
+
+
+def main():
+    dsa_rf = BankSubgroupRegisterFile(1024, 2, 4)
+    show_decoding(dsa_rf)
+
+    kernels = {
+        "reduce (output sharing)": reduce_kernel(),
+        "shruse (input sharing)": shared_use_kernel(consumers=12),
+        "idft (both, at scale)": idft_kernel(points=10),
+    }
+    for name, kernel in kernels.items():
+        show_sdg(name, kernel)
+
+    print("kernel                    | hazards: 2x4-bpc  2-non  16-non | cycles: bpc  2-non")
+    print("-" * 86)
+    hw2 = BankedRegisterFile(1024, 2)
+    hw16 = BankedRegisterFile(1024, 16)
+    for name, kernel in kernels.items():
+        bpc = run_pipeline(kernel, PipelineConfig(dsa_rf, "bpc"))
+        non2 = run_pipeline(kernel, PipelineConfig(hw2, "non"))
+        non16 = run_pipeline(kernel, PipelineConfig(hw16, "non"))
+        hazards_bpc = analyze_static(bpc.function, dsa_rf).conflicts
+        hazards_2 = analyze_static(non2.function, hw2).conflicts
+        hazards_16 = analyze_static(non16.function, hw16).conflicts
+        cycles_bpc = DsaMachine(dsa_rf).run(bpc.function).cycles
+        cycles_2 = DsaMachine(hw2).run(non2.function).cycles
+        print(
+            f"{name:<26}| {hazards_bpc:16d} {hazards_2:6d} {hazards_16:7d} "
+            f"| {cycles_bpc:10.0f} {cycles_2:6.0f}"
+        )
+        if bpc.sdg_split is not None and bpc.sdg_split.copies_inserted:
+            print(
+                f"{'':<26}  (SDG splitting inserted "
+                f"{bpc.sdg_split.copies_inserted} copies in "
+                f"{bpc.sdg_split.rounds} round(s))"
+            )
+
+    print(
+        "\nThe 2x4 bank-subgroup file with PresCount (simplified hardware +"
+        "\nsmart compiler) matches or beats the 16-banked crossbar design"
+        "\nrunning the default allocator — the paper's co-design headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the three register allocation methods on one kernel.
+
+Builds a multiply-accumulate loop, allocates it with `non` (default),
+`bcr` (Intel-style per-instruction hinting), and `bpc` (PresCount), and
+prints the resulting bank conflicts, spills, and the allocated code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.banks import BankedRegisterFile
+from repro.ir import IRBuilder, print_function
+from repro.prescount import METHODS, PipelineConfig, run_pipeline
+from repro.sim import DynamicSimulator, analyze_static
+
+
+def build_kernel():
+    """acc += x_i * y_i over four input pairs, 64 iterations."""
+    b = IRBuilder("mac4")
+    xs = [b.const(float(i + 1)) for i in range(4)]
+    ys = [b.const(0.5 * (i + 1)) for i in range(4)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=64):
+        for x, y in zip(xs, ys):
+            product = b.arith("fmul", x, y)
+            b.arith_into(acc, "fadd", acc, product)
+    b.ret(acc)
+    return b.finish()
+
+
+def main():
+    kernel = build_kernel()
+    register_file = BankedRegisterFile(num_registers=32, num_banks=2)
+    print(f"Register file: {register_file.describe()}")
+    print(f"Kernel: {kernel.instruction_count()} instructions\n")
+
+    results = {}
+    for method in METHODS:
+        result = run_pipeline(kernel, PipelineConfig(register_file, method))
+        stats = analyze_static(result.function, register_file)
+        dynamic = DynamicSimulator(register_file).run(result.function)
+        results[method] = result
+        print(
+            f"{method:>4}: {stats.bank_conflicts:3d} static conflicts, "
+            f"{dynamic.dynamic_conflicts:5d} dynamic instances, "
+            f"{result.spill_count} spills, "
+            f"{result.copies_inserted} copies inserted"
+        )
+
+    print("\n--- allocated loop body under 'non' (note same-bank pairs) ---")
+    print(print_function(results["non"].function))
+    print("\n--- allocated loop body under 'bpc' ---")
+    print(print_function(results["bpc"].function))
+
+    assignment = results["bpc"].bank_assignment
+    print("\nPresCount bank assignment (vreg -> bank):")
+    for vreg, bank in sorted(assignment.banks.items(), key=lambda kv: kv[0].vid):
+        marker = " (uncolorable)" if vreg in assignment.uncolorable else ""
+        print(f"  {vreg!r} -> bank {bank}{marker}")
+    print(f"bank histogram: {assignment.bank_histogram()}")
+    print(f"predicted residual conflict cost: {assignment.residual_cost}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP 517 editable installs (which require bdist_wheel) are unavailable.
+`pip install -e . --no-build-isolation --no-use-pep517` uses this file."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Register allocation substrate: the greedy allocator the paper extends,
+coalescing and pre-allocation scheduling phases, spilling and live-range
+splitting machinery, and two classic baselines (linear scan,
+Chaitin–Briggs) for ablation comparisons.
+"""
+
+from .base import (
+    AllocationError,
+    AllocationPolicy,
+    AllocationResult,
+    NaturalOrderPolicy,
+)
+from .chaitin import ChaitinBriggsAllocator
+from .coalescing import CoalescingResult, coalesce
+from .greedy import GreedyAllocator
+from .linear_scan import LinearScanAllocator
+from .pbqp import PbqpAllocator
+from .scheduling import SchedulingResult, schedule_function
+from .verify import AllocationVerificationError, verify_allocation
+
+__all__ = [
+    "AllocationError",
+    "AllocationPolicy",
+    "AllocationResult",
+    "ChaitinBriggsAllocator",
+    "CoalescingResult",
+    "GreedyAllocator",
+    "LinearScanAllocator",
+    "PbqpAllocator",
+    "NaturalOrderPolicy",
+    "SchedulingResult",
+    "coalesce",
+    "schedule_function",
+    "AllocationVerificationError",
+    "verify_allocation",
+]

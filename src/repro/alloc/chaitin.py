@@ -1,0 +1,158 @@
+"""Chaitin–Briggs graph-coloring register allocation, as a baseline.
+
+The original coloring formulation the paper builds on (refs [7], [26]):
+simplify nodes of degree < k onto a stack (optimistically pushing a
+spill candidate when none qualifies), then select colors in pop order.
+Nodes that receive no color are spilled and the whole process repeats on
+the rewritten function.
+
+The RCG-coloring of PresCount is deliberately *not* this algorithm — the
+paper orders by conflict cost instead of degree — making this module the
+natural control for the ``bench_ablation_order`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.cost import ConflictCostModel
+from ..analysis.interference import InterferenceGraph
+from ..analysis.intervals import LiveIntervals
+from ..analysis.slots import SlotIndexes
+from ..banks.register_file import RegisterFile
+from ..ir.function import Function
+from ..ir.loops import LoopInfo
+from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+from .base import AllocationError, AllocationResult
+from .linear_scan import _materialize_linear
+from .spiller import SpillPlan, spill_interval
+
+
+@dataclass
+class ChaitinBriggsAllocator:
+    """k-coloring allocator with optimistic (Briggs) spilling."""
+
+    register_file: RegisterFile
+    regclass: RegClass = FP
+    max_iterations: int = 16
+
+    def run(self, function: Function, *, clone: bool = True) -> AllocationResult:
+        if clone:
+            function = function.clone()
+        result = AllocationResult(function)
+        plan = SpillPlan()
+        k = self.register_file.num_registers
+        registers = self.register_file.registers()
+
+        for _iteration in range(self.max_iterations):
+            slots = SlotIndexes.build(function)
+            live = LiveIntervals.build(function, slots=slots)
+            loop_info = LoopInfo.build(function)
+            cost = ConflictCostModel.build(function, loop_info, regclass=self.regclass)
+            graph = InterferenceGraph.build(function, live, self.regclass)
+
+            # Spill weights for choosing spill candidates.
+            weights = {}
+            for interval in live.vreg_intervals(self.regclass):
+                weights[interval.reg] = cost.spill_weight(interval.reg, interval.size)
+
+            stack = self._simplify(graph, k, weights)
+            colors, spilled = self._select(graph, stack, registers)
+            if not spilled:
+                # Success: commit and materialize.  Spill code from earlier
+                # iterations is already in the IR; the (now empty) plan only
+                # drives the final operand rewrite.
+                result.assignment.update(colors)
+                _materialize_linear(function, result.assignment, plan)
+                return result
+
+            for vreg in spilled:
+                # Spill vregs created by an earlier spill cannot recur.
+                if vreg in plan.slot_of_vreg:
+                    raise AllocationError(
+                        f"chaitin-briggs: spilled {vreg!r} twice in {function.name}"
+                    )
+                result.spilled.add(vreg)
+                spill_interval(function, slots, live.of(vreg), plan)
+            # Rewrites are applied immediately (unlike the greedy allocator)
+            # because the next iteration re-analyzes the rewritten IR.
+            result.spill_instructions += len(plan.actions)
+            self._apply_pending_rewrites(function, plan)
+        raise AllocationError(
+            f"chaitin-briggs: did not converge in {self.max_iterations} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    def _simplify(
+        self,
+        graph: InterferenceGraph,
+        k: int,
+        weights: dict[VirtualRegister, float],
+    ) -> list[VirtualRegister]:
+        degrees = {node: graph.degree(node) for node in graph.nodes()}
+        removed: set[VirtualRegister] = set()
+        stack: list[VirtualRegister] = []
+        while len(removed) < len(degrees):
+            candidates = [n for n in degrees if n not in removed and degrees[n] < k]
+            if candidates:
+                node = min(candidates, key=lambda n: (degrees[n], n.vid))
+            else:
+                # Optimistic push: cheapest spill candidate first.
+                node = min(
+                    (n for n in degrees if n not in removed),
+                    key=lambda n: (weights.get(n, 0.0) / max(1, degrees[n]), n.vid),
+                )
+            removed.add(node)
+            stack.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in removed:
+                    degrees[neighbor] -= 1
+        return stack
+
+    def _select(
+        self,
+        graph: InterferenceGraph,
+        stack: list[VirtualRegister],
+        registers: list[PhysicalRegister],
+    ) -> tuple[dict[VirtualRegister, PhysicalRegister], list[VirtualRegister]]:
+        colors: dict[VirtualRegister, PhysicalRegister] = {}
+        spilled: list[VirtualRegister] = []
+        for node in reversed(stack):
+            taken = {
+                colors[nb] for nb in graph.neighbors(node) if nb in colors
+            }
+            choice = next((r for r in registers if r not in taken), None)
+            if choice is None:
+                spilled.append(node)
+            else:
+                colors[node] = choice
+        return colors, spilled
+
+    def _apply_pending_rewrites(self, function: Function, plan: SpillPlan) -> None:
+        """Apply operand rewrites and insert spill code between iterations."""
+        from ..ir import instruction as ins
+
+        reloads: dict[int, list] = {}
+        stores: dict[int, list] = {}
+        for action in plan.actions:
+            if action.kind == "reload":
+                reloads.setdefault(action.instr_id, []).append(
+                    ins.load(action.tiny, spill_slot=action.slot_id, spill=True)
+                )
+            else:
+                stores.setdefault(action.instr_id, []).append(
+                    ins.store(action.tiny, spill_slot=action.slot_id, spill=True)
+                )
+        for block in function.blocks:
+            new_instructions = []
+            for instr in block.instructions:
+                mapping = plan.rewrites.get(id(instr))
+                rewritten = instr.rewrite(mapping) if mapping else instr
+                new_instructions.extend(reloads.get(id(instr), []))
+                new_instructions.append(rewritten)
+                new_instructions.extend(stores.get(id(instr), []))
+            block.instructions = new_instructions
+        # Spill code is now part of the IR; reset the plan so the final
+        # materialization does not duplicate it.
+        plan.actions.clear()
+        plan.rewrites.clear()

@@ -1,0 +1,171 @@
+"""Linear scan register allocation (Poletto & Sarkar), as a baseline.
+
+The paper's related-work section positions linear scan as the fast
+alternative to graph coloring; we provide it for ablation comparisons and
+as an independent check on the greedy allocator's spill behaviour.
+
+Classic algorithm over whole intervals (holes ignored): process intervals
+in increasing start order, expire finished actives, and when no register
+is free spill the active interval with the furthest end point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.intervals import LiveInterval, LiveIntervals
+from ..analysis.slots import SlotIndexes
+from ..banks.register_file import RegisterFile
+from ..ir import instruction as ins
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+from .base import AllocationError, AllocationResult
+from .spiller import SpillPlan, spill_interval
+
+
+@dataclass
+class LinearScanAllocator:
+    """Poletto–Sarkar linear scan for one register class.
+
+    A few registers are *reserved* for spill code: linear scan assigns
+    whole intervals, so at a spill-heavy point every allocatable register
+    can be occupied and reloads would have nowhere to live.  Reserving
+    scratch registers is the textbook remedy.
+    """
+
+    register_file: RegisterFile
+    regclass: RegClass = FP
+
+    def _scratch_count(self) -> int:
+        total = self.register_file.num_registers
+        if total >= 8:
+            return 3  # enough for a 3-operand instruction's reloads
+        return max(0, total - 4)
+
+    def run(self, function: Function, *, clone: bool = True) -> AllocationResult:
+        if clone:
+            function = function.clone()
+        slots = SlotIndexes.build(function)
+        live = LiveIntervals.build(function, slots=slots)
+
+        intervals = sorted(
+            live.vreg_intervals(self.regclass), key=lambda iv: (iv.start, iv.reg.vid)
+        )
+        registers = self.register_file.registers()
+        scratch = self._scratch_count()
+        allocatable = registers[: len(registers) - scratch] if scratch else registers
+        free: list[PhysicalRegister] = list(allocatable)
+        active: list[tuple[LiveInterval, PhysicalRegister]] = []
+        assignment: dict[VirtualRegister, PhysicalRegister] = {}
+        result = AllocationResult(function)
+        spill_plan = SpillPlan()
+        #: intervals spilled; their operands get tiny vregs assigned greedily
+        #: in a cleanup pass below.
+        deferred_tiny: list[LiveInterval] = []
+
+        for interval in intervals:
+            # Expire old intervals.
+            still_active = []
+            for other, preg in active:
+                if other.end <= interval.start:
+                    free.append(preg)
+                else:
+                    still_active.append((other, preg))
+            active = still_active
+
+            if free:
+                preg = min(free, key=lambda r: r.index)
+                free.remove(preg)
+                active.append((interval, preg))
+                assignment[interval.reg] = preg
+                continue
+
+            # Spill the active interval with the furthest end (or self).
+            victim_idx = max(
+                range(len(active)), key=lambda i: active[i][0].end, default=None
+            )
+            if victim_idx is not None and active[victim_idx][0].end > interval.end:
+                victim, preg = active.pop(victim_idx)
+                del assignment[victim.reg]
+                result.spilled.add(victim.reg)
+                deferred_tiny.extend(spill_interval(function, slots, victim, spill_plan))
+                active.append((interval, preg))
+                assignment[interval.reg] = preg
+            else:
+                result.spilled.add(interval.reg)
+                deferred_tiny.extend(spill_interval(function, slots, interval, spill_plan))
+
+        self._place_tiny_intervals(deferred_tiny, assignment, intervals, result)
+        result.assignment = assignment
+        result.spill_instructions = _materialize_linear(
+            function, assignment, spill_plan
+        )
+        return result
+
+    def _place_tiny_intervals(
+        self,
+        tiny_intervals: list[LiveInterval],
+        assignment: dict[VirtualRegister, PhysicalRegister],
+        allocated: list[LiveInterval],
+        result: AllocationResult,
+    ) -> None:
+        """Give every reload/store vreg a register that is locally free."""
+        by_reg: dict[PhysicalRegister, list[LiveInterval]] = {}
+        for interval in allocated:
+            preg = assignment.get(interval.reg)
+            if preg is not None:
+                by_reg.setdefault(preg, []).append(interval)
+        # Prefer the reserved scratch registers (guaranteed conflict-free
+        # among whole intervals), then fall back to any locally free one.
+        registers = self.register_file.registers()
+        scratch = self._scratch_count()
+        ordered = (registers[len(registers) - scratch:] + registers) if scratch else registers
+        for tiny in sorted(tiny_intervals, key=lambda iv: iv.start):
+            placed = False
+            for preg in ordered:
+                occupants = by_reg.get(preg, [])
+                if all(not tiny.overlaps(other) for other in occupants):
+                    assignment[tiny.reg] = preg
+                    by_reg.setdefault(preg, []).append(tiny)
+                    placed = True
+                    break
+            if not placed:
+                raise AllocationError(
+                    f"linear scan: no register for spill interval {tiny!r}"
+                )
+
+
+def _materialize_linear(
+    function: Function,
+    assignment: dict[VirtualRegister, PhysicalRegister],
+    plan: SpillPlan,
+) -> int:
+    """Insert spill code and rewrite operands to physical registers."""
+    inserted = 0
+    reloads: dict[int, list[Instruction]] = {}
+    stores: dict[int, list[Instruction]] = {}
+    for action in plan.actions:
+        target = assignment.get(action.tiny, action.tiny)
+        if action.kind == "reload":
+            reloads.setdefault(action.instr_id, []).append(
+                ins.load(target, spill_slot=action.slot_id, spill=True)
+            )
+        else:
+            stores.setdefault(action.instr_id, []).append(
+                ins.store(target, spill_slot=action.slot_id, spill=True)
+            )
+        inserted += 1
+    for block in function.blocks:
+        new_instructions: list[Instruction] = []
+        for instr in block.instructions:
+            rewritten = instr
+            spill_map = plan.rewrites.get(id(instr))
+            if spill_map:
+                rewritten = rewritten.rewrite(spill_map)
+            rewritten = rewritten.rewrite(assignment)
+            new_instructions.extend(reloads.get(id(instr), []))
+            new_instructions.append(rewritten)
+            new_instructions.extend(stores.get(id(instr), []))
+        block.instructions = new_instructions
+    return inserted

@@ -1,0 +1,134 @@
+"""Pre-allocation instruction scheduling (the white phase of Fig. 4).
+
+A pressure-aware list scheduler per basic block: instructions are
+topologically reordered, preferring ready instructions that *kill* more
+live values than they create (the classic register-pressure heuristic the
+paper cites as the inspiration for its coarse bank pressure tracking).
+
+Dependencies respected within a block:
+
+* true (def -> use) and output (def -> def) register dependencies,
+* anti dependencies (use -> redefining def),
+* program order among memory operations and calls,
+* the terminator stays last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import OpKind
+from ..ir.types import Register
+
+
+@dataclass
+class SchedulingResult:
+    """Statistics from a scheduling run."""
+
+    blocks_scheduled: int = 0
+    instructions_moved: int = 0
+    #: True when the new order raised pressure and was rolled back.
+    reverted: bool = False
+
+
+def schedule_function(function: Function) -> SchedulingResult:
+    """Schedule every block of *function* in place.
+
+    The kill-first list heuristic is greedy and can occasionally *raise*
+    register pressure; since lowering pressure is this phase's entire
+    purpose, the result is compared against the original order and
+    reverted wholesale when it is worse ("do no harm").
+    """
+    from ..analysis.intervals import LiveIntervals
+
+    before_pressure = LiveIntervals.build(function).max_pressure()
+    original_orders = [list(block.instructions) for block in function.blocks]
+
+    result = SchedulingResult()
+    for block in function.blocks:
+        moved = _schedule_block(block)
+        result.blocks_scheduled += 1
+        result.instructions_moved += moved
+
+    if result.instructions_moved:
+        after_pressure = LiveIntervals.build(function).max_pressure()
+        if after_pressure > before_pressure:
+            for block, order in zip(function.blocks, original_orders):
+                block.instructions = order
+            result.instructions_moved = 0
+            result.reverted = True
+    return result
+
+
+def _schedule_block(block: BasicBlock) -> int:
+    body = [i for i in block.instructions if not i.is_terminator]
+    terminator = block.terminator
+    if len(body) < 2:
+        return 0
+
+    preds: dict[int, set[int]] = {i: set() for i in range(len(body))}
+    succs: dict[int, set[int]] = {i: set() for i in range(len(body))}
+
+    def add_dep(earlier: int, later: int) -> None:
+        if earlier != later:
+            preds[later].add(earlier)
+            succs[earlier].add(later)
+
+    last_def: dict[Register, int] = {}
+    last_uses: dict[Register, list[int]] = {}
+    last_mem: int | None = None
+    for i, instr in enumerate(body):
+        for use in instr.reg_uses():
+            if use in last_def:
+                add_dep(last_def[use], i)  # true dependency
+            last_uses.setdefault(use, []).append(i)
+        for dst in instr.reg_defs():
+            if dst in last_def:
+                add_dep(last_def[dst], i)  # output dependency
+            for user in last_uses.get(dst, ()):
+                add_dep(user, i)  # anti dependency
+            last_def[dst] = i
+            last_uses[dst] = []
+        if instr.kind in (OpKind.LOAD, OpKind.STORE, OpKind.CALL):
+            if last_mem is not None:
+                add_dep(last_mem, i)  # conservative memory order
+            last_mem = i
+
+    # Kill counts: a use kills a value if no later instruction in the block
+    # uses it (approximation: count last-use positions).
+    final_use: dict[Register, int] = {}
+    for i, instr in enumerate(body):
+        for use in instr.reg_uses():
+            final_use[use] = i
+
+    def priority(i: int) -> tuple:
+        instr = body[i]
+        kills = sum(1 for u in instr.reg_uses() if final_use.get(u) == i)
+        grows = len(instr.reg_defs())
+        # Prefer: more kills, fewer new values, then original order.
+        return (-(kills - grows), i)
+
+    ready = sorted((i for i in range(len(body)) if not preds[i]), key=priority)
+    order: list[int] = []
+    pending = {i: set(p) for i, p in preds.items()}
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        freshly_ready = []
+        for succ in succs[current]:
+            pending[succ].discard(current)
+            if not pending[succ] and succ not in order and succ not in ready:
+                freshly_ready.append(succ)
+        if freshly_ready:
+            ready.extend(freshly_ready)
+            ready.sort(key=priority)
+
+    if len(order) != len(body):
+        raise AssertionError(f"scheduler dropped instructions in {block.label}")
+
+    moved = sum(1 for position, original in enumerate(order) if position != original)
+    new_body = [body[i] for i in order]
+    block.instructions = new_body + ([terminator] if terminator is not None else [])
+    return moved

@@ -1,0 +1,190 @@
+"""Live-range splitting (region split around the hottest use loop).
+
+A faithful miniature of LLVM RAGreedy's region splitting: when an interval
+can neither be assigned nor evict anything, it is split into a *hot* child
+covering the innermost loop with the most frequent uses and a *cold* child
+covering the rest, connected by copies at the loop boundary.  Both
+children are re-queued; split-generated children never split again (they
+spill instead), bounding the work.
+
+Splitting is precisely the operation the paper calls out as problematic
+for prior RCG bank assigners — it creates new virtual registers *after*
+the bank assignment phase ran ("Handle split-generated register" in
+Algorithm 2); the PresCount policy resolves their bank from the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.intervals import LiveInterval
+from ..analysis.slots import SlotIndexes
+from ..ir.function import Function
+from ..ir.loops import Loop, LoopInfo
+from ..ir.types import VirtualRegister
+
+
+@dataclass
+class CopyAction:
+    """A split copy to materialize: ``dst = mov src`` at a block edge."""
+
+    block_label: str
+    position: str  # "begin" | "end" (before the terminator)
+    dst: VirtualRegister
+    src: VirtualRegister
+
+
+@dataclass
+class SplitResult:
+    """Children intervals plus rewrites/copies to apply at materialization."""
+
+    children: list[LiveInterval]
+    copies: list[CopyAction]
+    #: instruction id -> {parent vreg -> child vreg}.
+    rewrites: dict[int, dict[VirtualRegister, VirtualRegister]] = field(default_factory=dict)
+
+
+def _hottest_use_loop(
+    interval: LiveInterval,
+    slots: SlotIndexes,
+    loop_info: LoopInfo,
+) -> Loop | None:
+    """The innermost loop containing the most frequent use of *interval*."""
+    best: Loop | None = None
+    best_freq = -1.0
+    for use in interval.use_slots:
+        label = slots.block_of_slot(use).label
+        loop = loop_info.innermost_loop(label)
+        if loop is None:
+            continue
+        freq = loop_info.block_frequency(loop.header)
+        if freq > best_freq:
+            best, best_freq = loop, freq
+    return best
+
+
+def try_region_split(
+    function: Function,
+    slots: SlotIndexes,
+    loop_info: LoopInfo,
+    interval: LiveInterval,
+) -> SplitResult | None:
+    """Split *interval* around its hottest use loop, or return None.
+
+    Returns None when splitting cannot help: all uses sit in one region,
+    the interval does not extend beyond the loop, or there is no loop.
+    """
+    vreg = interval.reg
+    if not isinstance(vreg, VirtualRegister):
+        return None
+    loop = _hottest_use_loop(interval, slots, loop_info)
+    if loop is None:
+        return None
+
+    loop_ranges = sorted(slots.block_range[label] for label in loop.body)
+    in_loop = lambda slot: any(lo <= slot < hi for lo, hi in loop_ranges)
+
+    # Partition segments between the hot (in-loop) and cold children.
+    hot_segments: list[tuple[int, int]] = []
+    cold_segments: list[tuple[int, int]] = []
+    for seg in interval.segments:
+        cursor = seg.start
+        boundaries = sorted(
+            {seg.start, seg.end}
+            | {p for lo, hi in loop_ranges for p in (lo, hi) if seg.start < p < seg.end}
+        )
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            target = hot_segments if in_loop(lo) else cold_segments
+            if target and target[-1][1] == lo:
+                target[-1] = (target[-1][0], hi)
+            else:
+                target.append((lo, hi))
+            cursor = hi
+    if not hot_segments or not cold_segments:
+        return None  # nothing to separate
+
+    hot_child = function.new_vreg(vreg.regclass)
+    cold_child = function.new_vreg(vreg.regclass)
+    hot_interval = LiveInterval(hot_child, weight=interval.weight * 2 + 1)
+    cold_interval = LiveInterval(cold_child, weight=interval.weight / 2)
+    # Widen each child by one slot at region boundaries so the connecting
+    # copies are conservatively covered.
+    for lo, hi in hot_segments:
+        hot_interval.add_segment(max(0, lo - 1), hi + 1)
+    for lo, hi in cold_segments:
+        cold_interval.add_segment(max(0, lo - 1), hi + 1)
+
+    for use in interval.use_slots:
+        (hot_interval if in_loop(use) else cold_interval).use_slots.append(use)
+    for wpoint in interval.def_slots:
+        (hot_interval if in_loop(wpoint) else cold_interval).def_slots.append(wpoint)
+
+    result = SplitResult(children=[hot_interval, cold_interval], copies=[])
+
+    # Rewrite every touching instruction to the child owning its region.
+    for block in function.blocks:
+        block_in_loop = block.label in loop.body
+        child = hot_child if block_in_loop else cold_child
+        for instr in block:
+            if vreg in instr.reg_uses() or vreg in instr.reg_defs():
+                result.rewrites.setdefault(id(instr), {})[vreg] = child
+
+    # Connecting copies: value flows into the loop through each out-of-loop
+    # predecessor of the header (the preheader, where the copy executes once
+    # rather than per iteration) and out of the loop at each exit edge, but
+    # only where the parent is actually live across the boundary.
+    header_start, __ = slots.block_range[loop.header]
+    if interval.covers(header_start):
+        for block in function.blocks:
+            if block.label in loop.body:
+                continue
+            succs = block.successor_labels(function.next_label(block))
+            if loop.header in succs:
+                result.copies.append(CopyAction(block.label, "end", hot_child, cold_child))
+    exit_labels = _loop_exit_labels(function, loop)
+    for label in exit_labels:
+        start, __ = slots.block_range[label]
+        if interval.covers(start):
+            result.copies.append(CopyAction(label, "begin", cold_child, hot_child))
+    return result
+
+
+def _loop_exit_labels(function: Function, loop: Loop) -> list[str]:
+    """Blocks outside *loop* that are successors of loop blocks."""
+    exits = []
+    for label in loop.body:
+        block = function.block(label)
+        for succ in block.successor_labels(function.next_label(block)):
+            if succ not in loop.body and succ not in exits:
+                exits.append(succ)
+    return exits
+
+
+def materialize_copies(
+    function: Function,
+    copies: list[CopyAction],
+    assignment: dict,
+) -> int:
+    """Insert split copies into *function* (physical operands); returns the
+    number of copy instructions added.  Copies whose source and destination
+    landed in the same physical register are elided (coalesced for free).
+    """
+    from ..ir import instruction as ins
+
+    inserted = 0
+    for action in copies:
+        dst = assignment.get(action.dst, action.dst)
+        src = assignment.get(action.src, action.src)
+        if dst == src:
+            continue
+        block = function.block(action.block_label)
+        copy_instr = ins.copy(dst, src, split_copy=True)
+        if action.position == "begin":
+            block.insert(0, copy_instr)
+        else:
+            index = len(block.instructions)
+            if block.terminator is not None:
+                index -= 1
+            block.insert(index, copy_instr)
+        inserted += 1
+    return inserted

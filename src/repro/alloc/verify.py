@@ -1,0 +1,161 @@
+"""Post-allocation structural verification.
+
+The value interpreter (:mod:`repro.sim.exec`) checks allocations
+*semantically*; this module checks them *structurally*, with messages
+that point at the defect instead of just detecting divergence:
+
+* no virtual registers of the allocated class survive;
+* every spill slot is stored before it is reloaded on every path
+  (forward "definitely available" dataflow over slot sets);
+* every physical-register read is reached by a write on every path
+  (same dataflow over register sets);
+* spill instructions carry their bookkeeping attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir.block import BasicBlock
+from ..ir.cfg import CFG
+from ..ir.function import Function
+from ..ir.instruction import OpKind
+from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+
+
+@dataclass
+class AllocationVerificationError(AssertionError):
+    """Raised with a list of findings when verification fails."""
+
+    findings: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return "; ".join(self.findings) or "allocation verification failed"
+
+
+def _available_in(
+    function: Function,
+    cfg: CFG,
+    transfer: Callable[[BasicBlock, set], set],
+) -> dict[str, set]:
+    """Forward 'definitely available' dataflow to a fixed point.
+
+    ``transfer(block, avail_in)`` returns the set available at block end.
+    Returns the converged *entry* availability per block (intersection
+    over predecessors; the function entry starts empty).
+    """
+    labels = [b.label for b in function.blocks if cfg.is_reachable(b.label)]
+    available_out: dict[str, set | None] = {label: None for label in labels}
+
+    def entry_set(label: str) -> set:
+        if label == function.entry.label:
+            return set()
+        pred_outs = [
+            available_out[p]
+            for p in cfg.preds[label]
+            if cfg.is_reachable(p) and available_out[p] is not None
+        ]
+        return set.intersection(*pred_outs) if pred_outs else set()
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            out = transfer(function.block(label), entry_set(label))
+            if available_out[label] is None or out != available_out[label]:
+                available_out[label] = out
+                changed = True
+    return {label: entry_set(label) for label in labels}
+
+
+def verify_allocation(
+    function: Function,
+    regclass: RegClass = FP,
+    *,
+    raise_on_failure: bool = True,
+) -> list[str]:
+    """Verify an allocated *function*; returns the list of findings
+    (empty when clean).  With ``raise_on_failure`` (default) a non-empty
+    list raises :class:`AllocationVerificationError`."""
+    findings: list[str] = []
+    cfg = CFG.build(function)
+
+    # 1. No surviving virtual registers of the allocated class.
+    for block in function.blocks:
+        for instr in block:
+            for reg in instr.regs():
+                if isinstance(reg, VirtualRegister) and reg.regclass == regclass:
+                    findings.append(
+                        f"{block.label}: virtual register {reg!r} survived "
+                        f"allocation in {instr!r}"
+                    )
+
+    # 2. Spill slots: store-before-reload on every path.
+    def slot_transfer(block: BasicBlock, avail: set) -> set:
+        for instr in block:
+            slot = instr.attrs.get("spill_slot")
+            if slot is not None and instr.kind is OpKind.STORE:
+                avail.add(slot)
+        return avail
+
+    slot_in = _available_in(function, cfg, slot_transfer)
+    for block in function.blocks:
+        if block.label not in slot_in:
+            continue
+        avail = set(slot_in[block.label])
+        for instr in block:
+            slot = instr.attrs.get("spill_slot")
+            if slot is None:
+                continue
+            if instr.kind is OpKind.LOAD and slot not in avail:
+                findings.append(
+                    f"{block.label}: reload from slot {slot} not dominated "
+                    f"by a store on some path"
+                )
+            if instr.kind is OpKind.STORE:
+                avail.add(slot)
+
+    # 3. Physical registers: written before read on every path.
+    def reg_transfer(block: BasicBlock, avail: set) -> set:
+        for instr in block:
+            for dst in instr.reg_defs():
+                if isinstance(dst, PhysicalRegister) and dst.regclass == regclass:
+                    avail.add(dst)
+        return avail
+
+    reg_in = _available_in(function, cfg, reg_transfer)
+    for block in function.blocks:
+        if block.label not in reg_in:
+            continue
+        avail = set(reg_in[block.label])
+        for instr in block:
+            for use in instr.reg_uses():
+                if (
+                    isinstance(use, PhysicalRegister)
+                    and use.regclass == regclass
+                    and use not in avail
+                ):
+                    findings.append(
+                        f"{block.label}: read of {use!r} not dominated by a "
+                        f"write on some path ({instr!r})"
+                    )
+            for dst in instr.reg_defs():
+                if isinstance(dst, PhysicalRegister) and dst.regclass == regclass:
+                    avail.add(dst)
+
+    # 4. Spill instructions carry their tags.
+    for block in function.blocks:
+        for instr in block:
+            if instr.attrs.get("spill") and instr.attrs.get("spill_slot") is None:
+                findings.append(
+                    f"{block.label}: spill-tagged {instr!r} without a slot"
+                )
+
+    unique: list[str] = []
+    for finding in findings:
+        if finding not in unique:
+            unique.append(finding)
+    if unique and raise_on_failure:
+        raise AllocationVerificationError(unique)
+    return unique

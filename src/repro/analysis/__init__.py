@@ -1,0 +1,37 @@
+"""Program analyses: slot indexing, liveness, live intervals, interference
+(RIG), conflict graph (RCG), conflict cost estimation (Eq. 1/2), register
+and bank pressure tracking, and the Same Displacement Graph (SDG).
+"""
+
+from .chordal import (
+    chordal_coloring,
+    chromatic_number,
+    is_chordal,
+    maximum_cardinality_search,
+)
+from .conflict_graph import ConflictGraph
+from .cost import ConflictCostModel, block_frequencies
+from .interference import InterferenceGraph
+from .intervals import LiveInterval, LiveIntervals, Segment
+from .liveness import Liveness
+from .pressure import BankPressureTracker
+from .sdg import SameDisplacementGraph
+from .slots import SlotIndexes
+
+__all__ = [
+    "BankPressureTracker",
+    "ConflictCostModel",
+    "ConflictGraph",
+    "InterferenceGraph",
+    "LiveInterval",
+    "LiveIntervals",
+    "Liveness",
+    "SameDisplacementGraph",
+    "Segment",
+    "SlotIndexes",
+    "block_frequencies",
+    "chordal_coloring",
+    "chromatic_number",
+    "is_chordal",
+    "maximum_cardinality_search",
+]

@@ -1,0 +1,174 @@
+"""Register Conflict Graph (RCG) — the structure PresCount colors.
+
+``G_RCG = (V, E)``: vertices are the virtual registers appearing as
+bankable read operands of *conflict-relevant* instructions; an edge joins
+two registers that are read together by at least one instruction (§II-B).
+Assigning banks is coloring this graph with ``num_banks`` colors: a
+monochromatic edge is a static bank conflict.
+
+Edges carry the summed ``Cost_I`` of the instructions that induce them, so
+the residual (uncolorable) conflict cost can be evaluated exactly, and
+nodes carry ``Cost_R`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.types import RegClass, VirtualRegister
+from .cost import ConflictCostModel
+
+
+@dataclass
+class ConflictGraph:
+    """The RCG of one function (virtual registers only).
+
+    Attributes:
+        adjacency: vreg -> set of conflicting vregs.
+        edge_cost: frozenset({a, b}) -> summed Cost_I of the inducing
+            instructions.
+        node_cost: vreg -> Cost_R (Eq. 2).
+        edge_instrs: frozenset({a, b}) -> list of inducing instructions,
+            used by the static statistics pass and by tests.
+    """
+
+    regclass: RegClass | None
+    adjacency: dict[VirtualRegister, set[VirtualRegister]] = field(default_factory=dict)
+    edge_cost: dict[frozenset, float] = field(default_factory=dict)
+    node_cost: dict[VirtualRegister, float] = field(default_factory=dict)
+    edge_instrs: dict[frozenset, list[Instruction]] = field(default_factory=dict)
+    #: *Soft* edges (e.g. VLIW bundle edges): they never constrain the
+    #: color choice, they only bias tie-breaking — a monochromatic soft
+    #: edge costs issue bandwidth, not a register-file stall.
+    soft_adjacency: dict[VirtualRegister, set[VirtualRegister]] = field(default_factory=dict)
+    soft_edge_cost: dict[frozenset, float] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        function: Function,
+        cost_model: ConflictCostModel | None = None,
+        regclass: RegClass | None = None,
+    ) -> "ConflictGraph":
+        if cost_model is None:
+            cost_model = ConflictCostModel.build(function, regclass=regclass)
+        graph = cls(regclass)
+        for _, instr in function.instructions():
+            if not instr.is_conflict_relevant(regclass):
+                continue
+            reads = [
+                r for r in instr.bankable_reads(regclass)
+                if isinstance(r, VirtualRegister)
+            ]
+            if len(reads) < 2:
+                continue
+            cost = cost_model.cost_of_instruction(instr)
+            for reg in reads:
+                graph.adjacency.setdefault(reg, set())
+                graph.node_cost[reg] = cost_model.cost_of_register(reg)
+            for a, b in combinations(reads, 2):
+                key = frozenset((a, b))
+                graph.adjacency[a].add(b)
+                graph.adjacency[b].add(a)
+                graph.edge_cost[key] = graph.edge_cost.get(key, 0.0) + cost
+                graph.edge_instrs.setdefault(key, []).append(instr)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[VirtualRegister]:
+        return list(self.adjacency)
+
+    def neighbors(self, reg: VirtualRegister) -> set[VirtualRegister]:
+        return self.adjacency.get(reg, set())
+
+    def degree(self, reg: VirtualRegister) -> int:
+        return len(self.adjacency.get(reg, ()))
+
+    def cost(self, reg: VirtualRegister) -> float:
+        return self.node_cost.get(reg, 0.0)
+
+    def edge_conflict_cost(self, a: VirtualRegister, b: VirtualRegister) -> float:
+        return self.edge_cost.get(frozenset((a, b)), 0.0)
+
+    def edge_count(self) -> int:
+        return len(self.edge_cost)
+
+    def components(self) -> list[set[VirtualRegister]]:
+        """Connected components (the disjoint sub-graphs Algorithm 1
+        processes in descending max-conflict-cost order)."""
+        seen: set[VirtualRegister] = set()
+        result = []
+        for root in self.adjacency:
+            if root in seen:
+                continue
+            comp = {root}
+            stack = [root]
+            seen.add(root)
+            while stack:
+                node = stack.pop()
+                for nb in self.adjacency[node]:
+                    if nb not in seen:
+                        seen.add(nb)
+                        comp.add(nb)
+                        stack.append(nb)
+            result.append(comp)
+        return result
+
+    def add_soft_edge(self, a: VirtualRegister, b: VirtualRegister, cost: float) -> None:
+        """Record a tie-breaking-only edge (see ``soft_adjacency``)."""
+        if a == b:
+            return
+        self.soft_adjacency.setdefault(a, set()).add(b)
+        self.soft_adjacency.setdefault(b, set()).add(a)
+        key = frozenset((a, b))
+        self.soft_edge_cost[key] = self.soft_edge_cost.get(key, 0.0) + cost
+
+    def soft_penalty(
+        self,
+        node: VirtualRegister,
+        color: int,
+        colors: dict[VirtualRegister, int],
+    ) -> float:
+        """Summed soft-edge cost of giving *node* the same color as its
+        already-colored soft neighbors."""
+        total = 0.0
+        for neighbor in self.soft_adjacency.get(node, ()):
+            if colors.get(neighbor) == color:
+                total += self.soft_edge_cost[frozenset((node, neighbor))]
+        return total
+
+    def coloring_conflict_cost(self, colors: dict[VirtualRegister, int]) -> float:
+        """Total residual cost of monochromatic edges under *colors*.
+
+        Uncolored endpoints (missing from the mapping) are treated as
+        non-conflicting, matching the semantics during incremental
+        coloring.
+        """
+        total = 0.0
+        for key, cost in self.edge_cost.items():
+            a, b = tuple(key)
+            if a in colors and b in colors and colors[a] == colors[b]:
+                total += cost
+        return total
+
+    def is_proper_coloring(self, colors: dict[VirtualRegister, int]) -> bool:
+        """True when every node is colored and no edge is monochromatic."""
+        for node in self.adjacency:
+            if node not in colors:
+                return False
+        for key in self.edge_cost:
+            a, b = tuple(key)
+            if colors[a] == colors[b]:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    def __contains__(self, reg: VirtualRegister) -> bool:
+        return reg in self.adjacency

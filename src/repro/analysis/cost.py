@@ -1,0 +1,99 @@
+"""Bank conflict cost estimation — Equations 1 and 2 of the paper.
+
+``Cost_I`` of an instruction is the product of the trip counts of all its
+enclosing loops (Eq. 1): a conflict in a hot inner loop costs its full
+dynamic repetition, a conflict in straight-line code costs 1.
+
+``Cost_R`` of a register sums ``Cost_I`` over the instructions that access
+it (Eq. 2).  PresCount orders the RCG coloring work list by this value so
+the hottest conflicts are resolved while colors are still plentiful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.loops import LoopInfo
+from ..ir.types import RegClass, Register, VirtualRegister
+
+
+@dataclass
+class ConflictCostModel:
+    """Per-function conflict cost oracle.
+
+    Attributes:
+        function: The costed function.
+        loop_info: Loop forest supplying trip counts.
+        conflict_relevant_only: When True (default, the paper's model),
+            ``Cost_R`` sums only over *conflict-relevant* instructions —
+            the ones that can actually trigger a bank conflict.  When
+            False, every access contributes (useful for the spill-weight
+            reuse of the same machinery).
+    """
+
+    function: Function
+    loop_info: LoopInfo
+    regclass: RegClass | None = None
+    conflict_relevant_only: bool = True
+    _instr_cost: dict[int, float] = field(default_factory=dict)
+    _reg_cost: dict[Register, float] = field(default_factory=dict)
+    _access_cost: dict[Register, float] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        function: Function,
+        loop_info: LoopInfo | None = None,
+        regclass: RegClass | None = None,
+        conflict_relevant_only: bool = True,
+    ) -> "ConflictCostModel":
+        if loop_info is None:
+            loop_info = LoopInfo.build(function)
+        model = cls(function, loop_info, regclass, conflict_relevant_only)
+        model._compute()
+        return model
+
+    def _compute(self) -> None:
+        for block in self.function.blocks:
+            freq = self.loop_info.block_frequency(block.label)
+            for instr in block:
+                self._instr_cost[id(instr)] = freq
+                for reg in instr.regs():
+                    self._access_cost[reg] = self._access_cost.get(reg, 0.0) + freq
+                relevant = instr.is_conflict_relevant(self.regclass)
+                if self.conflict_relevant_only and not relevant:
+                    continue
+                regs = (
+                    instr.bankable_reads(self.regclass)
+                    if self.conflict_relevant_only
+                    else tuple(instr.regs())
+                )
+                for reg in regs:
+                    self._reg_cost[reg] = self._reg_cost.get(reg, 0.0) + freq
+
+    # ------------------------------------------------------------------
+    def cost_of_instruction(self, instr: Instruction) -> float:
+        """Eq. 1: the trip-count product of the instruction's loop nest."""
+        return self._instr_cost[id(instr)]
+
+    def cost_of_register(self, reg: Register) -> float:
+        """Eq. 2: summed instruction costs over accesses of *reg*."""
+        return self._reg_cost.get(reg, 0.0)
+
+    def access_cost(self, reg: Register) -> float:
+        """Frequency-weighted count of *all* accesses (uses and defs)."""
+        return self._access_cost.get(reg, 0.0)
+
+    def spill_weight(self, reg: VirtualRegister, interval_size: int) -> float:
+        """LLVM-style spill weight: frequency-weighted access count divided
+        by interval size, so long cold intervals spill first."""
+        return self._access_cost.get(reg, 0.0) / max(1, interval_size)
+
+
+def block_frequencies(function: Function, cfg: CFG | None = None) -> dict[str, float]:
+    """Convenience map: block label -> static execution frequency."""
+    loop_info = LoopInfo.build(function, cfg)
+    return {b.label: loop_info.block_frequency(b.label) for b in function.blocks}

@@ -1,0 +1,254 @@
+"""Live intervals: per-register unions of half-open slot segments.
+
+Built from block liveness the same way LLVM's LiveIntervals pass does:
+walk each block backwards seeded with its live-out set, ending segments at
+write points and beginning them at read points (see
+:mod:`repro.analysis.slots` for the read/write point convention).
+
+The interval objects are the currency of the whole allocator stack: the
+RIG, the bank pressure counter, the greedy allocator's queues, and the
+spiller all operate on :class:`LiveInterval`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG
+from ..ir.function import Function
+from ..ir.types import Register, RegClass, VirtualRegister
+from .liveness import Liveness
+from .slots import SlotIndexes
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One half-open live segment [start, end) in slot coordinates."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start >= self.end:
+            raise ValueError(f"empty segment [{self.start}, {self.end})")
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, slot: int) -> bool:
+        return self.start <= slot < self.end
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.end})"
+
+
+@dataclass
+class LiveInterval:
+    """The live interval of one register: sorted, disjoint segments.
+
+    Attributes:
+        reg: The register this interval describes.
+        segments: Sorted by start, pairwise disjoint, adjacent segments
+            merged.
+        use_slots: Read points of all uses (sorted, may repeat per instr).
+        def_slots: Write points of all defs (sorted).
+        weight: Spill weight; filled in by the cost model / allocator.
+    """
+
+    reg: Register
+    segments: list[Segment] = field(default_factory=list)
+    use_slots: list[int] = field(default_factory=list)
+    def_slots: list[int] = field(default_factory=list)
+    weight: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_segment(self, start: int, end: int) -> None:
+        """Insert [start, end), merging with overlapping/adjacent segments."""
+        if start >= end:
+            raise ValueError(f"empty segment [{start}, {end})")
+        starts = [s.start for s in self.segments]
+        idx = bisect.bisect_left(starts, start)
+        # Absorb any segment that overlaps or touches the new one.
+        lo = idx
+        while lo > 0 and self.segments[lo - 1].end >= start:
+            lo -= 1
+        hi = idx
+        while hi < len(self.segments) and self.segments[hi].start <= end:
+            hi += 1
+        if lo < hi:
+            start = min(start, self.segments[lo].start)
+            end = max(end, self.segments[hi - 1].end)
+        self.segments[lo:hi] = [Segment(start, end)]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> int:
+        return self.segments[0].start
+
+    @property
+    def end(self) -> int:
+        return self.segments[-1].end
+
+    @property
+    def size(self) -> int:
+        """Total number of covered slots (not the span)."""
+        return sum(s.end - s.start for s in self.segments)
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+    def covers(self, slot: int) -> bool:
+        idx = bisect.bisect_right([s.start for s in self.segments], slot) - 1
+        return idx >= 0 and self.segments[idx].contains(slot)
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        """True when any segments of self and other intersect."""
+        i = j = 0
+        mine, theirs = self.segments, other.segments
+        while i < len(mine) and j < len(theirs):
+            a, b = mine[i], theirs[j]
+            if a.overlaps(b):
+                return True
+            if a.end <= b.start:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def overlap_amount(self, other: "LiveInterval") -> int:
+        """Number of slots covered by both intervals."""
+        total = 0
+        i = j = 0
+        mine, theirs = self.segments, other.segments
+        while i < len(mine) and j < len(theirs):
+            a, b = mine[i], theirs[j]
+            lo, hi = max(a.start, b.start), min(a.end, b.end)
+            if lo < hi:
+                total += hi - lo
+            if a.end <= b.end:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def is_empty(self) -> bool:
+        return not self.segments
+
+    def __repr__(self) -> str:
+        segs = "".join(repr(s) for s in self.segments[:4])
+        more = "..." if len(self.segments) > 4 else ""
+        return f"LiveInterval({self.reg!r} {segs}{more} w={self.weight:.1f})"
+
+
+@dataclass
+class LiveIntervals:
+    """All live intervals of one function, keyed by register."""
+
+    function: Function
+    slots: SlotIndexes
+    liveness: Liveness
+    intervals: dict[Register, LiveInterval] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        function: Function,
+        cfg: CFG | None = None,
+        slots: SlotIndexes | None = None,
+        liveness: Liveness | None = None,
+    ) -> "LiveIntervals":
+        if cfg is None:
+            cfg = CFG.build(function)
+        if slots is None:
+            slots = SlotIndexes.build(function)
+        if liveness is None:
+            liveness = Liveness.build(function, cfg)
+        analysis = cls(function, slots, liveness)
+        analysis._compute()
+        return analysis
+
+    def _interval(self, reg: Register) -> LiveInterval:
+        if reg not in self.intervals:
+            self.intervals[reg] = LiveInterval(reg)
+        return self.intervals[reg]
+
+    def _compute(self) -> None:
+        for block in self.function.blocks:
+            block_start, block_end = self.slots.block_range[block.label]
+            if block_start == block_end:
+                continue  # empty block
+            # `live_end[r]`: the slot up to which r must stay live, walking
+            # backwards.  Seed with live-out registers extending to the
+            # block end boundary.
+            live_end: dict[Register, int] = {
+                reg: block_end for reg in self.liveness.live_out[block.label]
+            }
+            for instr in reversed(block.instructions):
+                read = self.slots.read_point(instr)
+                write = self.slots.write_point(instr)
+                for reg in instr.reg_defs():
+                    interval = self._interval(reg)
+                    interval.def_slots.append(write)
+                    end = live_end.pop(reg, None)
+                    if end is None:
+                        # Dead def: live for just the write point.
+                        interval.add_segment(write, write + 1)
+                    else:
+                        interval.add_segment(write, end)
+                for reg in instr.reg_uses():
+                    self._interval(reg).use_slots.append(read)
+                    # The value must cover its read point; liveness extends
+                    # backwards from here (end = read + 1 covers slot `read`).
+                    live_end.setdefault(reg, read + 1)
+            # Whatever is still pending is live-in: extend to block start.
+            for reg, end in live_end.items():
+                self._interval(reg).add_segment(block_start, end)
+        for interval in self.intervals.values():
+            interval.use_slots.sort()
+            interval.def_slots.sort()
+
+    # ------------------------------------------------------------------
+    def of(self, reg: Register) -> LiveInterval:
+        return self.intervals[reg]
+
+    def vreg_intervals(self, regclass: RegClass | None = None) -> list[LiveInterval]:
+        """Intervals of virtual registers, optionally filtered by class."""
+        result = []
+        for reg, interval in self.intervals.items():
+            if not isinstance(reg, VirtualRegister):
+                continue
+            if regclass is not None and reg.regclass != regclass:
+                continue
+            result.append(interval)
+        return result
+
+    def max_pressure(self, regclass: RegClass | None = None) -> int:
+        """Maximum number of simultaneously live vregs (register pressure).
+
+        This is the quantity Algorithm 1 compares against THRES
+        (``OverallRegPressure``).  Computed with an endpoint sweep over all
+        segments.
+        """
+        events: list[tuple[int, int]] = []
+        for interval in self.vreg_intervals(regclass):
+            for seg in interval.segments:
+                events.append((seg.start, 1))
+                events.append((seg.end, -1))
+        events.sort()
+        pressure = peak = 0
+        for _, delta in events:
+            pressure += delta
+            peak = max(peak, pressure)
+        return peak
+
+    def __contains__(self, reg: Register) -> bool:
+        return reg in self.intervals
+
+    def __len__(self) -> int:
+        return len(self.intervals)

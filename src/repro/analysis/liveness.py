@@ -1,0 +1,81 @@
+"""Block-level liveness: live-in / live-out sets via backward dataflow.
+
+Standard iterative analysis over the CFG:
+
+    live_out(B) = union of live_in(S) for S in succ(B)
+    live_in(B)  = gen(B) | (live_out(B) - kill(B))
+
+where gen(B) is the set of registers with an upward-exposed use in B and
+kill(B) the set of registers defined in B before any use.  Virtual and
+physical registers are both tracked (pre-allocation IR normally contains
+only vregs; post-allocation verification reuses the same analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG
+from ..ir.function import Function
+from ..ir.types import Register
+
+
+@dataclass
+class Liveness:
+    """Live-in/out sets for every block of one function."""
+
+    function: Function
+    cfg: CFG
+    live_in: dict[str, frozenset[Register]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[Register]] = field(default_factory=dict)
+    gen: dict[str, frozenset[Register]] = field(default_factory=dict)
+    kill: dict[str, frozenset[Register]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, function: Function, cfg: CFG | None = None) -> "Liveness":
+        if cfg is None:
+            cfg = CFG.build(function)
+        analysis = cls(function, cfg)
+        analysis._compute_gen_kill()
+        analysis._solve()
+        return analysis
+
+    def _compute_gen_kill(self) -> None:
+        for block in self.function.blocks:
+            gen: set[Register] = set()
+            kill: set[Register] = set()
+            for instr in block:
+                for use in instr.reg_uses():
+                    if use not in kill:
+                        gen.add(use)
+                for defreg in instr.reg_defs():
+                    kill.add(defreg)
+            self.gen[block.label] = frozenset(gen)
+            self.kill[block.label] = frozenset(kill)
+
+    def _solve(self) -> None:
+        labels = [b.label for b in self.function.blocks]
+        live_in = {label: frozenset() for label in labels}
+        live_out = {label: frozenset() for label in labels}
+        # Iterate in reverse layout order (a good approximation of reverse
+        # dataflow order for our structured CFGs) until a fixed point.
+        changed = True
+        while changed:
+            changed = False
+            for label in reversed(labels):
+                out: set[Register] = set()
+                for succ in self.cfg.succs[label]:
+                    out |= live_in[succ]
+                new_out = frozenset(out)
+                new_in = frozenset(self.gen[label] | (new_out - self.kill[label]))
+                if new_out != live_out[label] or new_in != live_in[label]:
+                    live_out[label] = new_out
+                    live_in[label] = new_in
+                    changed = True
+        self.live_in = live_in
+        self.live_out = live_out
+
+    # ------------------------------------------------------------------
+    def live_across(self, register: Register) -> list[str]:
+        """Labels of blocks where *register* is live on entry."""
+        return [label for label, regs in self.live_in.items() if register in regs]

@@ -1,0 +1,82 @@
+"""Slot indexing: a linear numbering of instructions for live intervals.
+
+Each instruction gets an even *slot* ``2 * position`` in layout order.
+Within one instruction, register **reads happen at the slot** and register
+**writes happen at slot + 1**.  With half-open interval segments this gives
+the classic allocator semantics: a source that dies at an instruction does
+not interfere with that instruction's destination (they may share a
+register), while two sources read by the same instruction do overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+
+
+@dataclass
+class SlotIndexes:
+    """Bidirectional mapping instruction <-> slot for one function.
+
+    Attributes:
+        function: The indexed function.
+        slot_of: id(instruction) -> slot (instructions are not hashable by
+            value; identity is the right key since the IR is a mutable
+            object graph).
+        instr_at: slot -> instruction.
+        block_range: block label -> (start_slot, end_slot) where the block
+            occupies the half-open slot range [start, end).
+    """
+
+    function: Function
+    slot_of: dict[int, int] = field(default_factory=dict)
+    instr_at: dict[int, Instruction] = field(default_factory=dict)
+    block_range: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, function: Function) -> "SlotIndexes":
+        indexes = cls(function)
+        position = 0
+        for block in function.blocks:
+            start = 2 * position
+            for instr in block:
+                slot = 2 * position
+                indexes.slot_of[id(instr)] = slot
+                indexes.instr_at[slot] = instr
+                position += 1
+            end = 2 * position
+            indexes.block_range[block.label] = (start, end)
+        return indexes
+
+    # ------------------------------------------------------------------
+    def slot(self, instr: Instruction) -> int:
+        """The slot of *instr* (reads at this value, writes at +1)."""
+        return self.slot_of[id(instr)]
+
+    def read_point(self, instr: Instruction) -> int:
+        return self.slot(instr)
+
+    def write_point(self, instr: Instruction) -> int:
+        return self.slot(instr) + 1
+
+    def instruction(self, slot: int) -> Instruction:
+        """The instruction whose slot is *slot* (must be even)."""
+        return self.instr_at[slot]
+
+    def block_of_slot(self, slot: int) -> BasicBlock:
+        """The block containing *slot*."""
+        for label, (start, end) in self.block_range.items():
+            if start <= slot < end:
+                return self.function.block(label)
+        raise KeyError(f"slot {slot} out of range")
+
+    @property
+    def last_slot(self) -> int:
+        """One past the final write point of the function."""
+        return 2 * len(self.instr_at)
+
+    def __len__(self) -> int:
+        return len(self.instr_at)

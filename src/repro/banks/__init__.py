@@ -1,0 +1,16 @@
+"""Register file bank models and bank/subgroup assignment result types."""
+
+from .assignment import BankAssignment, SubgroupAssignment
+from .register_file import (
+    BankedRegisterFile,
+    BankSubgroupRegisterFile,
+    RegisterFile,
+)
+
+__all__ = [
+    "BankAssignment",
+    "BankSubgroupRegisterFile",
+    "BankedRegisterFile",
+    "RegisterFile",
+    "SubgroupAssignment",
+]

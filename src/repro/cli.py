@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Usage::
+
+    python -m repro table II                # one table (I..VII)
+    python -m repro figure 10               # one figure (1, 10, 11)
+    python -m repro all                     # everything
+    python -m repro compare                 # paper-vs-measured shapes
+    python -m repro suite SPECfp --scale 0.02   # inspect a suite
+    python -m repro allocate --method bpc --banks 2 --registers 32  # demo
+
+Scale options apply to every subcommand touching suites; defaults are the
+test-sized scales (fast).  The benches under ``benchmarks/`` use larger
+calibrated defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_FIGURES, ALL_TABLES, ExperimentContext
+from .sim import count_conflict_relevant
+
+
+def _build_context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        spec_scale=args.spec_scale,
+        cnn_scale=args.cnn_scale,
+        idft_points=args.idft_points,
+        seed=args.seed,
+    )
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    name = args.name.upper()
+    if name not in ALL_TABLES:
+        print(f"unknown table {args.name!r}; available: {', '.join(ALL_TABLES)}")
+        return 2
+    ctx = _build_context(args)
+    print(ALL_TABLES[name](ctx).render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in ALL_FIGURES:
+        print(f"unknown figure {args.name!r}; available: {', '.join(ALL_FIGURES)}")
+        return 2
+    ctx = _build_context(args)
+    print(ALL_FIGURES[args.name](ctx).render())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    ctx = _build_context(args)
+    for name, builder in ALL_TABLES.items():
+        print(builder(ctx).render())
+        print()
+    for name, builder in ALL_FIGURES.items():
+        print(builder(ctx).render())
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .experiments import compare
+
+    ctx = _build_context(args)
+    report = compare(ctx)
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    ctx = _build_context(args)
+    suite = ctx.suite(args.name)
+    print(f"suite {suite.name}: {len(suite)} programs")
+    for program in suite.programs:
+        functions = program.functions()
+        reles = sum(count_conflict_relevant(f) for f in functions)
+        instrs = sum(f.instruction_count() for f in functions)
+        print(
+            f"  {program.name:<24} category={program.category:<14} "
+            f"fns={len(functions):<5} instrs={instrs:<7} reles={reles}"
+        )
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    """Allocate a demo kernel and print before/after plus statistics."""
+    from .banks import BankedRegisterFile
+    from .ir import IRBuilder, print_function
+    from .prescount import PipelineConfig, run_pipeline
+    from .sim import analyze_static
+
+    b = IRBuilder("demo")
+    xs = [b.const(float(i + 1)) for i in range(4)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=args.trip_count):
+        for i in range(len(xs) - 1):
+            product = b.arith("fmul", xs[i], xs[i + 1])
+            b.arith_into(acc, "fadd", acc, product)
+    b.ret(acc)
+    fn = b.finish()
+
+    register_file = BankedRegisterFile(args.registers, args.banks)
+    result = run_pipeline(fn, PipelineConfig(register_file, args.method))
+    stats = analyze_static(result.function, register_file)
+    print(f"; method={args.method} file={register_file.describe()}")
+    print(print_function(result.function))
+    print(
+        f"; static bank conflicts: {stats.bank_conflicts}   "
+        f"spills: {result.spill_count}   copies: {result.copies_inserted}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PresCount (CGO 2024) reproduction: regenerate tables, "
+        "figures, and suites.",
+    )
+    parser.add_argument("--spec-scale", type=float, default=0.02,
+                        help="SPECfp suite scale (default 0.02)")
+    parser.add_argument("--cnn-scale", type=float, default=0.2,
+                        help="CNN-KERNEL suite scale (default 0.2)")
+    parser.add_argument("--idft-points", type=int, default=8,
+                        help="IDFT size for the DSA suite (default 8)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate one table (I..VII)")
+    p_table.add_argument("name")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate one figure (1/10/11)")
+    p_figure.add_argument("name")
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_all = sub.add_parser("all", help="regenerate every table and figure")
+    p_all.set_defaults(func=_cmd_all)
+
+    p_compare = sub.add_parser(
+        "compare", help="paper-vs-measured shape comparison"
+    )
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_suite = sub.add_parser("suite", help="describe a generated suite")
+    p_suite.add_argument("name", choices=["SPECfp", "CNN-KERNEL", "DSA-OP"])
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_alloc = sub.add_parser("allocate", help="allocate a demo kernel")
+    p_alloc.add_argument("--method", choices=["non", "bcr", "bpc"], default="bpc")
+    p_alloc.add_argument("--banks", type=int, default=2)
+    p_alloc.add_argument("--registers", type=int, default=32)
+    p_alloc.add_argument("--trip-count", type=int, default=16)
+    p_alloc.set_defaults(func=_cmd_allocate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Experiment regeneration: the harness plus one function per paper table
+(I-VII) and figure (1, 10, 11)."""
+
+from .export import (
+    figure_to_json,
+    results_to_csv,
+    results_to_json,
+    table_to_csv,
+    table_to_json,
+    write_all,
+)
+from .figures import ALL_FIGURES, FigureResult, figure1, figure10, figure11
+from .harness import ExperimentContext, ProgramResult, run_program, run_suite
+from .paper import PAPER, ComparisonReport, ShapeCheck, compare
+from .report import geomean, percent, render_table
+from .tables import (
+    ALL_TABLES,
+    TableResult,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ALL_TABLES",
+    "ExperimentContext",
+    "FigureResult",
+    "ProgramResult",
+    "PAPER",
+    "ComparisonReport",
+    "ShapeCheck",
+    "compare",
+    "TableResult",
+    "figure1",
+    "figure_to_json",
+    "results_to_csv",
+    "results_to_json",
+    "table_to_csv",
+    "table_to_json",
+    "write_all",
+    "figure10",
+    "figure11",
+    "geomean",
+    "percent",
+    "render_table",
+    "run_program",
+    "run_suite",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

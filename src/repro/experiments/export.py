@@ -1,0 +1,93 @@
+"""Export experiment results as CSV / JSON for downstream analysis.
+
+Tables and figures render to monospace text for the terminal; plotting
+or spreadsheet pipelines want machine-readable data.  This module
+flattens :class:`~repro.experiments.tables.TableResult`,
+:class:`~repro.experiments.figures.FigureResult`, and raw
+:class:`~repro.experiments.harness.ProgramResult` lists into CSV rows or
+JSON documents.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Iterable
+
+from .figures import FigureResult
+from .harness import ProgramResult
+from .tables import TableResult
+
+
+def table_to_csv(table: TableResult) -> str:
+    """One CSV document: header row + data rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def table_to_json(table: TableResult) -> str:
+    """JSON document: {name, headers, rows (as header-keyed objects)}."""
+    records = [dict(zip(table.headers, row)) for row in table.rows]
+    return json.dumps(
+        {"name": table.name, "headers": table.headers, "rows": records},
+        indent=2,
+        default=str,
+    )
+
+
+def figure_to_json(figure: FigureResult) -> str:
+    """JSON document: {name, series} with nested dicts preserved."""
+    return json.dumps(
+        {"name": figure.name, "series": figure.series}, indent=2, default=str
+    )
+
+
+def results_to_csv(results: Iterable[ProgramResult]) -> str:
+    """Flatten program results (one row per program) to CSV."""
+    results = list(results)
+    buffer = io.StringIO()
+    if not results:
+        return ""
+    field_names = [f.name for f in dataclasses.fields(ProgramResult)]
+    writer = csv.DictWriter(buffer, fieldnames=field_names)
+    writer.writeheader()
+    for result in results:
+        writer.writerow(dataclasses.asdict(result))
+    return buffer.getvalue()
+
+
+def results_to_json(results: Iterable[ProgramResult]) -> str:
+    """Program results as a JSON array of objects."""
+    return json.dumps(
+        [dataclasses.asdict(r) for r in results], indent=2, default=str
+    )
+
+
+def write_all(ctx, directory, *, tables=None, figures=None) -> list[str]:
+    """Regenerate the requested tables/figures and write CSV+JSON files
+    into *directory*.  Returns the written file names."""
+    import pathlib
+
+    from .figures import ALL_FIGURES
+    from .tables import ALL_TABLES
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    for name in tables if tables is not None else ALL_TABLES:
+        table = ALL_TABLES[name](ctx)
+        stem = f"table_{name}"
+        (directory / f"{stem}.csv").write_text(table_to_csv(table))
+        (directory / f"{stem}.json").write_text(table_to_json(table))
+        written += [f"{stem}.csv", f"{stem}.json"]
+    for name in figures if figures is not None else ALL_FIGURES:
+        figure = ALL_FIGURES[name](ctx)
+        stem = f"figure_{name}"
+        (directory / f"{stem}.json").write_text(figure_to_json(figure))
+        written.append(f"{stem}.json")
+    return written

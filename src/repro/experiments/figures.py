@@ -1,0 +1,182 @@
+"""Regeneration of the paper's Figures 1, 10, and 11 (data series).
+
+No plotting libraries are assumed offline; each figure function returns
+the numeric series the paper plots, plus a text rendering.  The series
+structure mirrors the figures:
+
+* Fig. 1 — prevalence: share of conflict-relevant tests per suite, and
+  the conflict vs conflict-free split under 2/4/8/16-way interleaving;
+* Fig. 10 — Platform-RV#1 static conflicts, normalized to non, per
+  benchmark and bank count, for bcr and bpc; plus per-benchmark maxima;
+* Fig. 11 — the same on Platform-RV#2 with *dynamic* conflict instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import ExperimentContext, ProgramResult
+from .report import percent, render_table
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one regenerated figure."""
+
+    name: str
+    series: dict = field(default_factory=dict)
+    text: str = ""
+
+    def render(self) -> str:
+        return self.text
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — prevalence of bank conflicts
+# ----------------------------------------------------------------------
+def figure1(ctx: ExperimentContext, bank_settings: tuple[int, ...] = (2, 4, 8, 16)) -> FigureResult:
+    """Conflict-relevant share per suite, and the conflict / conflict-free
+    split among relevant tests under N-way interleaved register files
+    (default allocation).  Tests are individual functions, like the
+    paper's 314 SPECfp / 64 CNN test granularity."""
+    figure = FigureResult("Figure 1: prevalence of bank conflicts")
+    lines = []
+    for suite_name in ("SPECfp", "CNN-KERNEL"):
+        base = ctx.function_static(suite_name, "dsa", bank_settings[0])
+        total = len(base)
+        relevant = sum(1 for __, reles, __ in base if reles > 0)
+        figure.series[f"{suite_name}/relevant_share"] = percent(relevant, total)
+        lines.append(
+            f"{suite_name}: {relevant}/{total} tests conflict-relevant "
+            f"({percent(relevant, total):.2f}%)"
+        )
+        rows = []
+        for banks in bank_settings:
+            triples = ctx.function_static(suite_name, "dsa", banks)
+            relevant_triples = [t for t in triples if t[1] > 0]
+            conflicting = sum(1 for __, __, conflicts in relevant_triples if conflicts > 0)
+            share = percent(conflicting, len(relevant_triples))
+            figure.series[f"{suite_name}/{banks}-way/conflict_share"] = share
+            rows.append([f"{banks}-way", len(relevant_triples), conflicting, round(share, 2)])
+        lines.append(
+            render_table(
+                f"  {suite_name}: conflicting share among conflict-relevant tests",
+                ["interleave", "relevant", "conflicting", "% conflicting"],
+                rows,
+            )
+        )
+    figure.text = "\n".join(lines)
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figures 10 / 11 — per-benchmark conflicts under the three methods
+# ----------------------------------------------------------------------
+def _per_benchmark(
+    results: list[ProgramResult], *, dynamic: bool
+) -> dict[str, float]:
+    attribute = "dynamic_conflicts" if dynamic else "static_conflicts"
+    by_name: dict[str, float] = {}
+    for result in results:
+        value = getattr(result, attribute)
+        by_name[result.program] = float(value if value is not None else 0)
+    return by_name
+
+
+def _conflict_figure(
+    ctx: ExperimentContext,
+    name: str,
+    platform: str,
+    bank_settings: tuple[int, ...],
+    *,
+    dynamic: bool,
+) -> FigureResult:
+    figure = FigureResult(name)
+    spec_programs = [p.name for p in ctx.suite("SPECfp").programs]
+    cnn_categories = sorted(
+        {
+            p.category
+            for p in ctx.suite("CNN-KERNEL").programs
+            if p.category != "irrelevant"
+        }
+    )
+    rows = []
+    for banks in bank_settings:
+        per_method: dict[str, dict[str, float]] = {}
+        cnn_by_cat: dict[str, dict[str, float]] = {}
+        for method in ("non", "bcr", "bpc"):
+            results = ctx.results("SPECfp", platform, banks, method)
+            per_method[method] = _per_benchmark(results, dynamic=dynamic)
+            cnn_results = ctx.results("CNN-KERNEL", platform, banks, method)
+            totals: dict[str, float] = {}
+            for result in cnn_results:
+                if result.category == "irrelevant":
+                    continue
+                value = getattr(
+                    result, "dynamic_conflicts" if dynamic else "static_conflicts"
+                )
+                totals[result.category] = totals.get(result.category, 0.0) + float(
+                    value if value is not None else 0
+                )
+            cnn_by_cat[method] = totals
+        for bench in spec_programs + cnn_categories:
+            group = per_method if bench in per_method["non"] else cnn_by_cat
+            base = group["non"].get(bench, 0.0)
+            norm_bcr = group["bcr"].get(bench, 0.0) / base if base else 0.0
+            norm_bpc = group["bpc"].get(bench, 0.0) / base if base else 0.0
+            figure.series[f"{bench}/{banks}/non"] = base
+            figure.series[f"{bench}/{banks}/bcr"] = norm_bcr
+            figure.series[f"{bench}/{banks}/bpc"] = norm_bpc
+            rows.append(
+                [
+                    bench,
+                    banks,
+                    round(base),
+                    round(norm_bcr, 3),
+                    round(norm_bpc, 3),
+                ]
+            )
+    kind = "dynamic" if dynamic else "static"
+    figure.text = render_table(
+        f"{name} ({kind} conflicts; bcr/bpc normalized to non)",
+        ["benchmark", "banks", "non", "bcr/non", "bpc/non"],
+        rows,
+    )
+    # Panel (b): maximum conflict count per benchmark (non).
+    maxima = {}
+    for bench in spec_programs:
+        maxima[bench] = max(
+            figure.series[f"{bench}/{banks}/non"] for banks in bank_settings
+        )
+    figure.series["maxima"] = maxima
+    return figure
+
+
+def figure10(ctx: ExperimentContext) -> FigureResult:
+    """RV#1 static conflicts: non / bcr / bpc across 2/4/8 banks."""
+    return _conflict_figure(
+        ctx,
+        "Figure 10: Platform-RV#1 bank conflicts",
+        "rv1",
+        (2, 4, 8),
+        dynamic=False,
+    )
+
+
+def figure11(ctx: ExperimentContext) -> FigureResult:
+    """RV#2 dynamic conflicts: non / bcr / bpc across 2/4 banks."""
+    return _conflict_figure(
+        ctx,
+        "Figure 11: Platform-RV#2 bank conflicts",
+        "rv2",
+        (2, 4),
+        dynamic=True,
+    )
+
+
+#: All regenerable figures, keyed by their paper number.
+ALL_FIGURES = {
+    "1": figure1,
+    "10": figure10,
+    "11": figure11,
+}

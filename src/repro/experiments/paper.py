@@ -1,0 +1,174 @@
+"""The paper's published numbers, and programmatic shape comparison.
+
+`PAPER` records the evaluation-section values verbatim (Tables I–VII,
+Figures 1/10/11 headline quantities).  :func:`compare` regenerates each
+experiment from an :class:`~repro.experiments.harness.ExperimentContext`
+and checks the *shape* relations the reproduction targets (orderings,
+signs, crossovers) — the same relations EXPERIMENTS.md narrates and the
+benches assert.  ``python -m repro compare`` prints the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .figures import figure1
+from .harness import ExperimentContext
+from .report import render_table
+from .tables import table2, table4, table6, table7
+
+#: Published values (paper's Tables/Figures, §IV).
+PAPER = {
+    "fig1.specfp_relevant_share": 56.37,
+    "fig1.cnn_relevant_share": 85.48,
+    "table2.confs": {2: 33374, 4: 10023, 8: 4815},
+    "table2.redu_bcr": {2: 27777, 4: 6616, 8: 3684},
+    "table2.redu_bpc": {2: 30663, 4: 8426, 8: 4084},
+    "table2.impv": {2: 2886, 4: 1810, 8: 400},
+    "table4.static_confs": {2: 32432, 4: 9472},
+    "table4.dynamic_confs": {2: 21457, 4: 3461},
+    "table4.impv_static": {2: 3211, 4: 178},
+    "table4.impv_dynamic": {2: 1697, 4: 521},
+    "table6.avg_ratio_bpc": 0.07,
+    "table6.avg_ratio_non": {2: 100.0, 4: 59.22, 8: 38.2, 16: 28.72},
+    "table6.tr18987_bpc": 0.57,
+    "table7.reduce_cycles": {"bpc": 89, "2-non": 93, "4-non": 91},
+    "table7.idft_copies_bpc": 2936,
+    "headline.dsa_reduction_pct": 99.85,
+    "headline.spec_cnn_reduction_pct": {"specfp_cnn_2bank": 43.28},
+}
+
+
+@dataclass
+class ShapeCheck:
+    """One shape relation: the quantity, paper value, measured value, and
+    whether the relation the reproduction targets holds."""
+
+    experiment: str
+    quantity: str
+    paper: object
+    measured: object
+    holds: bool
+    relation: str
+
+
+@dataclass
+class ComparisonReport:
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    def add(self, experiment, quantity, paper, measured, holds, relation):
+        self.checks.append(
+            ShapeCheck(experiment, quantity, paper, measured, bool(holds), relation)
+        )
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self) -> str:
+        rows = [
+            [c.experiment, c.quantity, c.paper, c.measured,
+             "ok" if c.holds else "DIVERGES", c.relation]
+            for c in self.checks
+        ]
+        status = "all shape relations hold" if self.all_hold else "DIVERGENCES present"
+        return render_table(
+            f"Paper vs measured — shape comparison ({status})",
+            ["experiment", "quantity", "paper", "measured", "shape", "relation"],
+            rows,
+        )
+
+
+def compare(ctx: ExperimentContext) -> ComparisonReport:
+    """Regenerate the key experiments and check the paper's shapes."""
+    report = ComparisonReport()
+
+    # Figure 1: prevalence ordering (CNN > SPECfp, both substantial).
+    fig = figure1(ctx, bank_settings=(2, 16))
+    spec_share = fig.series["SPECfp/relevant_share"]
+    cnn_share = fig.series["CNN-KERNEL/relevant_share"]
+    report.add(
+        "Fig.1", "relevant share SPECfp (%)",
+        PAPER["fig1.specfp_relevant_share"], round(spec_share, 2),
+        30 < spec_share < 85, "substantial (30-85%)",
+    )
+    report.add(
+        "Fig.1", "relevant share CNN (%)",
+        PAPER["fig1.cnn_relevant_share"], round(cnn_share, 2),
+        cnn_share > spec_share, "CNN > SPECfp",
+    )
+
+    # Table II: conflicts fall with banks; bpc reduction >= bcr at 2 banks.
+    t2 = {row[0]: row for row in table2(ctx).rows}
+    confs = [t2[b][1] for b in (2, 4, 8)]
+    report.add(
+        "Table II", "CONFS by bank (2/4/8)",
+        list(PAPER["table2.confs"].values()), confs,
+        confs[0] > confs[1] > confs[2], "monotone decreasing",
+    )
+    report.add(
+        "Table II", "IMPV (bpc over bcr) at 2 banks",
+        PAPER["table2.impv"][2], t2[2][4],
+        t2[2][4] >= 0, "IMPV >= 0",
+    )
+
+    # Table IV: dynamic < static; reductions erode at 4 banks.
+    t4 = {row[0]: row for row in table4(ctx).rows}
+    report.add(
+        "Table IV", "dynamic vs static CONFS at 2 banks",
+        (PAPER["table4.static_confs"][2], PAPER["table4.dynamic_confs"][2]),
+        (t4["2-STATIC"][1], t4["2-DYNAMIC"][1]),
+        t4["2-DYNAMIC"][1] < t4["2-STATIC"][1], "dynamic < static",
+    )
+    report.add(
+        "Table IV", "bpc edge over bcr (IMPV), 2 vs 4 banks",
+        (PAPER["table4.impv_static"][2], PAPER["table4.impv_static"][4]),
+        (t4["2-STATIC"][4], t4["4-STATIC"][4]),
+        t4["4-STATIC"][4] <= max(t4["2-STATIC"][4], 10),
+        "shrinks with banks",
+    )
+
+    # Table VI: the headline.
+    t6 = table6(ctx).row_map()
+    average = t6["average"]
+    report.add(
+        "Table VI", "average bpc conflict ratio (%)",
+        PAPER["table6.avg_ratio_bpc"], average[2],
+        average[2] < 5.0, "~0 (99.85% reduction)",
+    )
+    report.add(
+        "Table VI", "non ratio trend by banks (2/4/8/16)",
+        list(PAPER["table6.avg_ratio_non"].values()),
+        [average[3], average[4], average[5], average[6]],
+        average[3] > average[4] > average[5] > average[6] > average[2],
+        "monotone, floor above bpc",
+    )
+    report.add(
+        "Table VI", "only nonzero bpc kernel",
+        f"tr18987 ({PAPER['table6.tr18987_bpc']}%)",
+        f"tr18987 ({t6['tr18987'][2]}%)" if t6["tr18987"][2] > 0 else "none",
+        all(
+            t6[name][2] == 0.0
+            for name in ("reduce", "red-ur", "shruse", "sr-ur", "dw-conv2d",
+                         "tr15651", "idft")
+        ),
+        "everything else at 0",
+    )
+
+    # Table VII: reductions gain cycles; copies concentrate on idft.
+    t7 = table7(ctx).row_map()
+    report.add(
+        "Table VII", "reduce cycles bpc vs 2-non",
+        (PAPER["table7.reduce_cycles"]["bpc"], PAPER["table7.reduce_cycles"]["2-non"]),
+        (t7["reduce"][5], t7["reduce"][6]),
+        t7["reduce"][5] < t7["reduce"][6], "bpc < 2-non",
+    )
+    top2 = sorted((row[3] for row in t7.values()), reverse=True)[:2]
+    report.add(
+        "Table VII", "copy concentration",
+        f"idft leads ({PAPER['table7.idft_copies_bpc']})",
+        f"idft copies = {t7['idft'][3]}",
+        t7["idft"][3] in top2, "idft in copy top-2",
+    )
+
+    return report

@@ -1,0 +1,61 @@
+"""Plain-text rendering and small statistics helpers for experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float], *, floor: float = 1e-9) -> float:
+    """Geometric mean; non-positive entries are clamped to *floor* (the
+    paper reports geometric means over counts that can reach zero)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    total = 0.0
+    for value in values:
+        total += math.log(max(floor, float(value)))
+    return math.exp(total / len(values))
+
+
+def percent(numerator: float, denominator: float) -> float:
+    """Safe percentage."""
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+            return str(int(round(value)))
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned monospace table with a title line."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [title, fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Regeneration of the paper's Tables I–VII.
+
+Every function takes an :class:`~repro.experiments.harness.ExperimentContext`
+and returns a :class:`TableResult` carrying structured rows plus a
+``render()`` for human-readable output.  Absolute numbers come from the
+synthetic substrate (see DESIGN.md §2); the reproduction targets are the
+*shapes*: non > bcr > bpc conflicts, small spill increments, the DSA's
+near-total conflict elimination under 2x4-bpc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import ExperimentContext, ProgramResult
+from .report import geomean, percent, render_table
+
+
+@dataclass
+class TableResult:
+    """Structured output of one regenerated table."""
+
+    name: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    note: str | None = None
+
+    def render(self) -> str:
+        return render_table(self.name, self.headers, self.rows, note=self.note)
+
+    def row_map(self) -> dict:
+        """First column -> row, for tests."""
+        return {row[0]: row for row in self.rows}
+
+
+def _total(results: list[ProgramResult], attribute: str) -> float:
+    values = [getattr(r, attribute) for r in results]
+    return sum(v for v in values if v is not None)
+
+
+# ----------------------------------------------------------------------
+# Table I — suite characteristics
+# ----------------------------------------------------------------------
+def table1(ctx: ExperimentContext) -> TableResult:
+    """Benchmark characteristics: executables, modules, functions,
+    conflict-relevant instructions, and default-RA spills on both
+    platforms (Sp32 = 32-register RV#2, Sp1k = 1024-register RV#1)."""
+    table = TableResult(
+        "Table I: Characteristics of SPECfp and CNN-KERNEL",
+        ["Benchmark", "Exes", "Mods", "Fns", "Reles", "Sp32", "Sp1k"],
+        note="CNN rows are geometric means over conflict-relevant executables.",
+    )
+    spec = ctx.suite("SPECfp")
+    rv2_non = {r.program: r for r in ctx.results("SPECfp", "rv2", 2, "non")}
+    rv1_non = {r.program: r for r in ctx.results("SPECfp", "rv1", 2, "non")}
+    for program in spec.programs:
+        result32 = rv2_non[program.name]
+        result1k = rv1_non[program.name]
+        table.rows.append(
+            [
+                f"SPECfp.{program.name}",
+                1,
+                program.module.attrs["benchmark"].modules,
+                result32.functions,
+                result32.conflict_relevant,
+                result32.spills,
+                result1k.spills,
+            ]
+        )
+    cnn32 = ctx.results("CNN-KERNEL", "rv2", 2, "non")
+    cnn1k = {r.program: r for r in ctx.results("CNN-KERNEL", "rv1", 2, "non")}
+    by_category: dict[str, list[ProgramResult]] = {}
+    for result in cnn32:
+        by_category.setdefault(result.category, []).append(result)
+    for category, results in by_category.items():
+        if category == "irrelevant":
+            continue
+        relevant = [r for r in results if r.is_conflict_relevant]
+        if not relevant:
+            continue
+        table.rows.append(
+            [
+                f"CNN.{category}",
+                len(results),
+                1,
+                round(geomean(r.functions for r in relevant), 1),
+                round(geomean(r.conflict_relevant for r in relevant), 1),
+                round(geomean(r.spills for r in relevant), 1),
+                round(geomean(cnn1k[r.program].spills for r in relevant), 1),
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Tables II / IV — combined conflicts and reductions
+# ----------------------------------------------------------------------
+def _reduction_row(
+    ctx: ExperimentContext, platform: str, banks: int, *, dynamic: bool
+) -> tuple[int, int, int, int]:
+    """(CONFS, Redu_bcr, Redu_bpc, IMPV) for one bank setting."""
+    attribute = "dynamic_conflicts" if dynamic else "static_conflicts"
+    confs = _total(ctx.combined_results(platform, banks, "non"), attribute)
+    bcr = _total(ctx.combined_results(platform, banks, "bcr"), attribute)
+    bpc = _total(ctx.combined_results(platform, banks, "bpc"), attribute)
+    redu_bcr = round(confs - bcr)
+    redu_bpc = round(confs - bpc)
+    return round(confs), redu_bcr, redu_bpc, redu_bpc - redu_bcr
+
+
+def table2(ctx: ExperimentContext) -> TableResult:
+    """RV#1: combined static conflicts and per-method reductions."""
+    table = TableResult(
+        "Table II: Conflicts and reductions, Platform-RV#1 (static)",
+        ["BANK", "CONFS", "Redu.bcr", "Redu.bpc", "IMPV"],
+        note="IMPV = bpc reduction minus bcr reduction (positive favors bpc).",
+    )
+    for banks in (2, 4, 8):
+        confs, bcr, bpc, impv = _reduction_row(ctx, "rv1", banks, dynamic=False)
+        table.rows.append([banks, confs, bcr, bpc, impv])
+    return table
+
+
+def table4(ctx: ExperimentContext) -> TableResult:
+    """RV#2: combined static and dynamic conflicts and reductions."""
+    table = TableResult(
+        "Table IV: Conflicts and reductions, Platform-RV#2",
+        ["BANK-METHOD", "CONFS", "Redu.bcr", "Redu.bpc", "IMPV"],
+    )
+    for banks in (2, 4):
+        confs, bcr, bpc, impv = _reduction_row(ctx, "rv2", banks, dynamic=False)
+        table.rows.append([f"{banks}-STATIC", confs, bcr, bpc, impv])
+        confs, bcr, bpc, impv = _reduction_row(ctx, "rv2", banks, dynamic=True)
+        table.rows.append([f"{banks}-DYNAMIC", confs, bcr, bpc, impv])
+    return table
+
+
+# ----------------------------------------------------------------------
+# Tables III / V — conflict reduction vs spill increment
+# ----------------------------------------------------------------------
+def _cr_si(
+    ctx: ExperimentContext, suite: str, platform: str, banks: int, method: str
+) -> tuple[int, int]:
+    """(conflict reduction, spill increment) of *method* vs non."""
+    non = ctx.results(suite, platform, banks, "non")
+    with_method = ctx.results(suite, platform, banks, method)
+    cr = round(_total(non, "static_conflicts") - _total(with_method, "static_conflicts"))
+    si = round(_total(with_method, "spills") - _total(non, "spills"))
+    return cr, si
+
+
+def _spill_table(
+    ctx: ExperimentContext, name: str, platform: str, bank_settings: tuple[int, ...]
+) -> TableResult:
+    headers = ["BK-IMPL"] + [
+        f"{banks}-{method}" for banks in bank_settings for method in ("bcr", "bpc")
+    ]
+    table = TableResult(name, headers)
+    for suite, label in (("SPECfp", "SPEC"), ("CNN-KERNEL", "CNN")):
+        cr_row: list = [f"{label}.CR"]
+        si_row: list = [f"{label}.SI"]
+        for banks in bank_settings:
+            for method in ("bcr", "bpc"):
+                cr, si = _cr_si(ctx, suite, platform, banks, method)
+                cr_row.append(cr)
+                si_row.append(si)
+        table.rows.append(cr_row)
+        table.rows.append(si_row)
+    return table
+
+
+def table3(ctx: ExperimentContext) -> TableResult:
+    """RV#1: conflict reduction vs spilling increment."""
+    return _spill_table(
+        ctx,
+        "Table III: Conflict reduction vs spill increment, Platform-RV#1",
+        "rv1",
+        (2, 4, 8),
+    )
+
+
+def table5(ctx: ExperimentContext) -> TableResult:
+    """RV#2: conflict reduction vs spilling increment."""
+    return _spill_table(
+        ctx,
+        "Table V: Conflict reduction vs spill increment, Platform-RV#2",
+        "rv2",
+        (2, 4),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables VI / VII — Platform-DSA
+# ----------------------------------------------------------------------
+def table6(ctx: ExperimentContext) -> TableResult:
+    """DSA: conflict ratios of 2x4-bpc vs plain 2/4/8/16-banked non.
+
+    BASE is the 2-banked non conflict count; every other column is its
+    conflict count as a percentage of BASE.
+    """
+    table = TableResult(
+        "Table VI: Bank conflicts, bpc vs non, Platform-DSA",
+        ["DSA-OP", "BASE", "2x4-bpc", "2-non", "4-non", "8-non", "16-non"],
+        note="Columns after BASE are conflict ratios in % of BASE.",
+    )
+    base = {r.program: r for r in ctx.results("DSA-OP", "dsa", 2, "non")}
+    bpc = {r.program: r for r in ctx.results("DSA-OP", "dsa", 0, "bpc")}
+    non = {
+        banks: {r.program: r for r in ctx.results("DSA-OP", "dsa", banks, "non")}
+        for banks in (2, 4, 8, 16)
+    }
+    ratios: dict[str, list[float]] = {key: [] for key in ("bpc", "2", "4", "8", "16")}
+    bases: list[float] = []
+    for program in ctx.suite("DSA-OP").programs:
+        name = program.name
+        base_conflicts = base[name].static_conflicts
+        bases.append(base_conflicts)
+        row: list = [name, base_conflicts]
+        ratio = percent(bpc[name].static_conflicts, base_conflicts)
+        ratios["bpc"].append(ratio)
+        row.append(round(ratio, 2))
+        for banks in (2, 4, 8, 16):
+            ratio = percent(non[banks][name].static_conflicts, base_conflicts)
+            ratios[str(banks)].append(ratio)
+            row.append(round(ratio, 2))
+        table.rows.append(row)
+    table.rows.append(
+        [
+            "average",
+            round(geomean(bases), 2),
+            round(sum(ratios["bpc"]) / len(ratios["bpc"]), 2),
+            round(sum(ratios["2"]) / len(ratios["2"]), 2),
+            round(sum(ratios["4"]) / len(ratios["4"]), 2),
+            round(sum(ratios["8"]) / len(ratios["8"]), 2),
+            round(sum(ratios["16"]) / len(ratios["16"]), 2),
+        ]
+    )
+    return table
+
+
+def table7(ctx: ExperimentContext) -> TableResult:
+    """DSA: spills, copies, and cycles of bpc vs 2/4-banked non."""
+    table = TableResult(
+        "Table VII: Spills, copies and cycles, Platform-DSA",
+        [
+            "DSA-OP",
+            "Spills.bpc",
+            "Spills.non",
+            "Copies.bpc",
+            "Copies.non",
+            "Cycles.bpc",
+            "Cycles.2-non",
+            "Cycles.4-non",
+        ],
+    )
+    bpc = {r.program: r for r in ctx.results("DSA-OP", "dsa", 0, "bpc")}
+    non2 = {r.program: r for r in ctx.results("DSA-OP", "dsa", 2, "non")}
+    non4 = {r.program: r for r in ctx.results("DSA-OP", "dsa", 4, "non")}
+    for program in ctx.suite("DSA-OP").programs:
+        name = program.name
+        table.rows.append(
+            [
+                name,
+                bpc[name].spills,
+                non2[name].spills,
+                bpc[name].copies_inserted,
+                non2[name].copies_inserted,
+                round(bpc[name].cycles or 0.0),
+                round(non2[name].cycles or 0.0),
+                round(non4[name].cycles or 0.0),
+            ]
+        )
+    return table
+
+
+#: All regenerable tables, keyed by their paper number.
+ALL_TABLES = {
+    "I": table1,
+    "II": table2,
+    "III": table3,
+    "IV": table4,
+    "V": table5,
+    "VI": table6,
+    "VII": table7,
+}

@@ -1,0 +1,88 @@
+"""Machine IR substrate: types, instructions, blocks, functions, builder,
+CFG/dominators, natural loops, printer/parser, and verifier.
+
+This is the layer the paper's LLVM Machine IR plays; everything above
+(analyses, allocators, the PresCount bank assigner, simulators) consumes
+only the interfaces exported here.
+"""
+
+from .block import BasicBlock
+from .builder import IRBuilder
+from .cfg import CFG
+from .dot import cfg_to_dot, interference_to_dot, sdg_to_dot
+from .function import Function, Module
+from .instruction import (
+    Instruction,
+    OpKind,
+    arith,
+    branch,
+    copy,
+    jump,
+    load,
+    loadimm,
+    nop,
+    ret,
+    store,
+)
+from .loops import DEFAULT_TRIP_COUNT, Loop, LoopInfo
+from .parser import ParseError, parse_function, parse_module
+from .printer import format_instruction, print_function, print_module
+from .types import (
+    FP,
+    GP,
+    Immediate,
+    PhysicalRegister,
+    RegClass,
+    Register,
+    VirtualRegister,
+    VRegFactory,
+    is_preg,
+    is_reg,
+    is_vreg,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "DEFAULT_TRIP_COUNT",
+    "FP",
+    "Function",
+    "GP",
+    "Immediate",
+    "IRBuilder",
+    "Instruction",
+    "Loop",
+    "LoopInfo",
+    "Module",
+    "OpKind",
+    "ParseError",
+    "PhysicalRegister",
+    "RegClass",
+    "Register",
+    "VRegFactory",
+    "VerificationError",
+    "VirtualRegister",
+    "arith",
+    "branch",
+    "cfg_to_dot",
+    "interference_to_dot",
+    "sdg_to_dot",
+    "copy",
+    "format_instruction",
+    "is_preg",
+    "is_reg",
+    "is_vreg",
+    "jump",
+    "load",
+    "loadimm",
+    "nop",
+    "parse_function",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "ret",
+    "store",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,158 @@
+"""Natural loop detection, loop nesting, trip counts, and block frequency.
+
+The paper's cost model (Eq. 1) multiplies the trip counts of all loops
+enclosing an instruction: ``Cost_I = prod_i trip_count(i)``.  This module
+provides exactly that: a loop forest with per-loop trip counts (read from
+``"trip_count"`` metadata on header blocks) and per-block static execution
+frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .function import Function
+
+#: Trip count assumed for loops whose header carries no metadata, matching
+#: the common compiler heuristic for statically unknown loop bounds.
+DEFAULT_TRIP_COUNT = 10
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: Label of the loop header block.
+        body: Labels of all blocks in the loop (header included).
+        trip_count: Iterations per entry of the loop, from header metadata.
+        parent: Enclosing loop, or None for top-level loops.
+        children: Loops directly nested inside this one.
+    """
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    trip_count: int = DEFAULT_TRIP_COUNT
+    parent: "Loop | None" = None
+    children: list["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 1 for a top-level loop."""
+        depth, loop = 0, self
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header!r}, blocks={len(self.body)}, trip={self.trip_count})"
+
+
+@dataclass
+class LoopInfo:
+    """Loop forest of a function plus frequency queries."""
+
+    function: Function
+    cfg: CFG
+    loops: list[Loop] = field(default_factory=list)
+    _innermost: dict[str, Loop] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, function: Function, cfg: CFG | None = None) -> "LoopInfo":
+        if cfg is None:
+            cfg = CFG.build(function)
+        info = cls(function, cfg)
+        info._discover_loops()
+        info._nest_loops()
+        return info
+
+    # ------------------------------------------------------------------
+    def _discover_loops(self) -> None:
+        """Find natural loops from back edges; merge loops sharing a header."""
+        by_header: dict[str, Loop] = {}
+        for tail, head in self.cfg.back_edges():
+            body = self._natural_loop_body(tail, head)
+            if head in by_header:
+                by_header[head].body |= body
+            else:
+                header_block = self.function.block(head)
+                trip = int(header_block.attrs.get("trip_count", DEFAULT_TRIP_COUNT))
+                by_header[head] = Loop(header=head, body=body, trip_count=max(1, trip))
+        self.loops = list(by_header.values())
+
+    def _natural_loop_body(self, tail: str, head: str) -> set[str]:
+        """Blocks reaching *tail* without passing through *head*."""
+        body = {head, tail}
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            if label == head:
+                continue
+            for pred in self.cfg.preds[label]:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        return body
+
+    def _nest_loops(self) -> None:
+        """Build parent/child links: the parent is the smallest strict superset."""
+        ordered = sorted(self.loops, key=lambda lp: len(lp.body))
+        for i, loop in enumerate(ordered):
+            for candidate in ordered[i + 1:]:
+                if loop.header in candidate.body and loop is not candidate:
+                    loop.parent = candidate
+                    candidate.children.append(loop)
+                    break
+        # Innermost-loop map: smallest loop containing each block wins.
+        self._innermost = {}
+        for loop in ordered:  # small to large: first write wins
+            for label in loop.body:
+                self._innermost.setdefault(label, loop)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def innermost_loop(self, label: str) -> Loop | None:
+        """Innermost loop containing block *label*, or None."""
+        return self._innermost.get(label)
+
+    def enclosing_loops(self, label: str) -> list[Loop]:
+        """All loops containing *label*, innermost first."""
+        chain = []
+        loop = self.innermost_loop(label)
+        while loop is not None:
+            chain.append(loop)
+            loop = loop.parent
+        return chain
+
+    def depth(self, label: str) -> int:
+        """Loop nesting depth of block *label* (0 outside all loops)."""
+        return len(self.enclosing_loops(label))
+
+    def block_frequency(self, label: str) -> float:
+        """Static execution frequency of *label*: Eq. 1's trip-count product.
+
+        A block outside all loops has frequency 1; a block inside an
+        n-level nest executes ``prod trip_count(i)`` times per function
+        invocation.  Branch probabilities are deliberately ignored here —
+        the paper's static cost model is trip-count-only; the dynamic
+        simulator accounts for branch behaviour instead.
+        """
+        freq = 1.0
+        for loop in self.enclosing_loops(label):
+            freq *= loop.trip_count
+        return freq
+
+    def top_level(self) -> list[Loop]:
+        return [lp for lp in self.loops if lp.parent is None]
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)

@@ -1,0 +1,73 @@
+"""Textual dump of the IR, round-trippable through :mod:`repro.ir.parser`.
+
+Format example::
+
+    func @saxpy {
+    block entry:
+      %v0:fp = li #2.0
+      jmp loop1.header
+    block loop1.header [trip=64]:
+      %v3:fp = fmul %v0:fp, %v1:fp
+      %v2:fp = fadd %v3:fp, %v2:fp
+      br loop1.header prob=0.984
+    block loop1.exit:
+      ret %v2:fp
+    }
+"""
+
+from __future__ import annotations
+
+from .block import BasicBlock
+from .function import Function, Module
+from .instruction import Instruction, OpKind
+from .types import Immediate, PhysicalRegister, VirtualRegister
+
+
+def format_operand(op) -> str:
+    if isinstance(op, VirtualRegister):
+        return f"%v{op.vid}:{op.regclass.name}"
+    if isinstance(op, PhysicalRegister):
+        return f"${op.regclass.name}{op.index}"
+    if isinstance(op, Immediate):
+        return f"#{op.value}"
+    raise TypeError(f"unknown operand {op!r}")
+
+
+def format_instruction(instr: Instruction) -> str:
+    parts = []
+    if instr.defs:
+        parts.append(", ".join(format_operand(d) for d in instr.defs))
+        parts.append("=")
+    parts.append(instr.opcode)
+    if instr.kind in (OpKind.BRANCH, OpKind.JUMP):
+        parts.append(instr.attrs["target"])
+        if instr.kind is OpKind.BRANCH:
+            operand_text = ", ".join(format_operand(u) for u in instr.uses)
+            if operand_text:
+                parts.append(operand_text)
+            parts.append(f"prob={instr.attrs.get('taken_prob', 0.5):g}")
+    elif instr.uses:
+        parts.append(", ".join(format_operand(u) for u in instr.uses))
+    return " ".join(parts)
+
+
+def format_block_header(block: BasicBlock) -> str:
+    meta = []
+    if block.attrs.get("trip_count") is not None and block.attrs.get("loop_header"):
+        meta.append(f"trip={block.attrs['trip_count']}")
+    suffix = f" [{' '.join(meta)}]" if meta else ""
+    return f"block {block.label}{suffix}:"
+
+
+def print_function(function: Function) -> str:
+    lines = [f"func @{function.name} {{"]
+    for block in function.blocks:
+        lines.append(format_block_header(block))
+        for instr in block:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_function(f) for f in module.functions)

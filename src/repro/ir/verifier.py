@@ -1,0 +1,101 @@
+"""IR structural verifier.
+
+Checks the invariants the analyses and allocators rely on.  Workload
+generators run it on everything they emit; transformation passes (SDG
+splitting, spilling) re-verify in tests.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+from .function import Function, Module
+from .instruction import OpKind
+from .types import VirtualRegister
+
+
+class VerificationError(ValueError):
+    """Raised when a function violates an IR invariant."""
+
+
+def verify_function(function: Function, *, require_defs: bool = True) -> None:
+    """Verify *function*; raise :class:`VerificationError` on violations.
+
+    Checked invariants:
+
+    - block labels are unique, branch/jump targets exist;
+    - terminators appear only as the last instruction of a block;
+    - the final block does not fall off the end of the function;
+    - loop-header metadata is consistent (``trip_count`` >= 1);
+    - when *require_defs* is set, every virtual register used is defined
+      on all paths reaching the use (a conservative dominance-free check:
+      defined somewhere in the function).
+    """
+    if not function.blocks:
+        raise VerificationError(f"{function.name}: function has no blocks")
+
+    labels = [b.label for b in function.blocks]
+    if len(labels) != len(set(labels)):
+        raise VerificationError(f"{function.name}: duplicate block labels")
+    label_set = set(labels)
+
+    for block in function.blocks:
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{function.name}/{block.label}: terminator {instr!r} "
+                    f"is not the last instruction"
+                )
+            if instr.kind in (OpKind.BRANCH, OpKind.JUMP):
+                target = instr.attrs.get("target")
+                if target not in label_set:
+                    raise VerificationError(
+                        f"{function.name}/{block.label}: branch target "
+                        f"{target!r} does not exist"
+                    )
+        if block.attrs.get("loop_header") and int(block.attrs.get("trip_count", 1)) < 1:
+            raise VerificationError(
+                f"{function.name}/{block.label}: loop header with trip_count < 1"
+            )
+
+    last = function.blocks[-1]
+    term = last.terminator
+    if term is None or term.kind is OpKind.BRANCH:
+        # A missing terminator or a conditional branch in the final block
+        # would fall off the end of the function.
+        raise VerificationError(
+            f"{function.name}/{last.label}: final block falls off the function end"
+        )
+
+    if require_defs:
+        defined: set[VirtualRegister] = set()
+        used: set[VirtualRegister] = set()
+        for _, instr in function.instructions():
+            defined.update(instr.vreg_defs())
+            used.update(instr.vreg_uses())
+        undefined = used - defined
+        if undefined:
+            sample = sorted(undefined, key=lambda r: r.vid)[:5]
+            raise VerificationError(
+                f"{function.name}: {len(undefined)} vreg(s) used but never "
+                f"defined, e.g. {sample}"
+            )
+
+    # CFG must be buildable and the entry must reach at least one return.
+    cfg = CFG.build(function)
+    reachable_rets = any(
+        cfg.is_reachable(b.label)
+        and b.terminator is not None
+        and b.terminator.kind is OpKind.RET
+        for b in function.blocks
+    )
+    if not reachable_rets:
+        raise VerificationError(f"{function.name}: no reachable 'ret'")
+
+
+def verify_module(module: Module, *, require_defs: bool = True) -> None:
+    """Verify all functions of *module*."""
+    names = [f.name for f in module.functions]
+    if len(names) != len(set(names)):
+        raise VerificationError(f"{module.name}: duplicate function names")
+    for function in module.functions:
+        verify_function(function, require_defs=require_defs)

@@ -1,0 +1,39 @@
+"""PresCount — the paper's primary contribution.
+
+* :mod:`bank_assigner` — Algorithm 1 (cost-ordered RCG coloring with bank
+  pressure counting) and its allocator policy.
+* :mod:`bcr` — the Intel-style per-instruction hinting baseline.
+* :mod:`subgroup` — Algorithm 2 (subgroup displacement bookkeeping and
+  DSA allocation hints).
+* :mod:`sdg_split` — SDG-based subgroup splitting (Figs. 8/9).
+* :mod:`pipeline` — the combined Fig. 4 register allocation pipeline.
+"""
+
+from .bank_assigner import (
+    DEFAULT_THRES_RATIO,
+    PresCountBankAssigner,
+    PresCountPolicy,
+)
+from .bcr import BcrPolicy
+from .bundle_aware import BundleEdgeReport, add_bundle_edges
+from .pipeline import METHODS, PipelineConfig, PipelineResult, run_pipeline
+from .sdg_split import SdgSplitConfig, SdgSplitResult, split_subgroups
+from .subgroup import DsaPresCountPolicy, SubgroupState
+
+__all__ = [
+    "BcrPolicy",
+    "BundleEdgeReport",
+    "add_bundle_edges",
+    "DEFAULT_THRES_RATIO",
+    "DsaPresCountPolicy",
+    "METHODS",
+    "PipelineConfig",
+    "PipelineResult",
+    "PresCountBankAssigner",
+    "PresCountPolicy",
+    "SdgSplitConfig",
+    "SdgSplitResult",
+    "SubgroupState",
+    "run_pipeline",
+    "split_subgroups",
+]

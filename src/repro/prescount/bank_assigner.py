@@ -1,0 +1,277 @@
+"""PresCount RCG-based bank assignment — Algorithm 1 of the paper.
+
+The assigner colors the Register Conflict Graph with one color per bank:
+
+* disjoint RCG components are processed in descending max conflict cost;
+* within a component, a work list is grown from the costliest node,
+  always expanding the (cost, degree)-maximal uncolored node;
+* available colors (not used by RCG neighbors) are prioritized by the
+  **bank pressure count** — the bank whose maximum live-range overlap
+  grows least wins (``PresCountPrioritize``);
+* when no conflict-free color exists, the node is *uncolorable*: if the
+  overall register pressure exceeds ``THRES`` the pressure-minimal color
+  is still chosen (spills are costlier than conflicts), otherwise the
+  color with the least accumulated neighbor ``Cost_R``
+  (``NeighbourCostPrioritize``) minimizes the residual conflict penalty.
+
+After the RCG is colored, *free registers* — vregs of the class that
+never appear in the RCG — are balanced across banks the same way, because
+leaving them to the allocator's arbitrary choices would unbalance the
+banks again (end of §III-B).
+
+:class:`PresCountPolicy` plugs the resulting
+:class:`~repro.banks.assignment.BankAssignment` into the greedy allocator:
+candidates from the assigned bank come first (soft constraint on the RV
+platforms, strict on the DSA), and split-generated registers inherit the
+bank of their parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.conflict_graph import ConflictGraph
+from ..analysis.cost import ConflictCostModel
+from ..analysis.intervals import LiveInterval, LiveIntervals
+from ..analysis.pressure import BankPressureTracker
+from ..banks.assignment import BankAssignment
+from ..banks.register_file import RegisterFile
+from ..ir.function import Function
+from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+
+#: Default overall-register-pressure threshold, as a fraction of the
+#: register file size, above which Algorithm 1 keeps minimizing pressure
+#: even for uncolorable nodes.
+DEFAULT_THRES_RATIO = 0.8
+
+
+@dataclass
+class PresCountBankAssigner:
+    """Computes a :class:`BankAssignment` for one function (Algorithm 1)."""
+
+    register_file: RegisterFile
+    regclass: RegClass = FP
+    thres_ratio: float = DEFAULT_THRES_RATIO
+    #: Disable to ablate the bank-pressure heuristic (ties then break by
+    #: bank occupancy and index only) — `bench_ablation_pressure`.
+    use_pressure_counting: bool = True
+    #: Order nodes by degree instead of cost to ablate Eq. 1/2
+    #: prioritization — `bench_ablation_order`.
+    cost_ordering: bool = True
+    balance_free_registers: bool = True
+
+    def assign(
+        self,
+        function: Function,
+        rcg: ConflictGraph | None = None,
+        intervals: LiveIntervals | None = None,
+        cost_model: ConflictCostModel | None = None,
+    ) -> BankAssignment:
+        """Run the bank assignment phase on *function*."""
+        # Explicit None checks: these objects define __len__, so an empty
+        # graph (e.g. soft-edges-only, from the bundle-aware extension)
+        # is falsy and `or` would silently rebuild it.
+        if cost_model is None:
+            cost_model = ConflictCostModel.build(function, regclass=self.regclass)
+        if rcg is None:
+            rcg = ConflictGraph.build(function, cost_model, self.regclass)
+        if intervals is None:
+            intervals = LiveIntervals.build(function)
+
+        num_banks = self.register_file.num_banks
+        assignment = BankAssignment(num_banks)
+        tracker = BankPressureTracker(num_banks)
+        reg_pressure = intervals.max_pressure(self.regclass)
+        thres = self.thres_ratio * self.register_file.num_registers
+
+        unprocessed: set[VirtualRegister] = set(rcg.nodes())
+
+        def priority(node: VirtualRegister) -> tuple:
+            if self.cost_ordering:
+                return (rcg.cost(node), rcg.degree(node), -node.vid)
+            return (rcg.degree(node), rcg.cost(node), -node.vid)
+
+        while unprocessed:
+            seed = max(unprocessed, key=priority)
+            worklist: set[VirtualRegister] = {seed}
+            while worklist:
+                node = max(worklist, key=priority)
+                worklist.discard(node)
+                unprocessed.discard(node)
+                interval = intervals.of(node)
+                neighbor_colors = {
+                    assignment.banks[nb]
+                    for nb in rcg.neighbors(node)
+                    if nb in assignment.banks
+                }
+                avail = [c for c in range(num_banks) if c not in neighbor_colors]
+                if avail:
+                    ordered = self._prescount_prioritize(
+                        avail, interval, tracker, node=node, rcg=rcg, assignment=assignment
+                    )
+                else:
+                    assignment.uncolorable.add(node)
+                    all_colors = list(range(num_banks))
+                    if reg_pressure > thres:
+                        ordered = self._prescount_prioritize(
+                            all_colors, interval, tracker,
+                            node=node, rcg=rcg, assignment=assignment,
+                        )
+                    else:
+                        ordered = self._neighbour_cost_prioritize(
+                            all_colors, node, rcg, assignment
+                        )
+                color = ordered[0]
+                assignment.assign(node, color)
+                tracker.assign(color, interval)
+                for neighbor in rcg.neighbors(node):
+                    if neighbor in unprocessed:
+                        worklist.add(neighbor)
+
+        if self.balance_free_registers:
+            self._assign_free_registers(function, rcg, intervals, assignment, tracker)
+
+        assignment.residual_cost = rcg.coloring_conflict_cost(assignment.banks)
+        return assignment
+
+    # ------------------------------------------------------------------
+    def _prescount_prioritize(
+        self,
+        colors: list[int],
+        interval: LiveInterval,
+        tracker: BankPressureTracker,
+        *,
+        node: VirtualRegister | None = None,
+        rcg: ConflictGraph | None = None,
+        assignment: BankAssignment | None = None,
+    ) -> list[int]:
+        """``PresCountPrioritize``: least resulting bank pressure first.
+
+        Soft (bundle) edges break ties after pressure: among equally
+        pressured banks, prefer the one not shared with bundle partners
+        (the future-work extension of §IV-B3).
+        """
+
+        def soft(color: int) -> float:
+            if node is None or rcg is None or assignment is None:
+                return 0.0
+            if not rcg.soft_adjacency:
+                return 0.0
+            return rcg.soft_penalty(node, color, assignment.banks)
+
+        if not self.use_pressure_counting:
+            return sorted(colors, key=lambda c: (soft(c), tracker.occupancy(c), c))
+        return sorted(
+            colors,
+            key=lambda c: (
+                tracker.pressure_if_assigned(c, interval),
+                soft(c),
+                tracker.occupancy(c),
+                c,
+            ),
+        )
+
+    def _neighbour_cost_prioritize(
+        self,
+        colors: list[int],
+        node: VirtualRegister,
+        rcg: ConflictGraph,
+        assignment: BankAssignment,
+    ) -> list[int]:
+        """``NeighbourCostPrioritize``: least accumulated ``Cost_R`` over
+        same-colored neighbors first — the conflicts this choice leaves
+        behind are the cheapest ones."""
+        def accumulated_cost(color: int) -> float:
+            return sum(
+                rcg.cost(nb)
+                for nb in rcg.neighbors(node)
+                if assignment.banks.get(nb) == color
+            )
+
+        return sorted(colors, key=lambda c: (accumulated_cost(c), c))
+
+    def _assign_free_registers(
+        self,
+        function: Function,
+        rcg: ConflictGraph,
+        intervals: LiveIntervals,
+        assignment: BankAssignment,
+        tracker: BankPressureTracker,
+    ) -> None:
+        """Balance the vregs absent from the RCG across banks (§III-B)."""
+        free = [
+            iv
+            for iv in intervals.vreg_intervals(self.regclass)
+            if iv.reg not in rcg
+        ]
+        # Longest intervals first: they constrain the banks the most.
+        free.sort(key=lambda iv: (-iv.size, iv.reg.vid))
+        for interval in free:
+            ordered = self._prescount_prioritize(
+                list(range(assignment.num_banks)),
+                interval,
+                tracker,
+                node=interval.reg,
+                rcg=rcg,
+                assignment=assignment,
+            )
+            bank = ordered[0]
+            assignment.assign(interval.reg, bank)
+            tracker.assign(bank, interval)
+
+
+class PresCountPolicy:
+    """Greedy-allocator policy applying a precomputed bank assignment.
+
+    Candidate order for a vreg with bank *b*: registers of bank *b* in
+    index order, then (unless *strict*) the remaining banks ordered by
+    index.  Vregs without a bank (spill reloads) see the full file.
+    Split-generated registers inherit their parent's bank via
+    :meth:`on_split`.
+    """
+
+    def __init__(
+        self,
+        register_file: RegisterFile,
+        assignment: BankAssignment,
+        strict: bool | None = None,
+    ):
+        self.register_file = register_file
+        self.assignment = assignment
+        self.strict = assignment.strict if strict is None else strict
+        self._by_bank: list[list[PhysicalRegister]] = [
+            register_file.registers_in_bank(b)
+            for b in range(register_file.num_banks)
+        ]
+        self._all = register_file.registers()
+
+    def setup(self, allocator) -> None:
+        pass
+
+    def order(
+        self, vreg: VirtualRegister, interval: LiveInterval
+    ) -> Sequence[PhysicalRegister]:
+        bank = self.assignment.bank_of(vreg)
+        if bank is None:
+            return self._all
+        preferred = self._by_bank[bank]
+        if self.strict:
+            return preferred
+        rest = [r for r in self._all if self.register_file.bank_of(r) != bank]
+        return list(preferred) + rest
+
+    def on_assign(self, vreg: VirtualRegister, preg: PhysicalRegister) -> None:
+        pass
+
+    def on_unassign(self, vreg: VirtualRegister, preg: PhysicalRegister) -> None:
+        pass
+
+    def on_split(self, parent: VirtualRegister, children: list[VirtualRegister]) -> None:
+        """Algorithm 2's split-generated-register rule, bank part: children
+        keep the parent's bank so the assignment stays coherent."""
+        bank = self.assignment.bank_of(parent)
+        if bank is None:
+            return
+        for child in children:
+            self.assignment.assign(child, bank)

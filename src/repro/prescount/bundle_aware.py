@@ -1,0 +1,103 @@
+"""Bundle-aware RCG extension — the paper's stated future work.
+
+§IV-B3 observes that the DSA's VLIW bundle constraint (two instructions
+cannot share a bundle when their reads touch the same bank) occasionally
+*hurts* PresCount-allocated code: the RCG only models intra-instruction
+conflicts, so the assigner happily gives same-bank registers to operands
+of adjacent, independent instructions — which then cannot be dual-issued.
+The paper: "it is challenging to address such inter-instruction
+restrictions with RCG.  We plan to tackle it for future improvements."
+
+This module is that improvement: *bundle edges* are added to the RCG
+between the bankable reads of adjacent independent instruction pairs
+(the dual-issue candidates).  A monochromatic bundle edge does not stall
+the register file, it only costs a lost issue slot, so bundle edges carry
+the block frequency scaled by ``bundle_weight`` (< 1): the assigner
+resolves real conflicts first and uses leftover freedom to improve
+bundling.  Enabled via ``PipelineConfig(bundle_aware=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..analysis.conflict_graph import ConflictGraph
+from ..analysis.cost import ConflictCostModel
+from ..ir.function import Function
+from ..ir.instruction import Instruction, OpKind
+from ..ir.types import RegClass, VirtualRegister
+
+#: Relative cost of a lost dual-issue slot vs a true bank conflict.
+DEFAULT_BUNDLE_WEIGHT = 0.5
+
+
+def _independent(first: Instruction, second: Instruction) -> bool:
+    """True when *second* does not depend on *first* (could dual-issue)."""
+    first_defs = set(first.reg_defs())
+    if any(use in first_defs for use in second.reg_uses()):
+        return False  # true dependency
+    if any(dst in first_defs for dst in second.reg_defs()):
+        return False  # output dependency
+    second_defs = set(second.reg_defs())
+    if any(use in second_defs for use in first.reg_uses()):
+        return False  # anti dependency (no same-cycle writeback bypass)
+    return True
+
+
+@dataclass
+class BundleEdgeReport:
+    """Statistics from one bundle-edge pass."""
+
+    pairs_considered: int = 0
+    edges_added: int = 0
+    cost_added: float = 0.0
+
+
+def add_bundle_edges(
+    rcg: ConflictGraph,
+    function: Function,
+    cost_model: ConflictCostModel,
+    regclass: RegClass | None = None,
+    bundle_weight: float = DEFAULT_BUNDLE_WEIGHT,
+) -> BundleEdgeReport:
+    """Extend *rcg* in place with inter-instruction bundle edges.
+
+    For every adjacent pair of independent arithmetic instructions in a
+    block (the greedy bundler's candidates), connect each bankable read
+    of the first to each bankable read of the second with an edge costing
+    ``bundle_weight * Cost_I``.
+    """
+    report = BundleEdgeReport()
+    for block in function.blocks:
+        body = [i for i in block.instructions if i.kind is OpKind.ARITH]
+        # Pair instructions the way the in-order dual-issue bundler will:
+        # disjoint windows (0,1), (2,3), ... — connecting *every* adjacent
+        # pair would chain the whole block together and the penalties
+        # would cancel out.
+        for index in range(0, len(body) - 1, 2):
+            first, second = body[index], body[index + 1]
+            if not _independent(first, second):
+                continue
+            reads_a = [
+                r for r in first.bankable_reads(regclass)
+                if isinstance(r, VirtualRegister)
+            ]
+            reads_b = [
+                r for r in second.bankable_reads(regclass)
+                if isinstance(r, VirtualRegister)
+            ]
+            if not reads_a or not reads_b:
+                continue
+            report.pairs_considered += 1
+            cost = cost_model.cost_of_instruction(second) * bundle_weight
+            for a, b in product(reads_a, reads_b):
+                if a == b:
+                    continue
+                # Soft edges only: a same-bank bundle pair merely loses an
+                # issue slot, so it must never constrain colorability or
+                # displace a true conflict edge.
+                rcg.add_soft_edge(a, b, cost)
+                report.edges_added += 1
+                report.cost_added += cost
+    return report

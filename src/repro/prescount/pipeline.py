@@ -1,0 +1,191 @@
+"""The combined register allocation pipeline of Fig. 4.
+
+Phase order (exactly the paper's, with the two blue phases new):
+
+1. **Register Coalescing** (standard LLVM phase)
+2. **SDG-based Subgroup Splitting** (optional, DSA only) — placed *after*
+   coalescing so its copies cannot be re-coalesced
+3. **Pre-allocation Scheduling** (standard LLVM phase)
+4. **RCG-based Bank Assignment** (PresCount, Algorithm 1) — placed after
+   scheduling because it consumes live-range information without
+   modifying it
+5. **Enhanced Register Allocation** — the greedy allocator steered by the
+   method's policy (and, on the DSA, by Algorithm 2 subgroup hints)
+
+The three compared methods select what runs:
+
+====== ============================== =======================
+method bank assignment phase          allocation policy
+====== ============================== =======================
+non    (none)                         natural order
+bcr    (none)                         per-instruction hinting
+bpc    PresCount (Algorithm 1)        bank-ordered candidates
+====== ============================== =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alloc.base import AllocationResult, NaturalOrderPolicy
+from ..alloc.coalescing import CoalescingResult, coalesce
+from ..alloc.greedy import GreedyAllocator
+from ..alloc.scheduling import schedule_function
+from ..banks.assignment import BankAssignment
+from ..banks.register_file import BankSubgroupRegisterFile, RegisterFile
+from ..ir.function import Function
+from ..ir.types import FP, RegClass
+from .bank_assigner import DEFAULT_THRES_RATIO, PresCountBankAssigner, PresCountPolicy
+from .bcr import BcrPolicy
+from .sdg_split import SdgSplitConfig, SdgSplitResult, split_subgroups
+from .subgroup import DsaPresCountPolicy, SubgroupState
+
+#: The method names used throughout experiments and benches.
+METHODS = ("non", "bcr", "bpc")
+
+
+@dataclass
+class PipelineConfig:
+    """Everything a pipeline run needs besides the function.
+
+    Attributes:
+        register_file: Target register file (banked, or bank-subgrouped
+            for the DSA).
+        method: One of :data:`METHODS`.
+        dsa: Enables the SDG phases (subgroup splitting + Algorithm 2
+            hints).  Automatically implied by a
+            :class:`BankSubgroupRegisterFile`.
+        strict_banks: Hard (True) vs soft (False) bank constraint for bpc;
+            defaults to the DSA-ness of the register file.
+        thres_ratio: Algorithm 1's THRES as a fraction of the file size.
+        use_pressure_counting / cost_ordering / balance_free_registers:
+            ablation switches forwarded to the bank assigner.
+    """
+
+    register_file: RegisterFile
+    method: str = "bpc"
+    regclass: RegClass = FP
+    dsa: bool | None = None
+    run_coalescing: bool = True
+    run_scheduling: bool = True
+    enable_live_range_split: bool = True
+    strict_banks: bool | None = None
+    thres_ratio: float = DEFAULT_THRES_RATIO
+    sdg_config: SdgSplitConfig | None = None
+    use_pressure_counting: bool = True
+    cost_ordering: bool = True
+    balance_free_registers: bool = True
+    #: Future-work extension (§IV-B3): add inter-instruction bundle edges
+    #: to the RCG so bank assignment also improves VLIW dual-issue.
+    bundle_aware: bool = False
+
+    def __post_init__(self):
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.dsa is None:
+            self.dsa = isinstance(self.register_file, BankSubgroupRegisterFile)
+        if self.strict_banks is None:
+            self.strict_banks = bool(self.dsa)
+
+
+@dataclass
+class PipelineResult:
+    """All artifacts of one pipeline run."""
+
+    function: Function
+    allocation: AllocationResult
+    bank_assignment: BankAssignment | None = None
+    subgroups: SubgroupState | None = None
+    coalescing: CoalescingResult | None = None
+    sdg_split: SdgSplitResult | None = None
+
+    @property
+    def spill_count(self) -> int:
+        return self.allocation.spill_count
+
+    @property
+    def copies_inserted(self) -> int:
+        sdg = self.sdg_split.copies_inserted if self.sdg_split else 0
+        return self.allocation.copies_inserted + sdg
+
+
+def run_pipeline(function: Function, config: PipelineConfig) -> PipelineResult:
+    """Run the Fig. 4 pipeline on (a clone of) *function*."""
+    work = function.clone()
+
+    coalescing_result: CoalescingResult | None = None
+    if config.run_coalescing:
+        coalescing_result = coalesce(work, config.regclass)
+
+    sdg_result: SdgSplitResult | None = None
+    subgroups: SubgroupState | None = None
+    if config.dsa and config.method == "bpc":
+        sdg_config = config.sdg_config
+        if sdg_config is None and isinstance(config.register_file, BankSubgroupRegisterFile):
+            # Balance share: one bank's slice of a single subgroup.
+            share = max(
+                4,
+                config.register_file.registers_per_bank
+                // config.register_file.num_subgroups,
+            )
+            sdg_config = SdgSplitConfig(max_component_size=share)
+        sdg_result = split_subgroups(work, config.regclass, sdg_config)
+
+    if config.run_scheduling:
+        schedule_function(work)
+
+    bank_assignment: BankAssignment | None = None
+    policy = None
+    if config.method == "bpc":
+        assigner = PresCountBankAssigner(
+            config.register_file,
+            config.regclass,
+            thres_ratio=config.thres_ratio,
+            use_pressure_counting=config.use_pressure_counting,
+            cost_ordering=config.cost_ordering,
+            balance_free_registers=config.balance_free_registers,
+        )
+        rcg = None
+        if config.bundle_aware:
+            from ..analysis.conflict_graph import ConflictGraph
+            from ..analysis.cost import ConflictCostModel
+            from .bundle_aware import add_bundle_edges
+
+            cost_model = ConflictCostModel.build(work, regclass=config.regclass)
+            rcg = ConflictGraph.build(work, cost_model, config.regclass)
+            add_bundle_edges(rcg, work, cost_model, config.regclass)
+        bank_assignment = assigner.assign(work, rcg=rcg)
+        bank_assignment.strict = bool(config.strict_banks)
+        if config.dsa:
+            file_ = config.register_file
+            if not isinstance(file_, BankSubgroupRegisterFile):
+                raise TypeError("DSA pipeline requires a BankSubgroupRegisterFile")
+            subgroups = SubgroupState.from_function(
+                work, file_.num_subgroups, config.regclass
+            )
+            policy = DsaPresCountPolicy(file_, bank_assignment, subgroups)
+        else:
+            policy = PresCountPolicy(config.register_file, bank_assignment)
+    elif config.method == "bcr":
+        policy = BcrPolicy(config.register_file, config.regclass)
+    else:
+        policy = NaturalOrderPolicy()
+
+    allocator = GreedyAllocator(
+        config.register_file,
+        policy,
+        config.regclass,
+        enable_split=config.enable_live_range_split,
+    )
+    allocation = allocator.run(work, clone=False)
+    if coalescing_result is not None:
+        allocation.copies_removed += coalescing_result.copies_removed
+
+    return PipelineResult(
+        function=work,
+        allocation=allocation,
+        bank_assignment=bank_assignment,
+        subgroups=subgroups,
+        coalescing=coalescing_result,
+        sdg_split=sdg_result,
+    )

@@ -1,0 +1,228 @@
+"""SDG-based subgroup splitting (Figs. 8 and 9 of the paper).
+
+Large SDG components defeat the balanced subgroup assignment of
+Algorithm 2: one component charging a single displacement with dozens of
+registers starves the other subgroups.  This pass cuts oversized
+components at their *sharing centers* by inserting copy instructions:
+
+* **Input sharing** (Fig. 8): a register read by many aligned
+  instructions (high SDG out-degree).  A copy ``a' = mov a`` is inserted
+  and the later half of the readers is rewritten to read ``a'``.
+* **Output sharing** (Fig. 9): a reduction-style register written by many
+  aligned instructions (high SDG in-degree).  The earlier half of the
+  writers is rewritten to accumulate into a fresh ``a'`` and a copy
+  ``a = mov a'`` re-seeds the original at the cut point.
+
+Copies are tagged ``sdg_copy`` so register coalescing (which runs
+*before* this pass in the Fig. 4 pipeline) can never re-merge them.
+The pass iterates until every component is small enough or no further
+safe cut exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.sdg import SameDisplacementGraph
+from ..ir import instruction as ins
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.types import FP, RegClass, VirtualRegister
+
+
+@dataclass
+class SdgSplitConfig:
+    """Tunables of the splitting heuristic.
+
+    Attributes:
+        fanout_threshold: Minimum in/out degree for a vertex to count as a
+            sharing center (Fig. 8 splits at fanout 6 with threshold ~4).
+        max_component_size: Components at or below this size are left
+            alone.  The pipeline derives the default from the register
+            file: one bank's share of a subgroup
+            (``registers_per_bank / num_subgroups``) — splitting is only
+            *necessary* when a component cannot balance across subgroups.
+        max_rounds: Upper bound on split iterations per function; large
+            shared-input kernels (idft) need many cuts.
+    """
+
+    fanout_threshold: int = 4
+    max_component_size: int = 128
+    max_rounds: int = 256
+
+
+@dataclass
+class SdgSplitResult:
+    """Statistics of a splitting run."""
+
+    copies_inserted: int = 0
+    rounds: int = 0
+    splits: list[tuple[str, int]] = field(default_factory=list)  # (kind, fanout)
+
+
+def split_subgroups(
+    function: Function,
+    regclass: RegClass | None = FP,
+    config: SdgSplitConfig | None = None,
+) -> SdgSplitResult:
+    """Split oversized SDG components of *function* in place."""
+    config = config or SdgSplitConfig()
+    result = SdgSplitResult()
+    for _round in range(config.max_rounds):
+        sdg = SameDisplacementGraph.build(function, regclass)
+        oversized = [
+            comp for comp in sdg.components() if len(comp) > config.max_component_size
+        ]
+        if not oversized:
+            break
+        result.rounds += 1
+        progressed = False
+        for component in oversized:
+            centers = sdg.sharing_centers(component, config.fanout_threshold)
+            # Cut several centers per round: each cut re-reads the live
+            # function, so sequential cuts compose safely, and big
+            # shared-input kernels (idft) converge in few SDG rebuilds.
+            cuts = 0
+            for center, kind, fanout in centers:
+                if kind == "input_sharing":
+                    done = _split_input_sharing(function, sdg, center)
+                else:
+                    done = _split_output_sharing(function, sdg, center)
+                if done:
+                    result.copies_inserted += 1
+                    result.splits.append((kind, fanout))
+                    progressed = True
+                    cuts += 1
+                    if cuts >= 8:
+                        break  # re-analyze before cutting further
+        if not progressed:
+            break
+    return result
+
+
+# ----------------------------------------------------------------------
+def _ordered_instructions(function: Function) -> list[tuple[str, int, Instruction]]:
+    """(block label, index, instruction) triples in layout order."""
+    out = []
+    for block in function.blocks:
+        for index, instr in enumerate(block.instructions):
+            out.append((block.label, index, instr))
+    return out
+
+
+def _split_input_sharing(
+    function: Function, sdg: SameDisplacementGraph, center: VirtualRegister
+) -> bool:
+    """Cut a high-out-degree center: later readers switch to a copy."""
+    ordered = _ordered_instructions(function)
+    readers = [
+        (pos, label, index, instr)
+        for pos, (label, index, instr) in enumerate(ordered)
+        if sdg.needs_alignment(instr, None) and center in instr.bankable_reads()
+    ]
+    if len(readers) < 2:
+        return False
+    half = len(readers) // 2
+    second_half = readers[half:]
+    first_pos, first_label, first_index, __ = second_half[0]
+    last_pos = second_half[-1][0]
+
+    # Safety 1: the copy must dominate every rewritten reader on every
+    # path.  Requiring all rewritten readers to share the insertion
+    # block guarantees that without a dominance computation — and matches
+    # where sharing centers actually occur (unrolled straight-line
+    # bodies).  A reader inside a conditional arm would otherwise leave
+    # the clone undefined on the not-taken path.
+    if any(label != first_label for __, label, __, __ in second_half):
+        return False
+
+    # Safety 2: the clone snapshots the center's value at the cut point,
+    # so the center must not be redefined while the clone is consumed.
+    for pos in range(first_pos, last_pos + 1):
+        __, __, instr = ordered[pos]
+        if center in instr.reg_defs():
+            return False
+
+    clone = function.new_vreg(center.regclass)
+    # Rewrite the later readers to the clone.
+    mapping = {center: clone}
+    targets = {id(instr) for __, __, __, instr in second_half}
+    for block in function.blocks:
+        block.instructions = [
+            instr.rewrite(mapping) if id(instr) in targets else instr
+            for instr in block.instructions
+        ]
+    # Insert the copy right before the first rewritten reader.
+    block = function.block(first_label)
+    block.insert(first_index, ins.copy(clone, center, sdg_copy=True))
+    return True
+
+
+def _split_output_sharing(
+    function: Function, sdg: SameDisplacementGraph, center: VirtualRegister
+) -> bool:
+    """Cut a high-in-degree (reduction) center: earlier writers accumulate
+    into a fresh register that is copied back at the cut point."""
+    ordered = _ordered_instructions(function)
+    writers = [
+        (pos, label, index, instr)
+        for pos, (label, index, instr) in enumerate(ordered)
+        if sdg.needs_alignment(instr, None) and center in instr.vreg_defs()
+    ]
+    if len(writers) < 2:
+        return False
+    half = len(writers) // 2
+    first_half = writers[:half]
+    first_pos = first_half[0][0]
+    last_pos = first_half[-1][0]
+
+    # Safety 0: the rewritten writers and the copy-back must execute
+    # unconditionally together — keep the cut inside one block (see the
+    # input-sharing dominance note).
+    if any(label != first_half[0][1] for __, label, __, __ in first_half):
+        return False
+
+    # Safety: between the first and last rewritten writer, the center must
+    # only be touched by the rewritten writers themselves (otherwise an
+    # interleaved reader would observe the wrong register).
+    rewritten_ids = {id(instr) for __, __, __, instr in first_half}
+    for pos in range(first_pos, last_pos + 1):
+        __, __, instr = ordered[pos]
+        if id(instr) in rewritten_ids:
+            continue
+        touches = center in instr.reg_uses() or center in instr.reg_defs()
+        if touches:
+            return False
+
+    partial = function.new_vreg(center.regclass)
+    mapping = {center: partial}
+    first_instr = first_half[0][3]
+    for block in function.blocks:
+        new_instructions = []
+        for instr in block.instructions:
+            if id(instr) not in rewritten_ids:
+                new_instructions.append(instr)
+            elif instr is first_instr:
+                # Seed the partial accumulator from the center's current
+                # value: rewrite only the def, keep the center as input
+                # (`partial = op center, x`), so the non-ARITH initializer
+                # of the center still feeds the chain.
+                rewritten = instr.rewrite(mapping)
+                new_instructions.append(
+                    Instruction(
+                        rewritten.opcode,
+                        rewritten.kind,
+                        rewritten.defs,
+                        instr.uses,  # original uses: still read the center
+                        rewritten.attrs,
+                    )
+                )
+            else:
+                new_instructions.append(instr.rewrite(mapping))
+        block.instructions = new_instructions
+    # Copy the partial result back into the center after the last
+    # rewritten writer.
+    __, last_label, last_index, __ = first_half[-1]
+    block = function.block(last_label)
+    block.insert(last_index + 1, ins.copy(center, partial, sdg_copy=True))
+    return True

@@ -1,0 +1,64 @@
+"""Simulation substrate: static conflict statistics, dynamic execution
+(the QEMU-trace substitute), the DSA VLIW cycle model, and platform
+descriptions for RV#1 / RV#2 / DSA.
+"""
+
+from .dsa import DsaCycleReport, DsaMachine
+from .energy import EnergyReport, estimate_energy
+from .exec import (
+    ExecutionError,
+    ExecutionTrace,
+    OPCODE_SEMANTICS,
+    ValueInterpreter,
+    observably_equivalent,
+)
+from .dynamic import (
+    DynamicSimulator,
+    DynamicStats,
+    estimate_dynamic_conflicts,
+    expected_block_frequencies,
+)
+from .machine import (
+    DSA_SUBGROUPED,
+    Platform,
+    interleaved_files,
+    platform_dsa,
+    platform_rv1,
+    platform_rv2,
+)
+from .static_stats import (
+    StaticStats,
+    analyze_module_static,
+    analyze_static,
+    count_conflict_relevant,
+    instruction_bank_conflicts,
+    instruction_subgroup_violations,
+)
+
+__all__ = [
+    "DSA_SUBGROUPED",
+    "ExecutionError",
+    "ExecutionTrace",
+    "OPCODE_SEMANTICS",
+    "ValueInterpreter",
+    "observably_equivalent",
+    "DsaCycleReport",
+    "EnergyReport",
+    "estimate_energy",
+    "DsaMachine",
+    "DynamicSimulator",
+    "DynamicStats",
+    "Platform",
+    "StaticStats",
+    "analyze_module_static",
+    "analyze_static",
+    "count_conflict_relevant",
+    "estimate_dynamic_conflicts",
+    "expected_block_frequencies",
+    "instruction_bank_conflicts",
+    "instruction_subgroup_violations",
+    "interleaved_files",
+    "platform_dsa",
+    "platform_rv1",
+    "platform_rv2",
+]

@@ -1,0 +1,84 @@
+"""Platform descriptions matching §IV-A2.
+
+* **Platform-RV Setting #1** — 1024 floating-point registers in 2/4/8
+  banks (512/256/128 per bank): the register-rich GPU-like setting.
+* **Platform-RV Setting #2** — the riscv-64 budget of 32 registers in 2/4
+  banks (16/8 per bank): the tight-budget setting, where dynamic conflict
+  instances are also collected.
+* **Platform-DSA** — 1024 vector registers in the 2x4 bank-subgroup
+  layout, plus the plain 2/4/8/16-banked hardware comparison points of
+  Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..banks.register_file import BankedRegisterFile, BankSubgroupRegisterFile, RegisterFile
+from ..ir.types import FP, RegClass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A named platform with one register file per bank setting."""
+
+    name: str
+    files: dict[int, RegisterFile]
+    collects_dynamic: bool = False
+
+    def file_for(self, banks: int) -> RegisterFile:
+        try:
+            return self.files[banks]
+        except KeyError:
+            raise KeyError(
+                f"platform {self.name} has no {banks}-bank setting; "
+                f"available: {sorted(self.files)}"
+            ) from None
+
+    @property
+    def bank_settings(self) -> list[int]:
+        return sorted(self.files)
+
+
+def platform_rv1(regclass: RegClass = FP) -> Platform:
+    """Setting #1: 1024 registers, 2/4/8 banks (static statistics)."""
+    return Platform(
+        name="RV#1",
+        files={
+            banks: BankedRegisterFile(1024, banks, regclass) for banks in (2, 4, 8)
+        },
+    )
+
+
+def platform_rv2(regclass: RegClass = FP) -> Platform:
+    """Setting #2: 32 registers (riscv-64 ISA), 2/4 banks (dynamic too)."""
+    return Platform(
+        name="RV#2",
+        files={banks: BankedRegisterFile(32, banks, regclass) for banks in (2, 4)},
+        collects_dynamic=True,
+    )
+
+
+def platform_dsa(regclass: RegClass = FP) -> Platform:
+    """Platform-DSA: the 2x4 bank-subgroup file under key ``0`` plus the
+    plain N-banked comparison hardware under keys 2/4/8/16."""
+    files: dict[int, RegisterFile] = {
+        0: BankSubgroupRegisterFile(1024, 2, 4, regclass),
+    }
+    for banks in (2, 4, 8, 16):
+        files[banks] = BankedRegisterFile(1024, banks, regclass)
+    return Platform(name="DSA", files=files)
+
+
+#: Key for the bank-subgroup file within :func:`platform_dsa`.
+DSA_SUBGROUPED = 0
+
+
+def interleaved_files(
+    num_registers: int, bank_settings: tuple[int, ...] = (2, 4, 8, 16), regclass: RegClass = FP
+) -> dict[int, BankedRegisterFile]:
+    """N-way interleaved files for the Fig. 1 prevalence experiment."""
+    return {
+        banks: BankedRegisterFile(num_registers, banks, regclass)
+        for banks in bank_settings
+    }

@@ -1,0 +1,67 @@
+"""Workload generation: seeded synthetic suites standing in for the
+paper's SPECfp, CNN-KERNEL (MobileNet), and DSA-OP benchmarks, plus the
+random-program generator used by property-based tests.
+"""
+
+from .cnn import (
+    CNN_CATEGORIES,
+    avg_pool2d_kernel,
+    cnn_suite,
+    conv2d_relu_kernel,
+    elementwise_kernel,
+    max_pool2d_kernel,
+)
+from .dsa_ops import (
+    DSA_KERNELS,
+    dsa_suite,
+    dw_conv2d_kernel,
+    idft_kernel,
+    reduce_kernel,
+    reduce_unrolled_kernel,
+    shared_use_kernel,
+    tr_kernel,
+)
+from .mobilenet import MOBILENET_V1_LAYERS, ConvLayer, layer_kernel, mobilenet_conv_kernels
+from .stats import FunctionStats, SuiteStats
+from .specfp import (
+    SPECFP_BENCHMARKS,
+    SpecBenchmark,
+    Suite,
+    SuiteProgram,
+    generate_benchmark,
+    specfp_suite,
+)
+from .synth import KernelSpec, generate_kernel, generate_scalar_function, random_function
+
+__all__ = [
+    "CNN_CATEGORIES",
+    "DSA_KERNELS",
+    "KernelSpec",
+    "SPECFP_BENCHMARKS",
+    "SpecBenchmark",
+    "FunctionStats",
+    "MOBILENET_V1_LAYERS",
+    "ConvLayer",
+    "layer_kernel",
+    "mobilenet_conv_kernels",
+    "SuiteStats",
+    "Suite",
+    "SuiteProgram",
+    "avg_pool2d_kernel",
+    "cnn_suite",
+    "conv2d_relu_kernel",
+    "dsa_suite",
+    "dw_conv2d_kernel",
+    "elementwise_kernel",
+    "generate_benchmark",
+    "generate_kernel",
+    "generate_scalar_function",
+    "idft_kernel",
+    "max_pool2d_kernel",
+    "random_function",
+    "reduce_kernel",
+    "reduce_unrolled_kernel",
+    "shared_use_kernel",
+    "specfp_suite",
+    "tr_kernel",
+]

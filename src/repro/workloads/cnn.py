@@ -1,0 +1,220 @@
+"""CNN-KERNEL suite: MobileNet-style kernels, calibrated to Table I.
+
+64 kernels in four operation categories (the paper's Table I groups):
+
+* ``conv2d.relu`` — 42 executables, geomean ~1089 conflict-relevant
+  instructions: pointwise/depthwise convolution inner products fused with
+  ReLU, *manually unrolled* (as the paper does) to raise bank pressure;
+* ``avg.pool2d`` — 6 executables, ~1010 Reles: window accumulation and a
+  reciprocal multiply;
+* ``max.pool2d`` — 6 executables, ~327 Reles: window fmax trees;
+* ``other`` — 3 conflict-relevant executables (~42 Reles: bias-add,
+  batch-norm, softmax-ish) plus conflict-irrelevant activations to match
+  Fig. 1c's 85.48% conflict-relevant share (53-ish of 64).
+
+Kernels are built explicitly (not through the random synthesizer) so the
+operand-sharing structure is the real one: convolution shares weights
+across unrolled output positions (input sharing), pooling shares the
+window accumulator (output sharing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function, Module
+from ..ir.verifier import verify_function
+from .specfp import Suite, SuiteProgram
+from .synth import generate_scalar_function
+
+
+# ----------------------------------------------------------------------
+# Kernel generators
+# ----------------------------------------------------------------------
+def conv2d_relu_kernel(
+    name: str,
+    channels: int = 8,
+    kernel_size: int = 3,
+    unroll: int = 4,
+    trip_counts: tuple[int, int] = (16, 16),
+    seed: int = 0,
+) -> Function:
+    """Unrolled convolution inner product fused with ReLU.
+
+    For each of ``unroll`` output positions the inner loop multiplies
+    ``channels * kernel_size`` input/weight pairs into an accumulator; the
+    weights are *shared* across the unrolled positions — the input-sharing
+    structure of Fig. 8.
+    """
+    rng = random.Random(seed)
+    b = IRBuilder(name)
+    taps = kernel_size * kernel_size
+    weights = [b.const(round(rng.uniform(-1, 1), 4)) for __ in range(min(taps, 9))]
+    with b.loop(trip_count=trip_counts[0]):  # output rows
+        inputs = [b.const(float(i)) for i in range(channels)]
+        with b.loop(trip_count=trip_counts[1]):  # output cols
+            accs = [b.const(0.0) for __ in range(unroll)]
+            for position in range(unroll):
+                for c in range(channels):
+                    weight = weights[(position + c) % len(weights)]
+                    product = b.arith("fmul", inputs[c], weight)
+                    b.arith_into(accs[position], "fadd", accs[position], product)
+            zero = b.const(0.0)
+            for position in range(unroll):
+                b.arith_into(accs[position], "fmax", accs[position], zero)  # ReLU
+            # Rotate inputs (line buffer shift) so rows chain.
+            for c in range(channels - 1):
+                inputs[c] = b.arith("fadd", inputs[c + 1], accs[c % unroll])
+    b.ret()
+    function = b.finish()
+    verify_function(function)
+    return function
+
+
+def avg_pool2d_kernel(
+    name: str,
+    window: int = 3,
+    unroll: int = 4,
+    trip_counts: tuple[int, int] = (16, 16),
+    seed: int = 0,
+) -> Function:
+    """Window-sum pooling: ``window**2`` adds per output into one
+    accumulator (output sharing, Fig. 9), then a reciprocal multiply."""
+    rng = random.Random(seed)
+    b = IRBuilder(name)
+    scale = b.const(round(1.0 / (window * window), 6))
+    with b.loop(trip_count=trip_counts[0]):
+        lanes = [b.const(float(i)) for i in range(window * window)]
+        with b.loop(trip_count=trip_counts[1]):
+            for __ in range(unroll):
+                acc = b.const(0.0)
+                for lane in lanes:
+                    b.arith_into(acc, "fadd", acc, lane)
+                out = b.arith("fmul", acc, scale)
+                lanes[rng.randrange(len(lanes))] = out
+    b.ret()
+    function = b.finish()
+    verify_function(function)
+    return function
+
+
+def max_pool2d_kernel(
+    name: str,
+    window: int = 2,
+    unroll: int = 2,
+    trip_counts: tuple[int, int] = (16, 16),
+    seed: int = 0,
+) -> Function:
+    """Window-max pooling: fmax reduction trees."""
+    rng = random.Random(seed)
+    b = IRBuilder(name)
+    with b.loop(trip_count=trip_counts[0]):
+        lanes = [b.const(float(i)) for i in range(window * window * 2)]
+        with b.loop(trip_count=trip_counts[1]):
+            for __ in range(unroll):
+                best = lanes[0]
+                for lane in lanes[1:]:
+                    best = b.arith("fmax", best, lane)
+                lanes[rng.randrange(len(lanes))] = best
+    b.ret()
+    function = b.finish()
+    verify_function(function)
+    return function
+
+
+def elementwise_kernel(name: str, ops: int = 24, trip_count: int = 64, seed: int = 0) -> Function:
+    """Bias-add / batchnorm-style elementwise kernel ("other")."""
+    rng = random.Random(seed)
+    b = IRBuilder(name)
+    bias = b.const(0.1)
+    gamma = b.const(1.5)
+    with b.loop(trip_count=trip_count):
+        x = b.const(1.0)
+        for __ in range(ops):
+            x = b.arith(rng.choice(("fadd", "fmul")), x, bias if rng.random() < 0.5 else gamma)
+    b.ret()
+    function = b.finish()
+    verify_function(function)
+    return function
+
+
+# ----------------------------------------------------------------------
+# Suite assembly (Table I geometry: 42 / 6 / 6 / 3 relevant + irrelevant)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CnnCategory:
+    name: str
+    count: int
+
+
+CNN_CATEGORIES = (
+    CnnCategory("conv2d.relu", 42),
+    CnnCategory("avg.pool2d", 6),
+    CnnCategory("max.pool2d", 6),
+    CnnCategory("other", 3),
+)
+
+#: Irrelevant activations filling the suite to 64 kernels (Fig. 1c shows
+#: ~15% of CNN kernels contain no conflict-relevant instruction).
+CNN_IRRELEVANT_COUNT = 64 - sum(c.count for c in CNN_CATEGORIES)
+
+
+def cnn_suite(scale: float = 1.0, seed: int = 0) -> Suite:
+    """The CNN-KERNEL suite.  ``scale`` multiplies per-category kernel
+    counts (the kernels themselves keep their calibrated sizes)."""
+    rng = random.Random(f"{seed}:cnn")
+    suite = Suite("CNN-KERNEL")
+
+    def add(name: str, category: str, function: Function) -> None:
+        module = Module(name)
+        module.add(function)
+        suite.programs.append(SuiteProgram(name, category, module))
+
+    count = max(2, round(42 * scale))
+    # The conv2d.relu population comes from the real MobileNet-v1 layer
+    # stack (std/dw/pw conv shapes), manually unrolled to sweep bank
+    # pressure — see :mod:`repro.workloads.mobilenet`.
+    from .mobilenet import mobilenet_conv_kernels
+
+    for i, kernel in enumerate(mobilenet_conv_kernels(count)):
+        add(f"conv2d.relu.{i}", "conv2d.relu", kernel)
+    count = max(1, round(6 * scale))
+    for i in range(count):
+        add(
+            f"avg.pool2d.{i}",
+            "avg.pool2d",
+            avg_pool2d_kernel(
+                f"avg_pool2d_{i}",
+                window=2 + (i % 2),
+                unroll=3 + (i % 4),
+                seed=rng.randrange(1 << 30),
+            ),
+        )
+    for i in range(count):
+        add(
+            f"max.pool2d.{i}",
+            "max.pool2d",
+            max_pool2d_kernel(
+                f"max_pool2d_{i}",
+                window=2 + (i % 2),
+                unroll=1 + (i % 3),
+                seed=rng.randrange(1 << 30),
+            ),
+        )
+    count = max(1, round(3 * scale))
+    for i in range(count):
+        add(
+            f"other.{i}",
+            "other",
+            elementwise_kernel(f"elementwise_{i}", ops=16 + 8 * i, seed=rng.randrange(1 << 30)),
+        )
+    count = max(1, round(CNN_IRRELEVANT_COUNT * scale))
+    for i in range(count):
+        add(
+            f"activation.{i}",
+            "irrelevant",
+            generate_scalar_function(f"activation_{i}", rng.randrange(1 << 30)),
+        )
+    return suite

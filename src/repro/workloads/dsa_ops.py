@@ -1,0 +1,233 @@
+"""DSA-OP suite: hand-written AI kernels for the bank-subgroup DSA.
+
+The paper's eight kernels (Table VI), rebuilt as IR generators with the
+same computational structure:
+
+* ``reduce`` / ``red-ur`` — value reductions (plain and unrolled): heavy
+  *output sharing* (one accumulator written by many ops, Fig. 9);
+* ``shruse`` / ``sr-ur`` — shared-operand kernels (plain and unrolled):
+  heavy *input sharing* (one value read by many ops, Fig. 8);
+* ``dw-conv2d`` — a depthwise 3x3 convolution;
+* ``tr18987`` / ``tr15651`` — mixed elementwise/transform kernels sized
+  after the paper's test cases;
+* ``idft`` — a genuine fully-unrolled N-point inverse discrete Fourier
+  transform with constant twiddle factors: the paper's hardest case
+  (large shared-input components force thousands of subgroup-splitting
+  copies under bpc).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function, Module
+from ..ir.verifier import verify_function
+from .specfp import Suite, SuiteProgram
+
+
+def reduce_kernel(name: str = "reduce", inputs: int = 10, trip_count: int = 8) -> Function:
+    """Linear reduction: one accumulator absorbing every input."""
+    b = IRBuilder(name)
+    values = [b.const(float(i)) for i in range(inputs)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=trip_count):
+        for value in values:
+            b.arith_into(acc, "fadd", acc, value)
+    b.ret(acc)
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+def reduce_unrolled_kernel(
+    name: str = "red-ur", inputs: int = 48, lanes: int = 4, trip_count: int = 8
+) -> Function:
+    """Unrolled reduction: several accumulator lanes, merged at the end."""
+    b = IRBuilder(name)
+    values = [b.const(float(i)) for i in range(inputs)]
+    accs = [b.const(0.0) for __ in range(lanes)]
+    with b.loop(trip_count=trip_count):
+        for i, value in enumerate(values):
+            acc = accs[i % lanes]
+            b.arith_into(acc, "fadd", acc, value)
+    total = accs[0]
+    for acc in accs[1:]:
+        total = b.arith("fadd", total, acc)
+    b.ret(total)
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+def shared_use_kernel(
+    name: str = "shruse", consumers: int = 10, separation: int = 15
+) -> Function:
+    """Two hot values read by every operation (pure input sharing).
+
+    The two shared registers are separated by *separation* long-lived
+    filler values.  Index-order ("non") allocation therefore places them
+    16 registers apart — the same bank under 2-, 4-, 8-, *and* 16-way
+    interleaving, which is why the paper's shruse/sr-ur rows stay at 100%
+    for every plain-banked hardware point while bpc trivially fixes them.
+    """
+    b = IRBuilder(name)
+    hot_a = b.const(2.0)
+    fillers = [b.const(float(i)) for i in range(separation)]
+    hot_b = b.const(3.0)
+    # The consumers live in a loop so the fillers stay live across them
+    # (their closing uses sit in the exit block, out of the pre-allocation
+    # scheduler's reach) and keep their register indexes in between.
+    with b.loop(trip_count=1):
+        for i in range(consumers):
+            b.arith("fmul", hot_a, hot_b, consumer=i)
+    for filler in fillers:
+        b.arith("fneg", filler)
+    b.ret(hot_a)
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+def shared_use_unrolled_kernel(
+    name: str = "sr-ur", consumers: int = 200, separation: int = 15
+) -> Function:
+    """The unrolled shared-use kernel: a much wider fanout."""
+    return shared_use_kernel(name, consumers, separation)
+
+
+def dw_conv2d_kernel(
+    name: str = "dw-conv2d",
+    trip_counts: tuple[int, int] = (4, 4),
+    channels: int = 2,
+) -> Function:
+    """Depthwise 3x3 convolution: 9 taps x weights per channel."""
+    b = IRBuilder(name)
+    weights = [b.const(round(0.1 * (i + 1), 2)) for i in range(9)]
+    with b.loop(trip_count=trip_counts[0]):
+        lanes = [
+            [b.const(float(9 * c + i)) for i in range(9)] for c in range(channels)
+        ]
+        with b.loop(trip_count=trip_counts[1]):
+            for c in range(channels):
+                acc = b.const(0.0)
+                for pixel, weight in zip(lanes[c], weights):
+                    product = b.arith("fmul", pixel, weight)
+                    b.arith_into(acc, "fadd", acc, product)
+                lanes[c] = lanes[c][1:] + [acc]
+    b.ret()
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+def tr_kernel(
+    name: str,
+    ops: int,
+    seed: int = 0,
+    trip_count: int = 2,
+    odd_cycle_ops: int = 0,
+) -> Function:
+    """Mixed transform kernel (models the paper's tr18987/tr15651 cases).
+
+    Lanes are split into two streams that combine pairwise — the
+    butterfly/transpose structure of real transform kernels, whose RCG is
+    bipartite and therefore 2-bank colorable.  ``odd_cycle_ops`` injects
+    same-stream combinations that create odd RCG cycles: tr18987 keeps a
+    small uncolorable residue in the paper (0.57%), tr15651 none.
+    """
+    rng = random.Random(f"{seed}:{name}")
+    b = IRBuilder(name)
+    stream_a = [b.const(float(i + 1)) for i in range(6)]
+    stream_b = [b.const(float(-i - 1)) for i in range(6)]
+    with b.loop(trip_count=trip_count):
+        for i in range(ops):
+            a = rng.randrange(len(stream_a))
+            c = rng.randrange(len(stream_b))
+            if rng.random() < 0.5:
+                stream_a[a] = b.arith("fadd", stream_a[a], stream_b[c])
+            else:
+                stream_b[c] = b.arith("fmul", stream_b[c], stream_a[a])
+        for __ in range(odd_cycle_ops):
+            # An explicit RCG triangle over three live registers: with two
+            # banks one of its three edges must stay monochromatic, leaving
+            # a small residual conflict (tr18987's 0.57% in the paper).
+            x, y, z = stream_a[0], stream_b[0], stream_a[1]
+            t1 = b.arith("fadd", x, y)
+            t2 = b.arith("fadd", y, z)
+            t3 = b.arith("fadd", z, x)
+            stream_a[2] = b.arith("fadd", t1, t2)
+            stream_b[2] = b.arith("fadd", t2, t3)
+    b.ret(stream_a[0])
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+def idft_kernel(name: str = "idft", points: int = 24) -> Function:
+    """Fully unrolled N-point inverse DFT on real/imaginary lanes.
+
+    x[n] = (1/N) * sum_k ( Xre[k]*cos(2*pi*k*n/N) - Xim[k]*sin(...) )
+    (real part; the imaginary lane is computed symmetrically).
+
+    Every output reads the *whole* input vector, producing the massive
+    shared-input SDG components that make idft the stress test of
+    Tables VI/VII.
+    """
+    b = IRBuilder(name)
+    n = points
+    xre = [b.const(round(math.sin(0.7 * k + 0.3), 6)) for k in range(n)]
+    xim = [b.const(round(math.cos(1.3 * k), 6)) for k in range(n)]
+    inv_n = b.const(round(1.0 / n, 8))
+    out_re_first = None
+    for out_index in range(n):
+        acc_re = b.const(0.0)
+        acc_im = b.const(0.0)
+        for k in range(n):
+            angle = 2.0 * math.pi * k * out_index / n
+            cos_t = b.const(round(math.cos(angle), 8))
+            sin_t = b.const(round(math.sin(angle), 8))
+            term1 = b.arith("fmul", xre[k], cos_t)
+            term2 = b.arith("fmul", xim[k], sin_t)
+            diff = b.arith("fsub", term1, term2)
+            b.arith_into(acc_re, "fadd", acc_re, diff)
+            term3 = b.arith("fmul", xre[k], sin_t)
+            term4 = b.arith("fmul", xim[k], cos_t)
+            summ = b.arith("fadd", term3, term4)
+            b.arith_into(acc_im, "fadd", acc_im, summ)
+        scaled_re = b.arith("fmul", acc_re, inv_n)
+        b.arith("fmul", acc_im, inv_n)
+        if out_re_first is None:
+            out_re_first = scaled_re
+    b.ret(out_re_first)
+    fn = b.finish()
+    verify_function(fn)
+    return fn
+
+
+#: Kernel registry: name -> factory (paper's Table VI rows, in order).
+DSA_KERNELS = {
+    "reduce": lambda: reduce_kernel(),
+    "red-ur": lambda: reduce_unrolled_kernel(),
+    "shruse": lambda: shared_use_kernel(),
+    "sr-ur": lambda: shared_use_unrolled_kernel(),
+    "dw-conv2d": lambda: dw_conv2d_kernel(),
+    "tr18987": lambda: tr_kernel("tr18987", ops=330, odd_cycle_ops=2),
+    "tr15651": lambda: tr_kernel("tr15651", ops=1200, seed=1),
+    "idft": lambda: idft_kernel(),
+}
+
+
+def dsa_suite(seed: int = 0, idft_points: int = 24) -> Suite:
+    """The DSA-OP suite: one program per kernel."""
+    suite = Suite("DSA-OP")
+    for name, factory in DSA_KERNELS.items():
+        if name == "idft":
+            fn = idft_kernel(points=idft_points)
+        else:
+            fn = factory()
+        module = Module(name)
+        module.add(fn)
+        suite.programs.append(SuiteProgram(name, name, module))
+    return suite

@@ -1,0 +1,158 @@
+"""MobileNet-v1 layer table and kernel derivation.
+
+Table I says the CNN-KERNEL suite is "64 kernels from a Convolutional
+Neural Network called MobileNet".  This module encodes the actual
+MobileNet-v1 (224x224, alpha=1) layer stack and derives per-layer kernel
+IR from it, so the suite's 42 conv2d.relu executables correspond to real
+layer shapes (standard conv, depthwise conv, and pointwise conv, each
+fused with ReLU), with pooling and softmax closing the network.
+
+The layer table follows Howard et al., "MobileNets: Efficient
+Convolutional Neural Networks for Mobile Vision Applications" (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.verifier import verify_function
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One MobileNet convolution layer.
+
+    Attributes:
+        name: Layer name (conv1, conv2_dw, conv2_pw, ...).
+        kind: "std" (full conv), "dw" (depthwise), or "pw" (pointwise 1x1).
+        kernel: Spatial kernel size (3 or 1).
+        in_channels / out_channels: Channel counts.
+        spatial: Output feature-map edge length.
+        stride: Convolution stride.
+    """
+
+    name: str
+    kind: str
+    kernel: int
+    in_channels: int
+    out_channels: int
+    spatial: int
+    stride: int = 1
+
+    @property
+    def macs_per_output(self) -> int:
+        """Multiply-accumulates per output element."""
+        if self.kind == "dw":
+            return self.kernel * self.kernel
+        return self.kernel * self.kernel * self.in_channels
+
+
+#: MobileNet-v1 (224, alpha=1.0) convolution stack: 1 standard conv +
+#: 13 depthwise-separable blocks (dw + pw each) = 27 conv layers.
+MOBILENET_V1_LAYERS: tuple[ConvLayer, ...] = (
+    ConvLayer("conv1", "std", 3, 3, 32, 112, 2),
+    ConvLayer("conv2_dw", "dw", 3, 32, 32, 112),
+    ConvLayer("conv2_pw", "pw", 1, 32, 64, 112),
+    ConvLayer("conv3_dw", "dw", 3, 64, 64, 56, 2),
+    ConvLayer("conv3_pw", "pw", 1, 64, 128, 56),
+    ConvLayer("conv4_dw", "dw", 3, 128, 128, 56),
+    ConvLayer("conv4_pw", "pw", 1, 128, 128, 56),
+    ConvLayer("conv5_dw", "dw", 3, 128, 128, 28, 2),
+    ConvLayer("conv5_pw", "pw", 1, 128, 256, 28),
+    ConvLayer("conv6_dw", "dw", 3, 256, 256, 28),
+    ConvLayer("conv6_pw", "pw", 1, 256, 256, 28),
+    ConvLayer("conv7_dw", "dw", 3, 256, 256, 14, 2),
+    ConvLayer("conv7_pw", "pw", 1, 256, 512, 14),
+    ConvLayer("conv8_dw", "dw", 3, 512, 512, 14),
+    ConvLayer("conv8_pw", "pw", 1, 512, 512, 14),
+    ConvLayer("conv9_dw", "dw", 3, 512, 512, 14),
+    ConvLayer("conv9_pw", "pw", 1, 512, 512, 14),
+    ConvLayer("conv10_dw", "dw", 3, 512, 512, 14),
+    ConvLayer("conv10_pw", "pw", 1, 512, 512, 14),
+    ConvLayer("conv11_dw", "dw", 3, 512, 512, 14),
+    ConvLayer("conv11_pw", "pw", 1, 512, 512, 14),
+    ConvLayer("conv12_dw", "dw", 3, 512, 512, 14),
+    ConvLayer("conv12_pw", "pw", 1, 512, 512, 14),
+    ConvLayer("conv13_dw", "dw", 3, 512, 512, 7, 2),
+    ConvLayer("conv13_pw", "pw", 1, 512, 1024, 7),
+    ConvLayer("conv14_dw", "dw", 3, 1024, 1024, 7),
+    ConvLayer("conv14_pw", "pw", 1, 1024, 1024, 7),
+)
+
+
+def layer_kernel(
+    layer: ConvLayer,
+    *,
+    unroll: int = 4,
+    reduction_width: int | None = None,
+) -> Function:
+    """Derive the inner-loop kernel IR for one MobileNet layer.
+
+    The generated function is the vectorized inner product the compiler
+    actually sees: per output position, ``reduction_width`` input/weight
+    MACs accumulate (capped — the register file holds a tile of the
+    reduction, not 4.6k channels), fused with ReLU; *unroll* output
+    positions are produced per loop body (the paper's manual unrolling).
+
+    Loop trip counts reflect the layer's real spatial extent, so the
+    conflict *cost* model sees genuine hot/cold structure.
+    """
+    if reduction_width is None:
+        # Tile of the reduction held in registers, by layer kind: a
+        # depthwise conv reduces over its 9 taps exactly; pointwise and
+        # standard convs tile their (much deeper) channel reduction.
+        if layer.kind == "dw":
+            reduction_width = layer.kernel * layer.kernel
+        elif layer.kind == "pw":
+            reduction_width = min(16, max(4, layer.in_channels // 64))
+        else:
+            reduction_width = min(12, layer.macs_per_output)
+    builder = IRBuilder(f"mobilenet_{layer.name}")
+    weights = [
+        builder.const(round(0.01 * (i + 1), 4)) for i in range(reduction_width)
+    ]
+    spatial_trip = max(2, min(layer.spatial, 28))
+    with builder.loop(trip_count=spatial_trip):  # output rows (tile)
+        inputs = [builder.const(float(i)) for i in range(reduction_width)]
+        with builder.loop(trip_count=spatial_trip):  # output cols (tile)
+            accs = [builder.const(0.0) for __ in range(unroll)]
+            for position in range(unroll):
+                for lane in range(reduction_width):
+                    product = builder.arith(
+                        "fmul", inputs[(lane + position) % reduction_width],
+                        weights[lane],
+                    )
+                    builder.arith_into(accs[position], "fadd", accs[position], product)
+            zero = builder.const(0.0)
+            for position in range(unroll):
+                builder.arith_into(accs[position], "fmax", accs[position], zero)
+            # Shift the input window (line buffer) so rows chain.
+            for lane in range(reduction_width - 1):
+                inputs[lane] = builder.arith(
+                    "fadd", inputs[lane + 1], accs[lane % unroll]
+                )
+    builder.ret()
+    function = builder.finish()
+    function.attrs["layer"] = layer
+    verify_function(function)
+    return function
+
+
+def mobilenet_conv_kernels(count: int = 42, base_unroll: int = 2) -> list[Function]:
+    """The conv2d.relu population of Table I: *count* kernels drawn from
+    the 27-layer stack with varying unroll factors (the paper unrolls
+    manually to create different levels of bank pressure)."""
+    kernels: list[Function] = []
+    index = 0
+    while len(kernels) < count:
+        layer = MOBILENET_V1_LAYERS[index % len(MOBILENET_V1_LAYERS)]
+        # Sweep unroll across the population (and again on wrap-around)
+        # so the suite covers a range of bank-pressure levels.
+        unroll = base_unroll + (index % 5) + (index // len(MOBILENET_V1_LAYERS)) * 2
+        kernel = layer_kernel(layer, unroll=max(1, unroll))
+        kernel.name = f"{kernel.name}_u{unroll}"
+        kernels.append(kernel)
+        index += 1
+    return kernels

@@ -1,0 +1,137 @@
+"""Suite statistics: structural summaries of generated workloads.
+
+Used to sanity-check calibration against Table I (and by the `suite`
+CLI subcommand): instruction mix, loop-nest shapes, live-range pressure,
+and conflict-relevant densities, per program and aggregated.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..analysis.intervals import LiveIntervals
+from ..ir.function import Function
+from ..ir.loops import LoopInfo
+from ..sim.static_stats import count_conflict_relevant
+from .specfp import Suite
+
+
+@dataclass
+class FunctionStats:
+    """Structural summary of one function."""
+
+    name: str
+    instructions: int = 0
+    blocks: int = 0
+    loops: int = 0
+    max_loop_depth: int = 0
+    max_trip_product: float = 1.0
+    conflict_relevant: int = 0
+    max_pressure: int = 0
+    opcode_mix: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def of(cls, function: Function) -> "FunctionStats":
+        """Measure *function*."""
+        loop_info = LoopInfo.build(function)
+        stats = cls(
+            name=function.name,
+            instructions=function.instruction_count(),
+            blocks=len(function.blocks),
+            loops=len(loop_info),
+            conflict_relevant=count_conflict_relevant(function),
+            max_pressure=LiveIntervals.build(function).max_pressure(),
+        )
+        for loop in loop_info:
+            stats.max_loop_depth = max(stats.max_loop_depth, loop.depth)
+        for block in function.blocks:
+            stats.max_trip_product = max(
+                stats.max_trip_product, loop_info.block_frequency(block.label)
+            )
+            for instr in block:
+                stats.opcode_mix[instr.opcode] += 1
+        return stats
+
+    @property
+    def conflict_density(self) -> float:
+        """Conflict-relevant instructions per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.conflict_relevant / self.instructions
+
+
+@dataclass
+class SuiteStats:
+    """Aggregated statistics of a whole suite."""
+
+    suite: str
+    functions: list[FunctionStats] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, suite: Suite) -> "SuiteStats":
+        """Measure every function of *suite*."""
+        stats = cls(suite.name)
+        for function in suite.functions():
+            stats.functions.append(FunctionStats.of(function))
+        return stats
+
+    @property
+    def total_instructions(self) -> int:
+        """Instruction count summed over the suite."""
+        return sum(f.instructions for f in self.functions)
+
+    @property
+    def total_conflict_relevant(self) -> int:
+        """Conflict-relevant instruction count summed over the suite."""
+        return sum(f.conflict_relevant for f in self.functions)
+
+    @property
+    def relevant_function_share(self) -> float:
+        """Fraction of functions with any conflict-relevant instruction
+        (Fig. 1a/1c's quantity)."""
+        if not self.functions:
+            return 0.0
+        relevant = sum(1 for f in self.functions if f.conflict_relevant > 0)
+        return relevant / len(self.functions)
+
+    def pressure_histogram(self, buckets=(8, 16, 32, 64)) -> dict[str, int]:
+        """Functions per max-pressure bucket — shows which platform
+        (RV#1 vs RV#2) a suite stresses."""
+        histogram: dict[str, int] = {}
+        edges = [0, *buckets]
+        for low, high in zip(edges, edges[1:]):
+            key = f"{low + 1}-{high}"
+            histogram[key] = sum(
+                1 for f in self.functions if low < f.max_pressure <= high
+            )
+        histogram[f">{buckets[-1]}"] = sum(
+            1 for f in self.functions if f.max_pressure > buckets[-1]
+        )
+        return histogram
+
+    def loop_depth_histogram(self) -> dict[int, int]:
+        """Functions per maximum loop-nest depth."""
+        counter: Counter = Counter(f.max_loop_depth for f in self.functions)
+        return dict(sorted(counter.items()))
+
+    def opcode_mix(self) -> Counter:
+        """Opcode frequency over the whole suite."""
+        total: Counter = Counter()
+        for f in self.functions:
+            total.update(f.opcode_mix)
+        return total
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"suite {self.suite}: {len(self.functions)} functions, "
+            f"{self.total_instructions} instructions, "
+            f"{self.total_conflict_relevant} conflict-relevant "
+            f"({100 * self.relevant_function_share:.1f}% of functions relevant)",
+            f"  loop depth histogram: {self.loop_depth_histogram()}",
+            f"  pressure histogram:   {self.pressure_histogram()}",
+            "  top opcodes: "
+            + ", ".join(f"{op}({n})" for op, n in self.opcode_mix().most_common(6)),
+        ]
+        return "\n".join(lines)

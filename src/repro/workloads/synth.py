@@ -1,0 +1,190 @@
+"""Seeded synthetic program generation primitives.
+
+The benchmark suites the paper evaluates (SPEC CPU2006 fp binaries,
+MobileNet kernels, hand-written DSA kernels) are not redistributable, so
+the suite modules generate IR with the *structural* properties that drive
+the bank assigner: loop nests with known trip counts, floating-point
+arithmetic chains with controlled operand sharing, live-range pressure,
+and data-dependent branches.  Everything is deterministic in the seed.
+
+The building blocks here are shared by :mod:`repro.workloads.specfp`,
+:mod:`repro.workloads.cnn`, and :mod:`repro.workloads.dsa_ops`, and by
+the property-based tests (random well-formed functions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.types import VirtualRegister
+from ..ir.verifier import verify_function
+
+#: Opcode pools by arity for generated arithmetic.
+BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax")
+TERNARY_OPS = ("fmadd", "fmsub")
+UNARY_OPS = ("fneg", "fabs", "fsqrt", "frelu")
+
+
+@dataclass
+class KernelSpec:
+    """Knobs for one generated compute kernel.
+
+    Attributes:
+        name: Function name.
+        seed: RNG seed; every structural choice derives from it.
+        live_values: Values kept live across the main loop body (register
+            pressure driver).
+        body_ops: Arithmetic instructions per (pre-unroll) loop body.
+        loop_depth: Nesting depth of the main loop nest.
+        trip_counts: Trip count per nest level, outermost first; padded or
+            truncated to ``loop_depth``.
+        unroll: Body replication factor (the paper unrolls CNN kernels
+            manually to raise bank pressure; same mechanism here).
+        sharing: Probability that an operand reuses a *hot* shared value
+            instead of a random live value (drives RCG density and SDG
+            input sharing).
+        accumulate: Probability that an op writes into a persistent
+            accumulator instead of a fresh value (drives output sharing).
+        branch_prob: Probability of wrapping an op in a data-dependent
+            ``if`` (creates static/dynamic divergence, Table IV).
+        fp_fraction: Fraction of ops that are floating point (bankable);
+            the rest are bookkeeping on fresh values that never conflict.
+        ternary_fraction: Fraction of FP ops using three inputs.
+    """
+
+    name: str
+    seed: int = 0
+    live_values: int = 8
+    body_ops: int = 16
+    loop_depth: int = 2
+    trip_counts: tuple[int, ...] = (10, 10)
+    unroll: int = 1
+    sharing: float = 0.3
+    accumulate: float = 0.2
+    branch_prob: float = 0.0
+    fp_fraction: float = 1.0
+    ternary_fraction: float = 0.1
+
+    def normalized_trips(self) -> list[int]:
+        trips = list(self.trip_counts)[: self.loop_depth]
+        while len(trips) < self.loop_depth:
+            trips.append(10)
+        return trips
+
+
+def generate_kernel(spec: KernelSpec) -> Function:
+    """Generate one verified kernel function from *spec*."""
+    rng = random.Random(spec.seed)
+    b = IRBuilder(spec.name)
+
+    live = [b.const(round(rng.uniform(0.5, 2.0), 3)) for __ in range(spec.live_values)]
+    shared = live[: max(1, spec.live_values // 4)]
+    accumulators = [b.const(0.0) for __ in range(max(1, spec.live_values // 4))]
+
+    def pick_operand() -> VirtualRegister:
+        if rng.random() < spec.sharing:
+            return rng.choice(shared)
+        return rng.choice(live)
+
+    def emit_op(in_branch: bool = False) -> None:
+        if rng.random() >= spec.fp_fraction:
+            # Bookkeeping op: single-input, can never bank-conflict.
+            b.arith(rng.choice(UNARY_OPS), pick_operand())
+            return
+        if rng.random() < spec.ternary_fraction:
+            opcode = rng.choice(TERNARY_OPS)
+            sources = [pick_operand(), pick_operand(), pick_operand()]
+        else:
+            opcode = rng.choice(BINARY_OPS)
+            sources = [pick_operand(), pick_operand()]
+        if in_branch or rng.random() < spec.accumulate:
+            # Reduction shape: the accumulator is both an input and the
+            # output (`acc = op acc, src...`), the paper's output sharing.
+            # Inside a branch arm this is also the only safe form: a fresh
+            # register defined conditionally would be undefined on the
+            # not-taken path.
+            acc = rng.choice(accumulators)
+            b.arith_into(acc, opcode, acc, *sources[1:])
+        else:
+            result = b.arith(opcode, *sources)
+            # Rotate the result into the live set so values chain.
+            live[rng.randrange(len(live))] = result
+
+    def emit_body() -> None:
+        for __ in range(spec.unroll):
+            for __ in range(spec.body_ops):
+                if spec.branch_prob > 0.0 and rng.random() < spec.branch_prob:
+                    with b.if_then(taken_prob=round(rng.uniform(0.2, 0.8), 2)):
+                        emit_op(in_branch=True)
+                else:
+                    emit_op()
+
+    def nest(levels: list[int]) -> None:
+        if not levels:
+            emit_body()
+            return
+        with b.loop(trip_count=levels[0]):
+            nest(levels[1:])
+
+    nest(spec.normalized_trips())
+    b.ret(accumulators[0])
+    function = b.finish()
+    function.attrs["spec"] = spec
+    verify_function(function)
+    return function
+
+
+def generate_scalar_function(name: str, seed: int, ops: int = 12) -> Function:
+    """A conflict-irrelevant function: unary/control-only work.
+
+    Used for the suite fractions of Fig. 1 (not every program in SPECfp
+    touches two FP registers per instruction).
+    """
+    rng = random.Random(seed)
+    b = IRBuilder(name)
+    value = b.const(1.0)
+    with b.loop(trip_count=rng.choice((4, 8, 16))):
+        for __ in range(ops):
+            value = b.arith(rng.choice(UNARY_OPS), value)
+    b.ret(value)
+    function = b.finish()
+    verify_function(function)
+    return function
+
+
+def random_function(seed: int, *, max_depth: int = 3, max_ops: int = 40) -> Function:
+    """A random well-formed function for property-based testing.
+
+    Exercises loops, branches, sharing, accumulation, and mixed arity with
+    bounds small enough for fast hypothesis runs.
+    """
+    rng = random.Random(seed)
+    depth = rng.randint(0, max_depth)
+    # Cap the dynamic size (trip-count product) so the value interpreter
+    # can always run generated functions to completion in tests.
+    trips: list[int] = []
+    product = 1
+    for __ in range(depth):
+        trip = rng.choice((1, 2, 4, 10, 64))
+        while product * trip > 4096:
+            trip = max(1, trip // 4)
+        trips.append(trip)
+        product *= trip
+    spec = KernelSpec(
+        name=f"rand{seed}",
+        seed=seed,
+        live_values=rng.randint(2, 10),
+        body_ops=rng.randint(1, max_ops),
+        loop_depth=depth,
+        trip_counts=tuple(trips),
+        unroll=rng.randint(1, 3),
+        sharing=rng.random(),
+        accumulate=rng.random() * 0.6,
+        branch_prob=rng.random() * 0.4,
+        fp_fraction=0.5 + rng.random() * 0.5,
+        ternary_fraction=rng.random() * 0.3,
+    )
+    return generate_kernel(spec)

@@ -1,0 +1,91 @@
+"""Shared fixtures: small kernels and register files used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.banks import BankedRegisterFile, BankSubgroupRegisterFile
+from repro.ir import IRBuilder
+
+
+def build_mac_kernel(n_pairs: int = 4, trip_count: int = 16):
+    """Multiply-accumulate kernel: ``acc += x_i * y_i`` in a loop.
+
+    Every fmul reads two distinct registers (conflict-relevant), every
+    fadd reads the accumulator plus the product.
+    """
+    b = IRBuilder("mac")
+    xs = [b.const(float(i + 1)) for i in range(n_pairs)]
+    ys = [b.const(float(i + 2)) for i in range(n_pairs)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=trip_count):
+        for x, y in zip(xs, ys):
+            product = b.arith("fmul", x, y)
+            b.arith_into(acc, "fadd", acc, product)
+    b.ret(acc)
+    return b.finish()
+
+
+def build_diamond_kernel():
+    """Straight-line + if/else diamond, no loops."""
+    b = IRBuilder("diamond")
+    x = b.const(1.0)
+    y = b.const(2.0)
+    acc = b.const(0.0)
+    with b.if_else(taken_prob=0.25) as orelse:
+        b.arith_into(acc, "fadd", acc, x)
+        orelse()
+        b.arith_into(acc, "fsub", acc, y)
+    b.ret(acc)
+    return b.finish()
+
+
+def build_nested_loops(trips=(4, 8)):
+    """A two-deep loop nest with one op per level."""
+    b = IRBuilder("nested")
+    x = b.const(1.0)
+    acc = b.const(0.0)
+    with b.loop(trip_count=trips[0]):
+        b.arith_into(acc, "fadd", acc, x)
+        with b.loop(trip_count=trips[1]):
+            b.arith_into(acc, "fmul", acc, x)
+    b.ret(acc)
+    return b.finish()
+
+
+@pytest.fixture
+def mac_kernel():
+    return build_mac_kernel()
+
+@pytest.fixture
+def diamond_kernel():
+    return build_diamond_kernel()
+
+
+@pytest.fixture
+def nested_kernel():
+    return build_nested_loops()
+
+
+@pytest.fixture
+def rf_small():
+    """Tight 2-banked file: 8 registers."""
+    return BankedRegisterFile(8, 2)
+
+
+@pytest.fixture
+def rf_rv2():
+    """Platform-RV#2-style: 32 registers, 2 banks."""
+    return BankedRegisterFile(32, 2)
+
+
+@pytest.fixture
+def rf_rich():
+    """Platform-RV#1-style: 1024 registers, 4 banks."""
+    return BankedRegisterFile(1024, 4)
+
+
+@pytest.fixture
+def rf_dsa():
+    """The paper's DSA file: 1024 registers, 2 banks x 4 subgroups."""
+    return BankSubgroupRegisterFile(1024, 2, 4)

@@ -1,0 +1,65 @@
+"""Tests for the Chaitin-Briggs coloring baseline."""
+
+from repro.alloc import ChaitinBriggsAllocator
+from repro.analysis import InterferenceGraph, LiveIntervals
+from repro.banks import BankedRegisterFile
+from repro.ir.types import FP, VirtualRegister
+from repro.sim import observably_equivalent
+from tests.conftest import build_mac_kernel
+
+
+def remaining_vregs(function):
+    return [
+        r
+        for __, i in function.instructions()
+        for r in i.regs()
+        if isinstance(r, VirtualRegister) and r.regclass == FP
+    ]
+
+
+class TestChaitinBriggs:
+    def test_colors_without_spill_when_roomy(self, rf_rv2):
+        result = ChaitinBriggsAllocator(rf_rv2).run(build_mac_kernel())
+        assert result.spill_count == 0
+        assert remaining_vregs(result.function) == []
+
+    def test_coloring_is_proper(self, rf_rv2):
+        fn = build_mac_kernel()
+        result = ChaitinBriggsAllocator(rf_rv2).run(fn)
+        rig = InterferenceGraph.build(fn)
+        for node in rig.nodes():
+            for neighbor in rig.neighbors(node):
+                if node in result.assignment and neighbor in result.assignment:
+                    assert result.assignment[node] != result.assignment[neighbor]
+
+    def test_spills_under_pressure_and_terminates(self):
+        rf = BankedRegisterFile(8, 2)
+        result = ChaitinBriggsAllocator(rf).run(build_mac_kernel(n_pairs=10))
+        assert result.spill_count > 0
+        assert remaining_vregs(result.function) == []
+
+    def test_semantics_preserved(self, rf_rv2):
+        fn = build_mac_kernel(n_pairs=6)
+        result = ChaitinBriggsAllocator(rf_rv2).run(fn)
+        assert observably_equivalent(fn, result.function)
+
+    def test_semantics_preserved_with_spills(self):
+        rf = BankedRegisterFile(8, 2)
+        fn = build_mac_kernel(n_pairs=10)
+        result = ChaitinBriggsAllocator(rf).run(fn)
+        assert observably_equivalent(fn, result.function)
+
+    def test_optimistic_coloring_beats_degree_bound(self):
+        """Briggs optimism: high-degree nodes can still get colors."""
+        fn = build_mac_kernel(n_pairs=5)  # pressure ~11
+        rf = BankedRegisterFile(12, 2)
+        result = ChaitinBriggsAllocator(rf).run(fn)
+        assert result.spill_count == 0
+
+    def test_spill_instruction_count_recorded(self):
+        rf = BankedRegisterFile(8, 2)
+        result = ChaitinBriggsAllocator(rf).run(build_mac_kernel(n_pairs=10))
+        spill_ops = [
+            i for __, i in result.function.instructions() if i.attrs.get("spill")
+        ]
+        assert result.spill_instructions == len(spill_ops) > 0

@@ -1,0 +1,103 @@
+"""Tests for register coalescing."""
+
+from repro.alloc import coalesce
+from repro.ir import IRBuilder, OpKind, verify_function
+from repro.sim import ValueInterpreter, observably_equivalent
+
+
+def copy_chain_function():
+    b = IRBuilder("f")
+    x = b.const(1.0)
+    y = b.fresh()
+    b.copy(y, x)
+    z = b.fresh()
+    b.copy(z, y)
+    t = b.arith("fneg", z)
+    b.ret(t)
+    return b.finish()
+
+
+def count_copies(fn):
+    return sum(1 for __, i in fn.instructions() if i.kind is OpKind.COPY)
+
+
+class TestCoalesce:
+    def test_removes_dead_copy_chain(self):
+        fn = copy_chain_function()
+        result = coalesce(fn)
+        assert result.copies_removed == 2
+        assert count_copies(fn) == 0
+        verify_function(fn)
+
+    def test_semantics_preserved(self):
+        fn = copy_chain_function()
+        reference = fn.clone()
+        coalesce(fn)
+        assert observably_equivalent(reference, fn)
+
+    def test_overlapping_copy_kept(self):
+        # y = mov x, then both x and y used: intervals overlap, no merge.
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.fresh()
+        b.copy(y, x)
+        t = b.arith("fadd", x, y)
+        b.ret(t)
+        fn = b.finish()
+        result = coalesce(fn)
+        assert result.copies_removed == 0
+        assert count_copies(fn) == 1
+
+    def test_sdg_copies_protected(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.fresh()
+        b.copy(y, x, sdg_copy=True)
+        t = b.arith("fneg", y)
+        b.ret(t)
+        fn = b.finish()
+        result = coalesce(fn)
+        assert result.copies_removed == 0
+        assert count_copies(fn) == 1
+
+    def test_split_copies_protected(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.fresh()
+        b.copy(y, x, split_copy=True)
+        b.ret(y)
+        fn = b.finish()
+        assert coalesce(fn).copies_removed == 0
+
+    def test_merged_mapping_recorded(self):
+        fn = copy_chain_function()
+        result = coalesce(fn)
+        assert len(result.merged) == 2
+
+    def test_loop_carried_copy(self):
+        # acc2 = mov acc inside a loop where both live across the latch:
+        # must not be merged (overlap), and the function stays valid.
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        x = b.const(1.0)
+        with b.loop(trip_count=3):
+            snapshot = b.fresh()
+            b.copy(snapshot, acc)
+            b.arith_into(acc, "fadd", acc, x)
+            b.arith_into(acc, "fadd", acc, snapshot)
+        b.ret(acc)
+        fn = b.finish()
+        reference = fn.clone()
+        coalesce(fn)
+        verify_function(fn)
+        assert observably_equivalent(reference, fn)
+
+    def test_idempotent(self):
+        fn = copy_chain_function()
+        coalesce(fn)
+        assert coalesce(fn).copies_removed == 0
+
+    def test_rounds_bounded(self):
+        fn = copy_chain_function()
+        result = coalesce(fn, max_rounds=1)
+        assert result.rounds == 1

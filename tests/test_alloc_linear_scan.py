@@ -1,0 +1,73 @@
+"""Tests for the linear scan baseline allocator."""
+
+from repro.alloc import LinearScanAllocator
+from repro.banks import BankedRegisterFile
+from repro.ir.types import FP, VirtualRegister
+from repro.sim import observably_equivalent
+from tests.conftest import build_mac_kernel
+
+
+def remaining_vregs(function):
+    return [
+        r
+        for __, i in function.instructions()
+        for r in i.regs()
+        if isinstance(r, VirtualRegister) and r.regclass == FP
+    ]
+
+
+class TestLinearScan:
+    def test_all_rewritten(self, rf_rv2):
+        result = LinearScanAllocator(rf_rv2).run(build_mac_kernel())
+        assert remaining_vregs(result.function) == []
+
+    def test_no_spill_when_roomy(self, rf_rich):
+        result = LinearScanAllocator(rf_rich).run(build_mac_kernel())
+        assert result.spill_count == 0
+
+    def test_spills_under_pressure(self):
+        rf = BankedRegisterFile(8, 2)
+        result = LinearScanAllocator(rf).run(build_mac_kernel(n_pairs=10))
+        assert result.spill_count > 0
+        assert remaining_vregs(result.function) == []
+
+    def test_semantics_preserved(self, rf_rv2):
+        fn = build_mac_kernel(n_pairs=6)
+        result = LinearScanAllocator(rf_rv2).run(fn)
+        assert observably_equivalent(fn, result.function)
+
+    def test_semantics_preserved_with_spills(self):
+        rf = BankedRegisterFile(8, 2)
+        fn = build_mac_kernel(n_pairs=10)
+        result = LinearScanAllocator(rf).run(fn)
+        assert observably_equivalent(fn, result.function)
+
+    def test_scratch_registers_reserved(self):
+        rf = BankedRegisterFile(16, 2)
+        allocator = LinearScanAllocator(rf)
+        assert allocator._scratch_count() == 3
+
+    def test_tiny_file_scratch_shrinks(self):
+        rf = BankedRegisterFile(4, 2)
+        assert LinearScanAllocator(rf)._scratch_count() == 0
+
+    def test_input_untouched(self, rf_rv2):
+        fn = build_mac_kernel()
+        LinearScanAllocator(rf_rv2).run(fn)
+        assert remaining_vregs(fn)
+
+    def test_spill_weight_of_victims(self):
+        """Furthest-end spilling: spilled registers are long-lived ones."""
+        rf = BankedRegisterFile(8, 2)
+        fn = build_mac_kernel(n_pairs=10)
+        result = LinearScanAllocator(rf).run(fn)
+        # The spilled vregs must be inputs (live across the loop), not the
+        # short-lived products.
+        from repro.analysis import LiveIntervals
+
+        live = LiveIntervals.build(fn)
+        min_span = min(iv.span for iv in live.vreg_intervals())
+        for spilled in result.spilled:
+            # Products have the minimal span (def feeding the next add);
+            # the furthest-end heuristic never picks those.
+            assert live.of(spilled).span > min_span

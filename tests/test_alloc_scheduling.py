@@ -1,0 +1,97 @@
+"""Tests for the pressure-aware pre-allocation list scheduler."""
+
+from repro.alloc import schedule_function
+from repro.analysis import LiveIntervals
+from repro.ir import IRBuilder, OpKind, verify_function
+from repro.sim import observably_equivalent
+from tests.conftest import build_mac_kernel
+
+
+class TestDependencesRespected:
+    def test_true_dependency_order_kept(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.arith("fneg", x)
+        z = b.arith("fabs", y)
+        b.ret(z)
+        fn = b.finish()
+        schedule_function(fn)
+        order = [i.opcode for i in fn.entry.instructions]
+        assert order.index("fneg") < order.index("fabs")
+        verify_function(fn)
+
+    def test_memory_order_kept(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        b.store(x)
+        y = b.load()
+        b.store(y)
+        b.ret()
+        fn = b.finish()
+        schedule_function(fn)
+        kinds = [i.kind for i in fn.entry.instructions]
+        store_positions = [k for k in kinds if k in (OpKind.STORE, OpKind.LOAD)]
+        assert store_positions == [OpKind.STORE, OpKind.LOAD, OpKind.STORE]
+
+    def test_terminator_stays_last(self):
+        fn = build_mac_kernel()
+        schedule_function(fn)
+        for block in fn.blocks:
+            for i, instr in enumerate(block.instructions):
+                if instr.is_terminator:
+                    assert i == len(block.instructions) - 1
+
+    def test_anti_dependency_respected(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.arith("fneg", x)   # reads x
+        b.loadimm(x, 2.0)        # redefines x: must stay after the read
+        z = b.arith("fadd", x, y)
+        b.ret(z)
+        fn = b.finish()
+        reference = fn.clone()
+        schedule_function(fn)
+        assert observably_equivalent(reference, fn)
+
+    def test_semantics_preserved_on_kernel(self):
+        fn = build_mac_kernel()
+        reference = fn.clone()
+        schedule_function(fn)
+        verify_function(fn)
+        assert observably_equivalent(reference, fn)
+
+
+class TestPressureHeuristic:
+    def test_killing_ops_scheduled_eagerly(self):
+        """A value's last use should move toward its def, shortening the
+        live range (or at least not lengthening pressure)."""
+        b = IRBuilder("f")
+        values = [b.const(float(i)) for i in range(6)]
+        # Consume them pairwise, but interleaved with fresh productions.
+        acc = b.const(0.0)
+        t1 = b.arith("fadd", values[0], values[1])
+        t2 = b.arith("fadd", values[2], values[3])
+        t3 = b.arith("fadd", values[4], values[5])
+        b.arith_into(acc, "fadd", acc, t1)
+        b.arith_into(acc, "fadd", acc, t2)
+        b.arith_into(acc, "fadd", acc, t3)
+        b.ret(acc)
+        fn = b.finish()
+        before = LiveIntervals.build(fn).max_pressure()
+        schedule_function(fn)
+        after = LiveIntervals.build(fn).max_pressure()
+        assert after <= before
+
+    def test_all_instructions_kept(self):
+        fn = build_mac_kernel()
+        count = fn.instruction_count()
+        result = schedule_function(fn)
+        assert fn.instruction_count() == count
+        assert result.blocks_scheduled == len(fn.blocks)
+
+    def test_stable_on_second_run(self):
+        fn = build_mac_kernel()
+        schedule_function(fn)
+        snapshot = [repr(i) for __, i in fn.instructions()]
+        schedule_function(fn)
+        assert [repr(i) for __, i in fn.instructions()] == snapshot

@@ -1,0 +1,149 @@
+"""Tests for spill decomposition and live-range (region) splitting."""
+
+import math
+
+import pytest
+
+from repro.alloc.spiller import TINY_WEIGHT, SpillPlan, spill_interval
+from repro.alloc.splitter import try_region_split
+from repro.analysis import LiveIntervals, SlotIndexes
+from repro.ir import IRBuilder, LoopInfo
+from tests.conftest import build_mac_kernel
+
+
+class TestSpillDecomposition:
+    def setup_method(self):
+        self.fn = build_mac_kernel(n_pairs=3)
+        self.slots = SlotIndexes.build(self.fn)
+        self.live = LiveIntervals.build(self.fn, slots=self.slots)
+
+    def _spill(self, vreg):
+        plan = SpillPlan()
+        tinies = spill_interval(self.fn, self.slots, self.live.of(vreg), plan)
+        return plan, tinies
+
+    def test_one_tiny_per_touching_instruction(self):
+        acc = self.fn.virtual_registers()[-1]
+        interval = self.live.of(acc)
+        touching = {s for s in interval.use_slots} | {
+            w - 1 for w in interval.def_slots
+        }
+        plan, tinies = self._spill(acc)
+        assert len(tinies) == len(touching)
+
+    def test_tiny_intervals_have_infinite_weight(self):
+        acc = self.fn.virtual_registers()[-1]
+        __, tinies = self._spill(acc)
+        assert all(math.isinf(t.weight) for t in tinies)
+        assert tinies[0].weight == TINY_WEIGHT
+
+    def test_reload_per_use_store_per_def(self):
+        acc = self.fn.virtual_registers()[-1]
+        interval = self.live.of(acc)
+        plan, __ = self._spill(acc)
+        reloads = [a for a in plan.actions if a.kind == "reload"]
+        stores = [a for a in plan.actions if a.kind == "store"]
+        # One reload per instruction reading acc; one store per writer.
+        reading = {s for s in interval.use_slots}
+        writing = {w - 1 for w in interval.def_slots}
+        assert len(reloads) == len(reading)
+        assert len(stores) == len(writing)
+
+    def test_rewrites_target_touching_instructions(self):
+        acc = self.fn.virtual_registers()[-1]
+        plan, __ = self._spill(acc)
+        for instr_id, mapping in plan.rewrites.items():
+            assert acc in mapping
+
+    def test_slot_reused_per_vreg(self):
+        acc = self.fn.virtual_registers()[-1]
+        plan, __ = self._spill(acc)
+        slots = {a.slot_id for a in plan.actions}
+        assert len(slots) == 1
+
+    def test_tiny_segments_bracket_instruction(self):
+        acc = self.fn.virtual_registers()[-1]
+        interval = self.live.of(acc)
+        __, tinies = self._spill(acc)
+        for tiny in tinies:
+            assert tiny.span <= 3  # at most [slot-1, slot+2)
+
+
+class TestRegionSplit:
+    def make_split_candidate(self):
+        """A value used before, inside, and after a hot loop."""
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        pre = b.arith("fneg", x)
+        acc = b.const(0.0)
+        with b.loop(trip_count=100):
+            b.arith_into(acc, "fadd", acc, x)
+        post = b.arith("fadd", x, pre)
+        b.ret(post)
+        return b.finish(), x
+
+    def test_split_produces_two_children(self):
+        fn, x = self.make_split_candidate()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        result = try_region_split(fn, slots, loops, live.of(x))
+        assert result is not None
+        assert len(result.children) == 2
+
+    def test_children_partition_uses(self):
+        fn, x = self.make_split_candidate()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        result = try_region_split(fn, slots, loops, live.of(x))
+        total_uses = sum(len(c.use_slots) for c in result.children)
+        assert total_uses == len(live.of(x).use_slots)
+
+    def test_boundary_copies_emitted(self):
+        fn, x = self.make_split_candidate()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        result = try_region_split(fn, slots, loops, live.of(x))
+        # x is live into the loop: at least the entry copy exists.
+        assert len(result.copies) >= 1
+        positions = {(c.block_label, c.position) for c in result.copies}
+        assert any(pos == "end" for __, pos in positions)
+
+    def test_no_split_without_loop(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        t = b.arith("fneg", x)
+        b.ret(t)
+        fn = b.finish()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        assert try_region_split(fn, slots, loops, live.of(x)) is None
+
+    def test_no_split_when_interval_entirely_inside_loop(self):
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        with b.loop(trip_count=10):
+            t = b.arith("fneg", acc)  # t lives only inside the loop
+            b.arith_into(acc, "fadd", acc, t)
+        b.ret(acc)
+        fn = b.finish()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        t_reg = next(r for r in fn.virtual_registers() if len(live.of(r).use_slots) == 1
+                     and len(live.of(r).def_slots) == 1 and live.of(r).span < 6)
+        assert try_region_split(fn, slots, loops, live.of(t_reg)) is None
+
+    def test_children_weights_ordered(self):
+        fn, x = self.make_split_candidate()
+        slots = SlotIndexes.build(fn)
+        live = LiveIntervals.build(fn, slots=slots)
+        loops = LoopInfo.build(fn)
+        interval = live.of(x)
+        interval.weight = 10.0
+        result = try_region_split(fn, slots, loops, interval)
+        hot, cold = result.children
+        assert hot.weight > interval.weight > cold.weight

@@ -1,0 +1,104 @@
+"""Tests for post-allocation structural verification."""
+
+import pytest
+
+from repro.alloc import AllocationVerificationError, verify_allocation
+from repro.alloc.greedy import GreedyAllocator
+from repro.banks import BankedRegisterFile
+from repro.ir import parse_function, instruction as ins
+from repro.ir.types import PhysicalRegister, VirtualRegister
+from repro.prescount import PipelineConfig, run_pipeline
+from tests.conftest import build_mac_kernel
+
+P = PhysicalRegister
+V = VirtualRegister
+
+
+def clean_function():
+    return parse_function(
+        """
+        func @f {
+        block entry:
+          $fp0 = li #1.0
+          $fp1 = fneg $fp0
+          ret $fp1
+        }
+        """
+    )
+
+
+class TestClean:
+    def test_clean_passes(self):
+        assert verify_allocation(clean_function()) == []
+
+    def test_pipeline_output_verifies(self, rf_rv2):
+        result = run_pipeline(build_mac_kernel(), PipelineConfig(rf_rv2, "bpc"))
+        assert verify_allocation(result.function) == []
+
+    def test_spilled_output_verifies(self):
+        rf = BankedRegisterFile(8, 2)
+        result = GreedyAllocator(rf).run(build_mac_kernel(n_pairs=10))
+        assert verify_allocation(result.function) == []
+
+
+class TestFindings:
+    def test_surviving_vreg_detected(self):
+        fn = clean_function()
+        fn.entry.insert(1, ins.arith("fneg", V(9), P(0)))
+        with pytest.raises(AllocationVerificationError, match="survived"):
+            verify_allocation(fn)
+
+    def test_reload_before_store_detected(self):
+        fn = clean_function()
+        fn.entry.insert(0, ins.load(P(2), spill_slot=0, spill=True))
+        findings = verify_allocation(fn, raise_on_failure=False)
+        assert any("slot 0" in f for f in findings)
+
+    def test_store_then_reload_clean(self):
+        fn = clean_function()
+        fn.entry.insert(1, ins.store(P(0), spill_slot=0, spill=True))
+        fn.entry.insert(2, ins.load(P(2), spill_slot=0, spill=True))
+        assert verify_allocation(fn) == []
+
+    def test_read_before_write_detected(self):
+        fn = parse_function(
+            "func @f {\nblock entry:\n  $fp1 = fneg $fp0\n  ret $fp1\n}"
+        )
+        findings = verify_allocation(fn, raise_on_failure=False)
+        assert any("$f0" in f for f in findings)
+
+    def test_one_armed_store_detected(self):
+        """A store on only one branch arm does not dominate the reload."""
+        fn = parse_function(
+            """
+            func @f {
+            block entry:
+              $fp0 = li #1.0
+              br arm.then prob=0.5
+            block arm.cont:
+              jmp arm.join
+            block arm.then:
+              store $fp0
+              jmp arm.join
+            block arm.join:
+              ret
+            }
+            """
+        )
+        # Tag the store/load as spill ops via attrs.
+        then_block = fn.block("arm.then")
+        then_block.instructions[0].attrs.update(spill_slot=0, spill=True)
+        join = fn.block("arm.join")
+        join.insert(0, ins.load(P(2), spill_slot=0, spill=True))
+        findings = verify_allocation(fn, raise_on_failure=False)
+        assert any("slot 0" in f for f in findings)
+
+    def test_spill_tag_without_slot_detected(self):
+        fn = clean_function()
+        fn.entry.insert(1, ins.store(P(0), spill=True))
+        findings = verify_allocation(fn, raise_on_failure=False)
+        assert any("without a slot" in f for f in findings)
+
+    def test_error_stringifies(self):
+        error = AllocationVerificationError(["a", "b"])
+        assert "a; b" == str(error)

@@ -1,0 +1,100 @@
+"""Tests for chordal graph machinery (MCS, chordality, optimal coloring)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import (
+    InterferenceGraph,
+    LiveIntervals,
+    chordal_coloring,
+    chromatic_number,
+    is_chordal,
+    maximum_cardinality_search,
+)
+from repro.ir.types import VirtualRegister
+from repro.workloads import random_function
+from tests.conftest import build_mac_kernel
+
+V = VirtualRegister
+
+
+def graph_from_edges(n, edges):
+    g = InterferenceGraph(None)
+    for i in range(n):
+        g.adjacency.setdefault(V(i), set())
+    for a, b in edges:
+        g.add_edge(V(a), V(b))
+    return g
+
+
+class TestMcs:
+    def test_covers_all_nodes_once(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2)])
+        order = maximum_cardinality_search(g)
+        assert sorted(n.vid for n in order) == [0, 1, 2, 3]
+
+    def test_empty_graph(self):
+        g = graph_from_edges(0, [])
+        assert maximum_cardinality_search(g) == []
+
+
+class TestChordality:
+    def test_triangle_is_chordal(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert is_chordal(g)
+
+    def test_four_cycle_is_not_chordal(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not is_chordal(g)
+
+    def test_four_cycle_with_chord_is_chordal(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert is_chordal(g)
+
+    def test_tree_is_chordal(self):
+        g = graph_from_edges(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert is_chordal(g)
+
+    def test_rig_from_intervals_is_chordal(self):
+        """Interval graphs are chordal: every RIG we build must be."""
+        fn = build_mac_kernel(n_pairs=6)
+        rig = InterferenceGraph.build(fn)
+        assert is_chordal(rig)
+
+    @settings(deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 200))
+    def test_random_rigs_are_chordal(self, seed):
+        fn = random_function(seed, max_ops=20)
+        assert is_chordal(InterferenceGraph.build(fn))
+
+
+class TestColoring:
+    def test_coloring_is_proper(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        colors = chordal_coloring(g)
+        for node in g.nodes():
+            for neighbor in g.neighbors(node):
+                assert colors[node] != colors[neighbor]
+
+    def test_triangle_needs_three(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert chromatic_number(g) == 3
+
+    def test_edgeless_needs_one(self):
+        g = graph_from_edges(3, [])
+        assert chromatic_number(g) == 1
+
+    def test_empty_needs_zero(self):
+        assert chromatic_number(graph_from_edges(0, [])) == 0
+
+    @settings(deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 200))
+    def test_chromatic_number_equals_pressure(self, seed):
+        """On interval graphs chi == max clique == register pressure: the
+        optimal chordal coloring uses exactly the pressure many colors."""
+        fn = random_function(seed, max_ops=20)
+        live = LiveIntervals.build(fn)
+        rig = InterferenceGraph.build(fn, live)
+        if len(rig) == 0:
+            pytest.skip("degenerate function")
+        assert chromatic_number(rig) == live.max_pressure()

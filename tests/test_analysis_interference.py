@@ -1,0 +1,111 @@
+"""Tests for the Register Interference Graph (RIG)."""
+
+from repro.analysis import InterferenceGraph, LiveIntervals
+from repro.ir import parse_function
+from repro.ir.types import FP, GP, VirtualRegister
+from tests.conftest import build_mac_kernel
+
+V = VirtualRegister
+
+
+def chain_function():
+    return parse_function(
+        """
+        func @chain {
+        block entry:
+          %v0:fp = li #1.0
+          %v1:fp = fneg %v0:fp
+          %v2:fp = fneg %v1:fp
+          ret %v2:fp
+        }
+        """
+    )
+
+
+class TestEdges:
+    def test_chain_has_no_interference(self):
+        rig = InterferenceGraph.build(chain_function())
+        assert rig.edge_count() == 0
+
+    def test_simultaneously_live_interfere(self):
+        fn = parse_function(
+            """
+            func @f {
+            block entry:
+              %v0:fp = li #1.0
+              %v1:fp = li #2.0
+              %v2:fp = fadd %v0:fp, %v1:fp
+              ret %v2:fp
+            }
+            """
+        )
+        rig = InterferenceGraph.build(fn)
+        assert rig.interferes(V(0), V(1))
+        assert not rig.interferes(V(0), V(2))
+
+    def test_matches_pairwise_overlap(self):
+        """The sweep must agree with brute-force interval overlap."""
+        fn = build_mac_kernel()
+        live = LiveIntervals.build(fn)
+        rig = InterferenceGraph.build(fn, live)
+        intervals = live.vreg_intervals()
+        for i, a in enumerate(intervals):
+            for b in intervals[i + 1:]:
+                assert rig.interferes(a.reg, b.reg) == a.overlaps(b), (a.reg, b.reg)
+
+    def test_all_vregs_are_nodes(self):
+        fn = build_mac_kernel()
+        rig = InterferenceGraph.build(fn)
+        assert set(rig.nodes()) == set(fn.virtual_registers(FP))
+
+
+class TestApi:
+    def test_degree(self):
+        fn = build_mac_kernel(n_pairs=3)
+        rig = InterferenceGraph.build(fn)
+        for node in rig.nodes():
+            assert rig.degree(node) == len(rig.neighbors(node))
+
+    def test_subgraph(self):
+        fn = build_mac_kernel(n_pairs=3)
+        rig = InterferenceGraph.build(fn)
+        keep = set(rig.nodes()[:4])
+        sub = rig.subgraph(keep)
+        assert set(sub.nodes()) <= keep
+        for node in sub.nodes():
+            assert sub.neighbors(node) <= keep
+
+    def test_self_edge_rejected(self):
+        rig = InterferenceGraph(None)
+        try:
+            rig.add_edge(V(0), V(0))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("self-interference must be rejected")
+
+    def test_clique_lower_bound_sane(self):
+        fn = build_mac_kernel(n_pairs=4)
+        rig = InterferenceGraph.build(fn)
+        lb = rig.max_clique_lower_bound()
+        live = LiveIntervals.build(fn)
+        assert 1 <= lb <= len(rig)
+        # Clique number >= pressure is not guaranteed, but the greedy bound
+        # must never exceed node count and be at least 2 when edges exist.
+        if rig.edge_count():
+            assert lb >= 2
+
+    def test_regclass_filtering(self):
+        fn = parse_function(
+            """
+            func @f {
+            block entry:
+              %v0:fp = li #1.0
+              %v1:gp = li #2
+              %v2:fp = fadd %v0:fp, %v0:fp
+              ret %v2:fp
+            }
+            """
+        )
+        rig = InterferenceGraph.build(fn, regclass=FP)
+        assert all(n.regclass == FP for n in rig.nodes())

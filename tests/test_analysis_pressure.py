@@ -1,0 +1,111 @@
+"""Tests for the bank pressure counting heuristic's data structure."""
+
+import pytest
+
+from repro.analysis import BankPressureTracker, LiveInterval
+from repro.ir.types import VirtualRegister
+
+V = VirtualRegister
+
+
+def interval(vid, *segments):
+    iv = LiveInterval(V(vid))
+    for start, end in segments:
+        iv.add_segment(start, end)
+    return iv
+
+
+class TestBasic:
+    def test_requires_positive_banks(self):
+        with pytest.raises(ValueError):
+            BankPressureTracker(0)
+
+    def test_empty_pressure_zero(self):
+        tr = BankPressureTracker(2)
+        assert tr.pressure(0) == 0 and tr.pressure(1) == 0
+
+    def test_single_interval_pressure_one(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 10)))
+        assert tr.pressure(0) == 1
+        assert tr.pressure(1) == 0
+
+    def test_overlapping_intervals_stack(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 10)))
+        tr.assign(0, interval(1, (5, 15)))
+        tr.assign(0, interval(2, (7, 9)))
+        assert tr.pressure(0) == 3
+
+    def test_disjoint_intervals_do_not_stack(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 5)))
+        tr.assign(0, interval(1, (5, 10)))
+        assert tr.pressure(0) == 1
+
+    def test_holes_respected(self):
+        tr = BankPressureTracker(1)
+        tr.assign(0, interval(0, (0, 2), (8, 10)))
+        tr.assign(0, interval(1, (3, 7)))
+        assert tr.pressure(0) == 1
+
+
+class TestWhatIf:
+    def test_pressure_if_assigned_no_mutation(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 10)))
+        probe = interval(1, (2, 6))
+        assert tr.pressure_if_assigned(0, probe) == 2
+        assert tr.pressure(0) == 1  # unchanged
+
+    def test_pressure_if_assigned_outside_peak(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 4)))
+        tr.assign(0, interval(1, (0, 4)))
+        probe = interval(2, (10, 12))
+        # The existing peak (2) dominates; the probe adds 1 elsewhere.
+        assert tr.pressure_if_assigned(0, probe) == 2
+
+    def test_added_pressure(self):
+        tr = BankPressureTracker(2)
+        tr.assign(0, interval(0, (0, 10)))
+        assert tr.added_pressure(0, interval(1, (0, 10))) == 1
+        assert tr.added_pressure(0, interval(2, (20, 30))) == 0
+
+    def test_consistency_with_recompute(self):
+        """pressure_if_assigned == pressure after actually assigning."""
+        tr = BankPressureTracker(1)
+        ivs = [
+            interval(0, (0, 6)),
+            interval(1, (2, 9)),
+            interval(2, (4, 5), (8, 12)),
+            interval(3, (1, 3), (7, 10)),
+        ]
+        for iv in ivs:
+            predicted = tr.pressure_if_assigned(0, iv)
+            tr.assign(0, iv)
+            assert tr.pressure(0) == predicted
+
+
+class TestSelection:
+    def test_least_pressured_banks_prefers_empty(self):
+        tr = BankPressureTracker(3)
+        tr.assign(0, interval(0, (0, 10)))
+        order = tr.least_pressured_banks(interval(1, (0, 10)))
+        assert order[0] in (1, 2)
+        assert order[-1] == 0
+
+    def test_occupancy_breaks_ties(self):
+        tr = BankPressureTracker(2)
+        # Same pressure; bank 1 holds fewer registers.
+        tr.assign(0, interval(0, (0, 5)))
+        tr.assign(0, interval(1, (6, 8)))
+        tr.assign(1, interval(2, (0, 5)))
+        probe = interval(3, (20, 22))
+        assert tr.least_pressured_banks(probe)[0] == 1
+
+    def test_members(self):
+        tr = BankPressureTracker(2)
+        tr.assign(1, interval(5, (0, 2)))
+        assert tr.members(1) == {V(5)}
+        assert tr.occupancy(1) == 1

@@ -1,0 +1,124 @@
+"""Tests for the Same Displacement Graph (SDG)."""
+
+from repro.analysis import SameDisplacementGraph
+from repro.ir import IRBuilder
+from repro.workloads import idft_kernel, reduce_kernel, shared_use_kernel
+
+
+def input_sharing_function(consumers=6):
+    b = IRBuilder("in_share")
+    hot = b.const(1.0)
+    outs = []
+    for i in range(consumers):
+        other = b.const(float(i))
+        outs.append(b.arith("fmul", hot, other))
+    b.ret(outs[0])
+    return b.finish(), hot
+
+
+def output_sharing_function(writers=6):
+    b = IRBuilder("out_share")
+    acc = b.const(0.0)
+    for i in range(writers):
+        x = b.const(float(i))
+        b.arith_into(acc, "fadd", acc, x)
+    b.ret(acc)
+    return b.finish(), acc
+
+
+class TestConstruction:
+    def test_edges_run_input_to_output(self):
+        b = IRBuilder("f")
+        x, y = b.const(1.0), b.const(2.0)
+        z = b.arith("fadd", x, y)
+        b.ret(z)
+        sdg = SameDisplacementGraph.build(b.finish())
+        assert z in sdg.out_edges[x]
+        assert z in sdg.out_edges[y]
+        assert x in sdg.in_edges[z]
+
+    def test_self_edge_skipped(self):
+        fn, acc = output_sharing_function(2)
+        sdg = SameDisplacementGraph.build(fn)
+        assert acc not in sdg.out_edges.get(acc, set())
+
+    def test_copies_do_not_align(self):
+        b = IRBuilder("f")
+        x = b.const(1.0)
+        y = b.fresh()
+        b.copy(y, x)
+        b.ret(y)
+        sdg = SameDisplacementGraph.build(b.finish())
+        # A mov imposes no alignment: x and y stay disconnected.
+        assert y not in sdg.out_edges.get(x, set())
+
+
+class TestDegrees:
+    def test_input_sharing_center_has_high_out_degree(self):
+        fn, hot = input_sharing_function(6)
+        sdg = SameDisplacementGraph.build(fn)
+        assert sdg.out_degree(hot) == 6
+        assert sdg.in_degree(hot) == 0
+
+    def test_output_sharing_center_has_high_in_degree(self):
+        fn, acc = output_sharing_function(6)
+        sdg = SameDisplacementGraph.build(fn)
+        assert sdg.in_degree(acc) == 6
+
+
+class TestComponents:
+    def test_connected_kernel_single_component(self):
+        fn, hot = input_sharing_function(4)
+        sdg = SameDisplacementGraph.build(fn)
+        comps = sdg.components()
+        assert len(comps) == 1
+        assert hot in comps[0]
+
+    def test_component_of_isolated_register(self):
+        fn, hot = input_sharing_function(2)
+        sdg = SameDisplacementGraph.build(fn)
+        from repro.ir.types import VirtualRegister
+        stranger = VirtualRegister(999)
+        assert sdg.component_of(stranger) == {stranger}
+
+    def test_reduce_kernel_one_component(self):
+        fn = reduce_kernel(inputs=6)
+        sdg = SameDisplacementGraph.build(fn)
+        assert len(sdg.components()) == 1
+
+    def test_idft_has_large_component(self):
+        fn = idft_kernel(points=6)
+        sdg = SameDisplacementGraph.build(fn)
+        assert max(len(c) for c in sdg.components()) > 36
+
+
+class TestCenters:
+    def test_input_center_found(self):
+        fn, hot = input_sharing_function(8)
+        sdg = SameDisplacementGraph.build(fn)
+        comp = sdg.component_of(hot)
+        centers = sdg.sharing_centers(comp, threshold=4)
+        kinds = {(reg, kind) for reg, kind, __ in centers}
+        assert (hot, "input_sharing") in kinds
+
+    def test_output_center_found(self):
+        fn, acc = output_sharing_function(8)
+        sdg = SameDisplacementGraph.build(fn)
+        comp = sdg.component_of(acc)
+        centers = sdg.sharing_centers(comp, threshold=4)
+        kinds = {(reg, kind) for reg, kind, __ in centers}
+        assert (acc, "output_sharing") in kinds
+
+    def test_centers_sorted_by_fanout(self):
+        fn = shared_use_kernel(consumers=8)
+        sdg = SameDisplacementGraph.build(fn)
+        comp = max(sdg.components(), key=len)
+        centers = sdg.sharing_centers(comp, threshold=2)
+        fanouts = [f for __, __, f in centers]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+    def test_threshold_filters(self):
+        fn, hot = input_sharing_function(3)
+        sdg = SameDisplacementGraph.build(fn)
+        comp = sdg.component_of(hot)
+        assert sdg.sharing_centers(comp, threshold=10) == []

@@ -1,0 +1,67 @@
+"""Tests for bank/subgroup assignment result types."""
+
+import pytest
+
+from repro.banks import BankAssignment, SubgroupAssignment
+from repro.ir.types import VirtualRegister
+
+V = VirtualRegister
+
+
+class TestBankAssignment:
+    def test_assign_and_lookup(self):
+        ba = BankAssignment(2)
+        ba.assign(V(0), 1)
+        assert ba.bank_of(V(0)) == 1
+        assert ba.bank_of(V(1)) is None
+        assert V(0) in ba and V(1) not in ba
+
+    def test_out_of_range_rejected(self):
+        ba = BankAssignment(2)
+        with pytest.raises(ValueError):
+            ba.assign(V(0), 2)
+        with pytest.raises(ValueError):
+            ba.assign(V(0), -1)
+
+    def test_histogram(self):
+        ba = BankAssignment(3)
+        for vid, bank in [(0, 0), (1, 0), (2, 2)]:
+            ba.assign(V(vid), bank)
+        assert ba.bank_histogram() == [2, 0, 1]
+
+    def test_reassignment_overwrites(self):
+        ba = BankAssignment(2)
+        ba.assign(V(0), 0)
+        ba.assign(V(0), 1)
+        assert ba.bank_of(V(0)) == 1
+        assert len(ba) == 1
+
+
+class TestSubgroupAssignment:
+    def test_assign_and_lookup(self):
+        sa = SubgroupAssignment(4)
+        sa.assign(V(0), 2)
+        assert sa.displacement_of(V(0)) == 2
+        assert sa.displacement_of(V(1)) is None
+
+    def test_out_of_range_rejected(self):
+        sa = SubgroupAssignment(4)
+        with pytest.raises(ValueError):
+            sa.assign(V(0), 4)
+
+    def test_min_used_prefers_untouched(self):
+        sa = SubgroupAssignment(4)
+        sa.assign(V(0), 0)
+        sa.assign(V(1), 0)
+        sa.assign(V(2), 1)
+        assert sa.min_used() in (2, 3)
+
+    def test_min_used_ties_break_low(self):
+        sa = SubgroupAssignment(4)
+        assert sa.min_used() == 0
+
+    def test_usage_tracked(self):
+        sa = SubgroupAssignment(2)
+        sa.assign(V(0), 1)
+        sa.assign(V(1), 1)
+        assert sa.usage[1] == 2

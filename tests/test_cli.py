@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_scale_flags(self):
+        args = build_parser().parse_args(
+            ["--spec-scale", "0.5", "--seed", "9", "table", "II"]
+        )
+        assert args.spec_scale == 0.5
+        assert args.seed == 9
+
+    def test_allocate_defaults(self):
+        args = build_parser().parse_args(["allocate"])
+        assert args.method == "bpc"
+        assert args.registers == 32
+
+
+class TestCommands:
+    def test_unknown_table(self, capsys):
+        assert main(["table", "XII"]) == 2
+        assert "unknown table" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_allocate_runs(self, capsys):
+        assert main(["allocate", "--registers", "16", "--banks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "static bank conflicts" in out
+        assert "func @demo" in out
+
+    def test_allocate_non_method(self, capsys):
+        assert main(["allocate", "--method", "non"]) == 0
+
+    def test_suite_listing(self, capsys):
+        assert main(["--idft-points", "6", "suite", "DSA-OP"]) == 0
+        out = capsys.readouterr().out
+        assert "8 programs" in out
+        assert "idft" in out
+
+    def test_table_vi_small(self, capsys):
+        assert main(["--idft-points", "6", "table", "VI"]) == 0
+        out = capsys.readouterr().out
+        assert "2x4-bpc" in out
+
+    def test_figure1_small(self, capsys):
+        code = main(
+            ["--spec-scale", "0.008", "--cnn-scale", "0.1", "figure", "1"]
+        )
+        assert code == 0
+        assert "conflict-relevant" in capsys.readouterr().out

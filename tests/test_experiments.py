@@ -1,0 +1,147 @@
+"""Tests for the experiment harness and table/figure regeneration.
+
+These use a tiny ExperimentContext so the whole file stays fast; the
+benches exercise the calibrated defaults.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    ALL_TABLES,
+    ExperimentContext,
+    geomean,
+    percent,
+    render_table,
+    run_program,
+    table1,
+    table2,
+    table4,
+    table6,
+    table7,
+    figure1,
+    figure10,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(spec_scale=0.008, cnn_scale=0.1, idft_points=6)
+
+
+class TestReportHelpers:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_clamps_zeros(self):
+        assert geomean([0, 100]) > 0.0
+
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(1, 0) == 0.0
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+
+class TestHarness:
+    def test_results_cached(self, ctx):
+        first = ctx.results("DSA-OP", "dsa", 2, "non")
+        second = ctx.results("DSA-OP", "dsa", 2, "non")
+        assert first is second
+
+    def test_program_results_have_metrics(self, ctx):
+        results = ctx.results("DSA-OP", "dsa", 2, "non")
+        assert len(results) == 8
+        for result in results:
+            assert result.functions >= 1
+            assert result.static_conflicts >= 0
+
+    def test_dynamic_measured_on_rv2(self, ctx):
+        results = ctx.results("SPECfp", "rv2", 2, "non")
+        assert any(r.dynamic_conflicts is not None for r in results)
+
+    def test_cycles_measured_on_dsa(self, ctx):
+        results = ctx.results("DSA-OP", "dsa", 2, "non")
+        assert all(r.cycles is not None for r in results)
+
+    def test_combined_results_concatenate(self, ctx):
+        combined = ctx.combined_results("rv2", 2, "non")
+        spec = ctx.results("SPECfp", "rv2", 2, "non")
+        cnn = ctx.results("CNN-KERNEL", "rv2", 2, "non")
+        assert len(combined) == len(spec) + len(cnn)
+
+    def test_unknown_suite_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            ctx.suite("LINPACK")
+
+    def test_unknown_platform_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            ctx.register_file("tpu", 2)
+
+
+class TestTables:
+    def test_registry_complete(self):
+        assert set(ALL_TABLES) == {"I", "II", "III", "IV", "V", "VI", "VII"}
+        assert set(ALL_FIGURES) == {"1", "10", "11"}
+
+    def test_table1_rows(self, ctx):
+        table = table1(ctx)
+        names = [row[0] for row in table.rows]
+        assert any("milc" in n for n in names)
+        assert any("conv2d" in n for n in names)
+        table.render()  # must not raise
+
+    def test_table2_shape(self, ctx):
+        """non conflicts decrease with banks; bpc reduction >= 0."""
+        table = table2(ctx)
+        confs = [row[1] for row in table.rows]
+        assert confs == sorted(confs, reverse=True)
+        for row in table.rows:
+            assert row[3] >= 0  # bpc reduction never negative here
+
+    def test_table4_has_static_and_dynamic(self, ctx):
+        table = table4(ctx)
+        kinds = {row[0].split("-")[1] for row in table.rows}
+        assert kinds == {"STATIC", "DYNAMIC"}
+
+    def test_table6_bpc_nearly_eliminates(self, ctx):
+        table = table6(ctx)
+        average = table.row_map()["average"]
+        bpc_ratio = average[2]
+        assert bpc_ratio < 10.0  # paper: 0.07%
+        # 2-non is the 100% baseline.
+        assert average[3] == pytest.approx(100.0)
+
+    def test_table6_non_improves_with_banks(self, ctx):
+        average = table6(ctx).row_map()["average"]
+        __, __, __, non2, non4, non8, non16 = average
+        assert non2 >= non4 >= non8 >= non16
+
+    def test_table7_columns(self, ctx):
+        table = table7(ctx)
+        assert len(table.rows) == 8
+        for row in table.rows:
+            assert all(isinstance(v, (int, float)) for v in row[1:])
+
+
+class TestFigures:
+    def test_figure1_shares(self, ctx):
+        figure = figure1(ctx, bank_settings=(2, 4))
+        spec_share = figure.series["SPECfp/relevant_share"]
+        cnn_share = figure.series["CNN-KERNEL/relevant_share"]
+        assert 0 < spec_share < 100
+        # The paper: CNN suite is more conflict-relevant than SPECfp.
+        assert cnn_share > spec_share
+
+    def test_figure10_normalized_series(self, ctx):
+        figure = figure10(ctx)
+        for key, value in figure.series.items():
+            if key.endswith("/bcr") or key.endswith("/bpc"):
+                assert 0.0 <= value <= 1.5  # normalized to non
+        assert "maxima" in figure.series
+        figure.render()

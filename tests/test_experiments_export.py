@@ -1,0 +1,78 @@
+"""Tests for CSV/JSON export of experiment results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    results_to_csv,
+    results_to_json,
+    table_to_csv,
+    table_to_json,
+    figure_to_json,
+    write_all,
+)
+from repro.experiments.tables import TableResult, table6
+from repro.experiments.figures import FigureResult
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(spec_scale=0.008, cnn_scale=0.1, idft_points=6)
+
+
+def sample_table():
+    return TableResult("T", ["a", "b"], [[1, 2], [3, 4]])
+
+
+class TestTableExport:
+    def test_csv_round_trips(self):
+        text = table_to_csv(sample_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_json_keys_rows(self):
+        doc = json.loads(table_to_json(sample_table()))
+        assert doc["name"] == "T"
+        assert doc["rows"] == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_real_table_exports(self, ctx):
+        table = table6(ctx)
+        doc = json.loads(table_to_json(table))
+        assert any(row["DSA-OP"] == "idft" for row in doc["rows"])
+
+
+class TestFigureExport:
+    def test_series_preserved(self):
+        figure = FigureResult("F", series={"x/1": 0.5, "maxima": {"a": 2}})
+        doc = json.loads(figure_to_json(figure))
+        assert doc["series"]["x/1"] == 0.5
+        assert doc["series"]["maxima"]["a"] == 2
+
+
+class TestResultsExport:
+    def test_csv_has_all_fields(self, ctx):
+        results = ctx.results("DSA-OP", "dsa", 2, "non")
+        text = results_to_csv(results)
+        header = text.splitlines()[0].split(",")
+        assert "static_conflicts" in header
+        assert len(text.splitlines()) == len(results) + 1
+
+    def test_empty_results(self):
+        assert results_to_csv([]) == ""
+
+    def test_json_parses(self, ctx):
+        results = ctx.results("DSA-OP", "dsa", 2, "non")
+        doc = json.loads(results_to_json(results))
+        assert len(doc) == len(results)
+        assert doc[0]["method"] == "non"
+
+
+class TestWriteAll:
+    def test_writes_selected(self, ctx, tmp_path):
+        written = write_all(ctx, tmp_path, tables=["VI"], figures=[])
+        assert set(written) == {"table_VI.csv", "table_VI.json"}
+        assert (tmp_path / "table_VI.csv").exists()

@@ -1,0 +1,89 @@
+"""Extra harness coverage: config overrides, program-level metrics."""
+
+import pytest
+
+from repro.banks import BankedRegisterFile
+from repro.experiments import ExperimentContext, run_program, run_suite
+from repro.workloads import dsa_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return dsa_suite(idft_points=6)
+
+
+class TestRunProgram:
+    def test_basic_metrics(self, suite):
+        rf = BankedRegisterFile(1024, 2)
+        result = run_program(suite.programs[0], rf, "non", suite_name="DSA-OP")
+        assert result.program == "reduce"
+        assert result.method == "non"
+        assert result.functions == 1
+        assert result.conflict_relevant > 0
+
+    def test_config_overrides_forwarded(self, suite):
+        rf = BankedRegisterFile(1024, 2)
+        loose = run_program(
+            suite.programs[0], rf, "bpc",
+            config_overrides={"run_coalescing": False, "run_scheduling": False},
+        )
+        assert loose.static_conflicts >= 0  # ran without the phases
+
+    def test_bundle_aware_override(self, suite):
+        from repro.banks import BankSubgroupRegisterFile
+
+        rf = BankSubgroupRegisterFile(1024, 2, 4)
+        result = run_program(
+            suite.programs[0], rf, "bpc",
+            config_overrides={"bundle_aware": True},
+            measure_cycles=True,
+        )
+        assert result.cycles is not None
+
+    def test_dynamic_measure_populates_both_metrics(self, suite):
+        rf = BankedRegisterFile(32, 2)
+        result = run_program(suite.programs[0], rf, "non", measure_dynamic=True)
+        assert result.dynamic_conflicts is not None
+        assert result.dynamic_instances is not None
+        # Instances accumulate loop repetitions; sites do not.
+        assert result.dynamic_instances >= result.dynamic_conflicts
+
+    def test_conflict_free_classification(self, suite):
+        rf = BankedRegisterFile(1024, 16)
+        result = run_program(suite.programs[0], rf, "non")
+        assert result.is_conflict_relevant
+        # reduce under 16 banks: paper's Table VI row reaches 0.
+        if result.static_conflicts == 0:
+            assert result.is_conflict_free
+
+
+class TestRunSuite:
+    def test_one_result_per_program(self, suite):
+        rf = BankedRegisterFile(1024, 2)
+        results = run_suite(suite, rf, "non", file_key="dsa:2")
+        assert len(results) == len(suite.programs)
+        assert all(r.file_key == "dsa:2" for r in results)
+
+    def test_methods_differ(self, suite):
+        rf = BankedRegisterFile(1024, 2)
+        non = sum(r.static_conflicts for r in run_suite(suite, rf, "non"))
+        bpc = sum(r.static_conflicts for r in run_suite(suite, rf, "bpc"))
+        assert bpc < non
+
+
+class TestContextConfiguration:
+    def test_scales_apply(self):
+        small = ExperimentContext(spec_scale=0.005, cnn_scale=0.1, idft_points=6)
+        large = ExperimentContext(spec_scale=0.01, cnn_scale=0.1, idft_points=6)
+        assert len(large.suite("SPECfp").functions()) > len(
+            small.suite("SPECfp").functions()
+        )
+
+    def test_seed_changes_workloads(self):
+        a = ExperimentContext(spec_scale=0.005, seed=1)
+        b = ExperimentContext(spec_scale=0.005, seed=2)
+        from repro.ir import print_function
+
+        fa = a.suite("SPECfp").functions()[0]
+        fb = b.suite("SPECfp").functions()[0]
+        assert print_function(fa) != print_function(fb)

@@ -1,0 +1,56 @@
+"""Tests for the paper-vs-measured comparison module."""
+
+import pytest
+
+from repro.experiments import PAPER, ComparisonReport, ExperimentContext, compare
+from repro.experiments.paper import ShapeCheck
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(spec_scale=0.008, cnn_scale=0.1, idft_points=6)
+
+
+class TestPaperConstants:
+    def test_headline_values_recorded(self):
+        assert PAPER["headline.dsa_reduction_pct"] == 99.85
+        assert PAPER["table6.avg_ratio_bpc"] == 0.07
+        assert PAPER["table2.confs"][2] == 33374
+
+    def test_table4_dynamic_below_static(self):
+        """Sanity on the transcription itself."""
+        for banks in (2, 4):
+            assert (
+                PAPER["table4.dynamic_confs"][banks]
+                < PAPER["table4.static_confs"][banks]
+            )
+
+
+class TestComparisonReport:
+    def test_render_and_flags(self):
+        report = ComparisonReport()
+        report.add("X", "q", 1, 2, True, "measured > paper")
+        report.add("Y", "r", 3, 0, False, "must be zero")
+        assert not report.all_hold
+        text = report.render()
+        assert "DIVERGES" in text and "ok" in text
+
+    def test_empty_report_holds(self):
+        assert ComparisonReport().all_hold
+
+
+class TestCompare:
+    def test_all_shapes_hold_at_small_scale(self, ctx):
+        report = compare(ctx)
+        failing = [c for c in report.checks if not c.holds]
+        assert not failing, failing
+
+    def test_covers_key_experiments(self, ctx):
+        report = compare(ctx)
+        experiments = {c.experiment for c in report.checks}
+        assert {"Fig.1", "Table II", "Table IV", "Table VI", "Table VII"} <= experiments
+
+    def test_checks_are_shape_checks(self, ctx):
+        report = compare(ctx)
+        assert all(isinstance(c, ShapeCheck) for c in report.checks)
+        assert len(report.checks) >= 9

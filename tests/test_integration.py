@@ -1,0 +1,146 @@
+"""Integration tests: full pipeline over all three suites at small scale,
+checking the paper's qualitative results end to end."""
+
+import pytest
+
+from repro.banks import BankedRegisterFile, BankSubgroupRegisterFile
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.sim import DsaMachine, analyze_static, observably_equivalent
+from repro.workloads import cnn_suite, dsa_suite, specfp_suite
+
+
+@pytest.fixture(scope="module")
+def spec_functions():
+    return specfp_suite(scale=0.01).functions()
+
+
+@pytest.fixture(scope="module")
+def cnn_functions():
+    return cnn_suite(scale=0.15).functions()
+
+
+@pytest.fixture(scope="module")
+def dsa_functions():
+    return dsa_suite(idft_points=6).functions()
+
+
+def total_conflicts(functions, rf, method):
+    total = 0
+    for fn in functions:
+        result = run_pipeline(fn, PipelineConfig(rf, method))
+        total += analyze_static(result.function, rf).conflicts
+    return total
+
+
+class TestSuiteWideOrdering:
+    """The paper's headline: non >= bcr >= bpc in aggregate."""
+
+    @pytest.mark.parametrize("banks", [2, 4])
+    def test_rv1_ordering_on_spec(self, spec_functions, banks):
+        rf = BankedRegisterFile(1024, banks)
+        non = total_conflicts(spec_functions, rf, "non")
+        bcr = total_conflicts(spec_functions, rf, "bcr")
+        bpc = total_conflicts(spec_functions, rf, "bpc")
+        assert non > bcr >= bpc
+
+    def test_rv1_ordering_on_cnn(self, cnn_functions):
+        rf = BankedRegisterFile(1024, 2)
+        non = total_conflicts(cnn_functions, rf, "non")
+        bpc = total_conflicts(cnn_functions, rf, "bpc")
+        assert non > bpc
+
+    def test_more_banks_fewer_conflicts_under_non(self, spec_functions):
+        counts = [
+            total_conflicts(spec_functions, BankedRegisterFile(1024, banks), "non")
+            for banks in (2, 4, 8)
+        ]
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_roughly_linear_bank_scaling(self, spec_functions):
+        """Paper: conflicts roughly halve when banks double (under non)."""
+        two = total_conflicts(spec_functions, BankedRegisterFile(1024, 2), "non")
+        four = total_conflicts(spec_functions, BankedRegisterFile(1024, 4), "non")
+        assert 0.25 < four / two < 0.75
+
+
+class TestSemanticsAcrossSuites:
+    def test_spec_semantics(self, spec_functions):
+        rf = BankedRegisterFile(32, 2)
+        for fn in spec_functions[:20]:
+            result = run_pipeline(fn, PipelineConfig(rf, "bpc"))
+            assert observably_equivalent(fn, result.function), fn.name
+
+    def test_cnn_semantics(self, cnn_functions):
+        rf = BankedRegisterFile(32, 2)
+        for fn in cnn_functions:
+            result = run_pipeline(fn, PipelineConfig(rf, "bpc"))
+            assert observably_equivalent(fn, result.function), fn.name
+
+    def test_dsa_semantics(self, dsa_functions):
+        rf = BankSubgroupRegisterFile(1024, 2, 4)
+        for fn in dsa_functions:
+            result = run_pipeline(fn, PipelineConfig(rf, "bpc"))
+            assert observably_equivalent(fn, result.function), fn.name
+
+
+class TestDsaHeadline:
+    def test_bpc_near_eliminates_dsa_conflicts(self, dsa_functions):
+        """Table VI: ~99.9% reduction on the 2x4 DSA."""
+        rf = BankSubgroupRegisterFile(1024, 2, 4)
+        base_rf = BankedRegisterFile(1024, 2)
+        base = total_conflicts(dsa_functions, base_rf, "non")
+        bpc = total_conflicts(dsa_functions, rf, "bpc")
+        assert bpc <= base * 0.05
+
+    def test_bpc_beats_16_banked_hardware(self, dsa_functions):
+        """Table VI: 2x4-bpc beats even 16-non."""
+        rf = BankSubgroupRegisterFile(1024, 2, 4)
+        hw16 = BankedRegisterFile(1024, 16)
+        bpc = total_conflicts(dsa_functions, rf, "bpc")
+        non16 = total_conflicts(dsa_functions, hw16, "non")
+        assert bpc < non16
+
+    def test_cycle_model_favors_bpc_on_reductions(self):
+        """Table VII: compute-intensive reductions gain cycles."""
+        from repro.workloads import reduce_unrolled_kernel
+
+        fn = reduce_unrolled_kernel()
+        dsa_rf = BankSubgroupRegisterFile(1024, 2, 4)
+        hw_rf = BankedRegisterFile(1024, 2)
+        machine_bpc = DsaMachine(dsa_rf)
+        machine_hw = DsaMachine(hw_rf)
+        bpc = run_pipeline(fn, PipelineConfig(dsa_rf, "bpc"))
+        non = run_pipeline(fn, PipelineConfig(hw_rf, "non"))
+        assert machine_bpc.run(bpc.function).cycles < machine_hw.run(non.function).cycles
+
+
+class TestSpillBehaviour:
+    def test_rich_file_spill_free(self, spec_functions):
+        rf = BankedRegisterFile(1024, 2)
+        for fn in spec_functions:
+            result = run_pipeline(fn, PipelineConfig(rf, "bpc"))
+            assert result.spill_count == 0, fn.name
+
+    def test_tight_file_spills_somewhere(self, spec_functions):
+        rf = BankedRegisterFile(32, 2)
+        total = sum(
+            run_pipeline(fn, PipelineConfig(rf, "non")).spill_count
+            for fn in spec_functions
+        )
+        assert total > 0  # Table I: high-pressure benchmarks spill at 32
+
+    def test_bpc_spill_increment_is_modest(self, spec_functions):
+        """Tables III/V: SI stays small relative to conflict reduction."""
+        rf = BankedRegisterFile(32, 2)
+        non_spills = non_conf = bpc_spills = bpc_conf = 0
+        for fn in spec_functions:
+            non = run_pipeline(fn, PipelineConfig(rf, "non"))
+            bpc = run_pipeline(fn, PipelineConfig(rf, "bpc"))
+            non_spills += non.spill_count
+            bpc_spills += bpc.spill_count
+            non_conf += analyze_static(non.function, rf).conflicts
+            bpc_conf += analyze_static(bpc.function, rf).conflicts
+        conflict_reduction = non_conf - bpc_conf
+        spill_increment = bpc_spills - non_spills
+        assert conflict_reduction > 0
+        assert spill_increment < conflict_reduction

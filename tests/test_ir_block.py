@@ -1,0 +1,71 @@
+"""Tests for basic-block mechanics (terminators, successors)."""
+
+from repro.ir import BasicBlock, instruction as ins
+from repro.ir.types import VirtualRegister
+
+V = VirtualRegister
+
+
+class TestAppend:
+    def test_append_keeps_terminator_last(self):
+        blk = BasicBlock("b")
+        blk.append(ins.ret())
+        blk.append(ins.loadimm(V(0), 1.0))
+        assert blk.instructions[-1].kind.value == "ret"
+        assert len(blk) == 2
+
+    def test_terminator_property(self):
+        blk = BasicBlock("b")
+        assert blk.terminator is None
+        blk.append(ins.loadimm(V(0), 1.0))
+        assert blk.terminator is None
+        blk.append(ins.jump("x"))
+        assert blk.terminator.kind.value == "jump"
+
+    def test_insert_at_index(self):
+        blk = BasicBlock("b")
+        blk.append(ins.loadimm(V(0), 1.0))
+        blk.insert(0, ins.nop())
+        assert blk.instructions[0].kind.value == "nop"
+
+
+class TestSuccessors:
+    def test_fallthrough_without_terminator(self):
+        blk = BasicBlock("b")
+        assert blk.successor_labels("next") == ["next"]
+        assert blk.successor_labels(None) == []
+
+    def test_jump(self):
+        blk = BasicBlock("b")
+        blk.append(ins.jump("t"))
+        assert blk.successor_labels("next") == ["t"]
+
+    def test_branch_has_target_and_fallthrough(self):
+        blk = BasicBlock("b")
+        blk.append(ins.branch("t", taken_prob=0.5))
+        assert blk.successor_labels("next") == ["t", "next"]
+
+    def test_branch_to_fallthrough_not_duplicated(self):
+        blk = BasicBlock("b")
+        blk.append(ins.branch("next", taken_prob=0.5))
+        assert blk.successor_labels("next") == ["next"]
+
+    def test_ret_has_no_successors(self):
+        blk = BasicBlock("b")
+        blk.append(ins.ret())
+        assert blk.successor_labels("next") == []
+
+
+class TestIteration:
+    def test_body_excludes_terminator(self):
+        blk = BasicBlock("b")
+        blk.append(ins.loadimm(V(0), 1.0))
+        blk.append(ins.ret())
+        assert [i.kind.value for i in blk.body()] == ["loadimm"]
+
+    def test_len_and_iter(self):
+        blk = BasicBlock("b")
+        blk.append(ins.loadimm(V(0), 1.0))
+        blk.append(ins.ret())
+        assert len(blk) == 2
+        assert len(list(blk)) == 2

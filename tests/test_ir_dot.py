@@ -1,0 +1,74 @@
+"""Tests for DOT export of CFG / interference / SDG graphs."""
+
+from repro.analysis import ConflictGraph, InterferenceGraph, SameDisplacementGraph
+from repro.ir import cfg_to_dot, interference_to_dot, sdg_to_dot
+from tests.conftest import build_mac_kernel
+
+
+class TestCfgDot:
+    def test_all_blocks_present(self):
+        fn = build_mac_kernel()
+        dot = cfg_to_dot(fn)
+        for block in fn.blocks:
+            assert f'"{block.label}"' in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_edges_follow_cfg(self):
+        fn = build_mac_kernel()
+        dot = cfg_to_dot(fn)
+        header = next(b.label for b in fn.blocks if b.attrs.get("loop_header"))
+        assert f'-> "{header}"' in dot  # back edge rendered
+
+    def test_instruction_listing_mode(self):
+        fn = build_mac_kernel()
+        dot = cfg_to_dot(fn, include_instructions=True)
+        assert "fmul" in dot
+
+    def test_loop_annotation(self):
+        fn = build_mac_kernel()
+        assert "loop x16" in cfg_to_dot(fn)
+
+
+class TestInterferenceDot:
+    def test_nodes_and_edges(self):
+        fn = build_mac_kernel(n_pairs=2)
+        rig = InterferenceGraph.build(fn)
+        dot = interference_to_dot(rig)
+        assert dot.startswith("graph")
+        assert " -- " in dot
+
+    def test_colors_fill_nodes(self):
+        fn = build_mac_kernel(n_pairs=2)
+        rig = InterferenceGraph.build(fn)
+        colors = {node: i % 2 for i, node in enumerate(rig.nodes())}
+        dot = interference_to_dot(rig, colors=colors)
+        assert "lightblue" in dot and "lightsalmon" in dot
+
+    def test_edges_not_duplicated(self):
+        fn = build_mac_kernel(n_pairs=2)
+        rig = InterferenceGraph.build(fn)
+        dot = interference_to_dot(rig)
+        edge_lines = [l for l in dot.splitlines() if " -- " in l]
+        assert len(edge_lines) == rig.edge_count()
+
+    def test_rcg_soft_edges_dashed(self):
+        from repro.analysis import ConflictCostModel
+        from repro.prescount import add_bundle_edges
+
+        fn = build_mac_kernel(n_pairs=2)
+        cm = ConflictCostModel.build(fn)
+        rcg = ConflictGraph.build(fn, cm)
+        add_bundle_edges(rcg, fn, cm)
+        dot = interference_to_dot(rcg)
+        if rcg.soft_edge_cost:
+            assert "dashed" in dot
+
+
+class TestSdgDot:
+    def test_directed_edges(self):
+        fn = build_mac_kernel(n_pairs=2)
+        sdg = SameDisplacementGraph.build(fn)
+        dot = sdg_to_dot(sdg)
+        assert dot.startswith("digraph")
+        assert " -> " in dot

@@ -1,0 +1,130 @@
+"""Unit tests for instruction construction and classification."""
+
+from repro.ir import instruction as ins
+from repro.ir.instruction import BASE_LATENCY, Instruction, OpKind
+from repro.ir.types import FP, GP, Immediate, PhysicalRegister, VirtualRegister
+
+V = VirtualRegister
+P = PhysicalRegister
+
+
+class TestConstruction:
+    def test_arith(self):
+        i = ins.arith("fadd", V(0), V(1), V(2))
+        assert i.kind is OpKind.ARITH
+        assert i.defs == (V(0),)
+        assert i.uses == (V(1), V(2))
+
+    def test_copy(self):
+        i = ins.copy(V(0), V(1))
+        assert i.is_copy
+        assert i.kind is OpKind.COPY
+
+    def test_loadimm_wraps_value(self):
+        i = ins.loadimm(V(0), 2.5)
+        assert i.uses == (Immediate(2.5),)
+
+    def test_branch_carries_target_and_prob(self):
+        i = ins.branch("exit", taken_prob=0.3)
+        assert i.attrs["target"] == "exit"
+        assert i.attrs["taken_prob"] == 0.3
+        assert i.is_terminator
+
+    def test_jump_and_ret_are_terminators(self):
+        assert ins.jump("bb1").is_terminator
+        assert ins.ret().is_terminator
+        assert not ins.nop().is_terminator
+
+    def test_spill_attrs(self):
+        i = ins.load(V(0), spill_slot=3, spill=True)
+        assert i.attrs["spill_slot"] == 3
+
+
+class TestOperandAccess:
+    def test_reg_uses_filters_immediates(self):
+        i = ins.arith("fadd", V(0), V(1), Immediate(2.0))
+        assert i.reg_uses() == (V(1),)
+
+    def test_regs_iterates_uses_then_defs(self):
+        i = ins.arith("fadd", V(0), V(1), V(2))
+        assert list(i.regs()) == [V(1), V(2), V(0)]
+
+    def test_vreg_uses_excludes_pregs(self):
+        i = ins.arith("fadd", V(0), P(1), V(2))
+        assert i.vreg_uses() == (V(2),)
+
+
+class TestBankableReads:
+    def test_dedups_repeated_operand(self):
+        i = ins.arith("fmul", V(0), V(1), V(1))
+        assert i.bankable_reads() == (V(1),)
+
+    def test_excludes_unbankable_class(self):
+        gp = VirtualRegister(5, GP)
+        i = ins.arith("fadd", V(0), V(1), gp)
+        assert i.bankable_reads() == (V(1),)
+
+    def test_preserves_operand_order(self):
+        i = ins.arith("fmadd", V(0), V(3), V(1), V(2))
+        assert i.bankable_reads() == (V(3), V(1), V(2))
+
+    def test_filters_by_class_argument(self):
+        i = ins.arith("fadd", V(0), V(1), V(2))
+        assert i.bankable_reads(GP) == ()
+
+
+class TestConflictRelevance:
+    def test_two_distinct_reads_is_relevant(self):
+        assert ins.arith("fadd", V(0), V(1), V(2)).is_conflict_relevant()
+
+    def test_single_read_is_not(self):
+        assert not ins.arith("fneg", V(0), V(1)).is_conflict_relevant()
+
+    def test_repeated_operand_is_not(self):
+        assert not ins.arith("fmul", V(0), V(1), V(1)).is_conflict_relevant()
+
+    def test_copy_is_never_relevant(self):
+        assert not ins.copy(V(0), V(1)).is_conflict_relevant()
+
+    def test_store_is_never_relevant(self):
+        assert not ins.store(V(1)).is_conflict_relevant()
+
+    def test_ternary_is_relevant(self):
+        assert ins.arith("fmadd", V(0), V(1), V(2), V(3)).is_conflict_relevant()
+
+
+class TestRewrite:
+    def test_rewrites_uses_and_defs(self):
+        i = ins.arith("fadd", V(0), V(1), V(2))
+        out = i.rewrite({V(0): P(0), V(1): P(1)})
+        assert out.defs == (P(0),)
+        assert out.uses == (P(1), V(2))
+
+    def test_original_untouched(self):
+        i = ins.arith("fadd", V(0), V(1), V(2))
+        i.rewrite({V(0): P(0)})
+        assert i.defs == (V(0),)
+
+    def test_immediates_pass_through(self):
+        i = ins.loadimm(V(0), 1.0)
+        out = i.rewrite({V(0): P(9)})
+        assert out.uses == (Immediate(1.0),)
+
+
+class TestLatency:
+    def test_default_latency_by_kind(self):
+        assert ins.load(V(0)).latency == BASE_LATENCY[OpKind.LOAD]
+        assert ins.arith("fadd", V(0), V(1), V(2)).latency == 1
+
+    def test_latency_override(self):
+        i = ins.arith("fdiv", V(0), V(1), V(2), latency=8)
+        assert i.latency == 8
+
+
+class TestRepr:
+    def test_def_and_uses(self):
+        text = repr(ins.arith("fadd", V(0), V(1), V(2)))
+        assert "fadd" in text and "%v0" in text and "=" in text
+
+    def test_no_defs(self):
+        assert repr(ins.ret()) == "ret"

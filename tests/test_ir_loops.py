@@ -1,0 +1,102 @@
+"""Tests for natural-loop detection, nesting, and block frequencies."""
+
+import pytest
+
+from repro.ir import DEFAULT_TRIP_COUNT, IRBuilder, LoopInfo
+from tests.conftest import build_diamond_kernel, build_nested_loops
+
+
+class TestDetection:
+    def test_single_loop(self):
+        b = IRBuilder("f")
+        with b.loop(trip_count=5):
+            b.const(1.0)
+        info = LoopInfo.build(b.finish())
+        assert len(info) == 1
+        loop = list(info)[0]
+        assert loop.trip_count == 5
+        assert loop.header in loop.body
+
+    def test_no_loops_in_diamond(self):
+        assert len(LoopInfo.build(build_diamond_kernel())) == 0
+
+    def test_nested_loop_bodies_contained(self):
+        info = LoopInfo.build(build_nested_loops((3, 7)))
+        inner = next(lp for lp in info if lp.trip_count == 7)
+        outer = next(lp for lp in info if lp.trip_count == 3)
+        assert inner.body <= outer.body
+        assert inner.parent is outer
+        assert outer.children == [inner]
+
+    def test_sibling_loops(self):
+        b = IRBuilder("f")
+        with b.loop(trip_count=2):
+            b.const(1.0)
+        with b.loop(trip_count=3):
+            b.const(2.0)
+        info = LoopInfo.build(b.finish())
+        assert len(info) == 2
+        assert all(lp.parent is None for lp in info)
+
+    def test_default_trip_count_on_missing_metadata(self):
+        b = IRBuilder("f")
+        with b.loop(trip_count=5):
+            b.const(1.0)
+        fn = b.finish()
+        header = next(blk for blk in fn.blocks if blk.attrs.get("loop_header"))
+        del header.attrs["trip_count"]
+        info = LoopInfo.build(fn)
+        assert list(info)[0].trip_count == DEFAULT_TRIP_COUNT
+
+
+class TestQueries:
+    def test_depth(self):
+        info = LoopInfo.build(build_nested_loops((2, 2)))
+        inner = next(lp for lp in info if lp.parent is not None)
+        assert inner.depth == 2
+        assert info.depth(inner.header) == 2
+        assert info.depth("entry") == 0
+
+    def test_innermost_loop(self):
+        info = LoopInfo.build(build_nested_loops((2, 2)))
+        inner = next(lp for lp in info if lp.parent is not None)
+        assert info.innermost_loop(inner.header) is inner
+        assert info.innermost_loop("entry") is None
+
+    def test_enclosing_loops_order(self):
+        info = LoopInfo.build(build_nested_loops((2, 2)))
+        inner = next(lp for lp in info if lp.parent is not None)
+        chain = info.enclosing_loops(inner.header)
+        assert chain[0] is inner
+        assert chain[1] is inner.parent
+
+    def test_top_level(self):
+        info = LoopInfo.build(build_nested_loops((2, 2)))
+        assert len(info.top_level()) == 1
+
+
+class TestBlockFrequency:
+    """Eq. 1: frequency = product of enclosing trip counts."""
+
+    def test_entry_frequency_is_one(self):
+        info = LoopInfo.build(build_nested_loops((4, 8)))
+        assert info.block_frequency("entry") == 1.0
+
+    def test_nest_frequency_is_product(self):
+        info = LoopInfo.build(build_nested_loops((4, 8)))
+        inner = next(lp for lp in info if lp.parent is not None)
+        assert info.block_frequency(inner.header) == pytest.approx(32.0)
+
+    def test_outer_only_frequency(self):
+        info = LoopInfo.build(build_nested_loops((4, 8)))
+        outer = next(lp for lp in info if lp.parent is None)
+        assert info.block_frequency(outer.header) == pytest.approx(4.0)
+
+    def test_exit_block_outside_loop(self):
+        b = IRBuilder("f")
+        with b.loop(trip_count=9):
+            b.const(1.0)
+        fn = b.finish()
+        info = LoopInfo.build(fn)
+        exit_label = next(blk.label for blk in fn.blocks if "exit" in blk.label)
+        assert info.block_frequency(exit_label) == 1.0

@@ -1,0 +1,122 @@
+"""Round-trip and error-handling tests for the textual IR format."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_function,
+)
+from repro.ir.types import Immediate, PhysicalRegister, VirtualRegister
+from tests.conftest import build_diamond_kernel, build_mac_kernel, build_nested_loops
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", [build_mac_kernel, build_diamond_kernel, build_nested_loops]
+    )
+    def test_print_parse_print_fixed_point(self, builder):
+        fn = builder()
+        text = print_function(fn)
+        fn2 = parse_function(text)
+        assert print_function(fn2) == text
+        verify_function(fn2)
+
+    def test_trip_count_round_trips(self):
+        fn = build_nested_loops((6, 11))
+        fn2 = parse_function(print_function(fn))
+        headers = [b for b in fn2.blocks if b.attrs.get("loop_header")]
+        assert sorted(h.attrs["trip_count"] for h in headers) == [6, 11]
+
+    def test_branch_probability_round_trips(self):
+        fn = build_diamond_kernel()
+        fn2 = parse_function(print_function(fn))
+        branches = [
+            i for __, i in fn2.instructions() if i.kind.value == "branch"
+        ]
+        assert branches[0].attrs["taken_prob"] == pytest.approx(0.75)
+
+    def test_module_round_trip(self):
+        from repro.ir import Module
+
+        module = Module("m")
+        module.add(build_mac_kernel())
+        module.add(build_diamond_kernel())
+        text = print_module(module)
+        module2 = parse_module(text)
+        assert [f.name for f in module2.functions] == ["mac", "diamond"]
+
+
+class TestOperandParsing:
+    def test_physical_registers(self):
+        fn = parse_function(
+            """
+            func @p {
+            block entry:
+              $fp3 = fadd $fp1, $fp2
+              ret
+            }
+            """
+        )
+        instr = fn.entry.instructions[0]
+        assert instr.defs == (PhysicalRegister(3),)
+        assert instr.uses == (PhysicalRegister(1), PhysicalRegister(2))
+
+    def test_integer_immediate(self):
+        fn = parse_function(
+            "func @i {\nblock entry:\n  %v0:fp = li #3\n  ret\n}"
+        )
+        assert fn.entry.instructions[0].uses == (Immediate(3),)
+
+    def test_float_immediate(self):
+        fn = parse_function(
+            "func @i {\nblock entry:\n  %v0:fp = li #3.5\n  ret\n}"
+        )
+        assert fn.entry.instructions[0].uses == (Immediate(3.5),)
+
+    def test_vreg_factory_adopts_parsed_ids(self):
+        fn = parse_function(
+            "func @i {\nblock entry:\n  %v41:fp = li #1\n  ret %v41:fp\n}"
+        )
+        assert fn.new_vreg().vid == 42
+
+    def test_comments_ignored(self):
+        fn = parse_function(
+            "func @c { ; trailing\nblock entry: ; comment\n  ret ; done\n}"
+        )
+        assert len(fn.entry.instructions) == 1
+
+
+class TestErrors:
+    def test_instruction_outside_function(self):
+        with pytest.raises(ParseError):
+            parse_module("ret")
+
+    def test_instruction_before_block(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f {\n  ret\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f {\nblock entry:\n  ret")
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f {\nblock entry:\n  %v0:fp = fadd ??\n}")
+
+    def test_branch_without_target(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f {\nblock entry:\n  br\n}")
+
+    def test_unknown_block_attribute(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f {\nblock entry [foo=1]:\n  ret\n}")
+
+    def test_multiple_functions_rejected_by_parse_function(self):
+        text = "func @a {\nblock entry:\n  ret\n}\nfunc @b {\nblock entry:\n  ret\n}"
+        with pytest.raises(ValueError):
+            parse_function(text)
+        assert len(parse_module(text).functions) == 2

@@ -1,0 +1,108 @@
+"""Unit tests for register/operand value types."""
+
+import pytest
+
+from repro.ir.types import (
+    FP,
+    GP,
+    Immediate,
+    PhysicalRegister,
+    RegClass,
+    VirtualRegister,
+    VRegFactory,
+    is_preg,
+    is_reg,
+    is_vreg,
+)
+
+
+class TestRegClass:
+    def test_fp_is_bankable(self):
+        assert FP.bankable
+
+    def test_gp_is_not_bankable(self):
+        assert not GP.bankable
+
+    def test_custom_class(self):
+        rc = RegClass("vec512", bankable=True)
+        assert rc.name == "vec512"
+        assert rc != FP
+
+    def test_hashable(self):
+        assert len({FP, GP, FP}) == 2
+
+
+class TestVirtualRegister:
+    def test_identity(self):
+        assert VirtualRegister(3) == VirtualRegister(3)
+        assert VirtualRegister(3) != VirtualRegister(4)
+
+    def test_class_distinguishes(self):
+        assert VirtualRegister(3, FP) != VirtualRegister(3, GP)
+
+    def test_name(self):
+        assert VirtualRegister(7).name == "%v7"
+
+    def test_usable_as_dict_key(self):
+        d = {VirtualRegister(1): "a"}
+        assert d[VirtualRegister(1)] == "a"
+
+
+class TestPhysicalRegister:
+    def test_identity(self):
+        assert PhysicalRegister(0) == PhysicalRegister(0)
+        assert PhysicalRegister(0) != PhysicalRegister(1)
+
+    def test_name_prefix_by_class(self):
+        assert PhysicalRegister(3, FP).name == "$f3"
+        assert PhysicalRegister(3, GP).name == "$x3"
+
+    def test_distinct_from_vreg(self):
+        assert PhysicalRegister(3) != VirtualRegister(3)
+
+
+class TestPredicates:
+    def test_is_vreg(self):
+        assert is_vreg(VirtualRegister(0))
+        assert not is_vreg(PhysicalRegister(0))
+        assert not is_vreg(Immediate(1.0))
+
+    def test_is_preg(self):
+        assert is_preg(PhysicalRegister(0))
+        assert not is_preg(VirtualRegister(0))
+
+    def test_is_reg(self):
+        assert is_reg(VirtualRegister(0))
+        assert is_reg(PhysicalRegister(0))
+        assert not is_reg(Immediate(2))
+        assert not is_reg("f0")
+
+
+class TestVRegFactory:
+    def test_sequential_ids(self):
+        factory = VRegFactory()
+        a, b = factory.make(), factory.make()
+        assert (a.vid, b.vid) == (0, 1)
+
+    def test_adopt_advances_counter(self):
+        factory = VRegFactory()
+        factory.adopt(VirtualRegister(10))
+        assert factory.make().vid == 11
+
+    def test_adopt_lower_id_keeps_counter(self):
+        factory = VRegFactory()
+        factory.make()  # 0
+        factory.adopt(VirtualRegister(0))
+        assert factory.make().vid == 1
+
+    def test_get_returns_created(self):
+        factory = VRegFactory()
+        reg = factory.make(GP)
+        assert factory.get(reg.vid) is reg
+        assert reg.regclass == GP
+
+    def test_len(self):
+        factory = VRegFactory()
+        factory.make()
+        factory.make()
+        assert len(factory) == 2

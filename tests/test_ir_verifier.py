@@ -1,0 +1,117 @@
+"""Tests for the IR structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Module,
+    VerificationError,
+    instruction as ins,
+    verify_function,
+    verify_module,
+)
+from repro.ir.types import VirtualRegister
+from tests.conftest import build_mac_kernel
+
+V = VirtualRegister
+
+
+def make_ok():
+    fn = Function("ok")
+    blk = fn.add_block("entry")
+    v = fn.new_vreg()
+    blk.append(ins.loadimm(v, 1.0))
+    blk.append(ins.ret(v))
+    return fn
+
+
+class TestAccepts:
+    def test_minimal(self):
+        verify_function(make_ok())
+
+    def test_generated_kernel(self):
+        verify_function(build_mac_kernel())
+
+
+class TestRejects:
+    def test_empty_function(self):
+        with pytest.raises(VerificationError):
+            verify_function(Function("empty"))
+
+    def test_duplicate_labels(self):
+        fn = make_ok()
+        # Bypass add_block's own check.
+        fn.blocks.append(type(fn.blocks[0])("entry"))
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_function(fn)
+
+    def test_missing_branch_target(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(ins.jump("nowhere"))
+        with pytest.raises(VerificationError, match="target"):
+            verify_function(fn)
+
+    def test_terminator_not_last(self):
+        fn = make_ok()
+        fn.entry.instructions.insert(0, ins.ret())
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_fall_off_function_end(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(ins.loadimm(fn.new_vreg(), 1.0))
+        with pytest.raises(VerificationError, match="falls off"):
+            verify_function(fn)
+
+    def test_undefined_vreg_use(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(ins.ret(V(99)))
+        with pytest.raises(VerificationError, match="never"):
+            verify_function(fn)
+
+    def test_undefined_use_allowed_when_disabled(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(ins.ret(V(99)))
+        verify_function(fn, require_defs=False)
+
+    def test_no_reachable_ret(self):
+        fn = Function("f")
+        a = fn.add_block("entry")
+        a.append(ins.jump("entry"))  # infinite self-loop, no ret
+        with pytest.raises(VerificationError, match="ret"):
+            verify_function(fn)
+
+    def test_bad_trip_count(self):
+        b = IRBuilder("f")
+        with b.loop(trip_count=3):
+            b.const(1.0)
+        fn = b.finish()
+        header = next(blk for blk in fn.blocks if blk.attrs.get("loop_header"))
+        header.attrs["trip_count"] = 0
+        with pytest.raises(VerificationError, match="trip_count"):
+            verify_function(fn)
+
+
+class TestModule:
+    def test_module_ok(self):
+        m = Module("m")
+        m.add(make_ok())
+        verify_module(m)
+
+    def test_duplicate_function_names(self):
+        m = Module("m")
+        m.add(make_ok())
+        m.add(make_ok())
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_module(m)
+
+    def test_module_propagates_function_errors(self):
+        m = Module("m")
+        m.add(Function("empty"))
+        with pytest.raises(VerificationError):
+            verify_module(m)

@@ -1,0 +1,192 @@
+"""Tests for Algorithm 1: the PresCount RCG bank assigner."""
+
+import pytest
+
+from repro.analysis import ConflictGraph, LiveIntervals
+from repro.banks import BankedRegisterFile
+from repro.ir import IRBuilder
+from repro.prescount import PresCountBankAssigner, PresCountPolicy
+from repro.ir.types import FP
+from tests.conftest import build_mac_kernel
+
+
+def bipartite_kernel():
+    """Conflicts only between group A and group B: 2-colorable RCG."""
+    b = IRBuilder("bip")
+    group_a = [b.const(float(i)) for i in range(3)]
+    group_b = [b.const(float(i + 10)) for i in range(3)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=4):
+        for x in group_a:
+            for y in group_b:
+                b.arith_into(acc, "fadd", x, y)
+    b.ret(acc)
+    return b.finish(), group_a, group_b
+
+
+def triangle_kernel():
+    """A 3-cycle in the RCG: not 2-colorable."""
+    b = IRBuilder("tri")
+    x, y, z = b.const(1.0), b.const(2.0), b.const(3.0)
+    acc = b.const(0.0)
+    with b.loop(trip_count=8):
+        b.arith_into(acc, "fadd", x, y)
+        b.arith_into(acc, "fadd", y, z)
+        b.arith_into(acc, "fadd", z, x)
+    b.ret(acc)
+    return b.finish(), (x, y, z)
+
+
+class TestColoring:
+    def test_bipartite_colored_conflict_free(self):
+        fn, group_a, group_b = bipartite_kernel()
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        rcg = ConflictGraph.build(fn)
+        assert rcg.is_proper_coloring(
+            {r: assignment.banks[r] for r in rcg.nodes()}
+        )
+        assert assignment.residual_cost == 0.0
+        assert not assignment.uncolorable
+
+    def test_groups_get_opposite_banks(self):
+        fn, group_a, group_b = bipartite_kernel()
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        banks_a = {assignment.banks[r] for r in group_a}
+        banks_b = {assignment.banks[r] for r in group_b}
+        assert len(banks_a) == 1 and len(banks_b) == 1
+        assert banks_a != banks_b
+
+    def test_triangle_marks_uncolorable_with_two_banks(self):
+        fn, regs = triangle_kernel()
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        assert len(assignment.uncolorable) == 1
+        assert assignment.residual_cost > 0.0
+
+    def test_triangle_colorable_with_three_banks(self):
+        fn, regs = triangle_kernel()
+        rf = BankedRegisterFile(33, 3)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        assert not assignment.uncolorable
+        assert assignment.residual_cost == 0.0
+
+    def test_residual_on_cheapest_edge(self):
+        """NeighbourCostPrioritize leaves the cheapest conflict behind."""
+        b = IRBuilder("t")
+        # Triangle with one cold edge: x-y and y-z hot (loop), z-x cold.
+        x, y, z = b.const(1.0), b.const(2.0), b.const(3.0)
+        acc = b.const(0.0)
+        with b.loop(trip_count=50):
+            b.arith_into(acc, "fadd", x, y)
+            b.arith_into(acc, "fadd", y, z)
+        b.arith_into(acc, "fadd", z, x)  # cold edge
+        b.ret(acc)
+        fn = b.finish()
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        rcg = ConflictGraph.build(fn)
+        # Residual cost must be the cold edge (1.0), not a hot one (50).
+        assert assignment.residual_cost == pytest.approx(1.0)
+
+
+class TestCostOrdering:
+    def test_hot_nodes_processed_first(self):
+        """With limited banks, hot components must win the good colors:
+        total residual cost is near the minimum, not the maximum."""
+        fn, regs = triangle_kernel()
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        rcg = ConflictGraph.build(fn)
+        total = sum(rcg.edge_cost.values())
+        assert assignment.residual_cost < total / 2
+
+
+class TestFreeRegisters:
+    def test_free_registers_balanced(self):
+        fn = build_mac_kernel(n_pairs=6)
+        rf = BankedRegisterFile(32, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        # Every FP vreg received a bank (RCG nodes + free registers).
+        assert len(assignment) == len(fn.virtual_registers(FP))
+        histogram = assignment.bank_histogram()
+        assert max(histogram) - min(histogram) <= len(assignment) // 3 + 1
+
+    def test_free_register_balancing_can_be_disabled(self):
+        fn = build_mac_kernel(n_pairs=6)
+        rf = BankedRegisterFile(32, 2)
+        assigner = PresCountBankAssigner(rf, balance_free_registers=False)
+        assignment = assigner.assign(fn)
+        rcg = ConflictGraph.build(fn)
+        assert len(assignment) == len(rcg)
+
+
+class TestPressureCounting:
+    def test_equal_cost_ties_break_by_pressure(self):
+        """Nodes with equal conflict costs land in the least-pressured
+        bank, keeping the per-bank max overlap balanced."""
+        fn = build_mac_kernel(n_pairs=8)
+        rf = BankedRegisterFile(32, 2)
+        with_pressure = PresCountBankAssigner(rf).assign(fn)
+        from repro.analysis import BankPressureTracker
+
+        live = LiveIntervals.build(fn)
+        tracker = BankPressureTracker(2)
+        for reg, bank in with_pressure.banks.items():
+            tracker.assign(bank, live.of(reg))
+        assert abs(tracker.pressure(0) - tracker.pressure(1)) <= 2
+
+    def test_ablation_switch_changes_behaviour_or_not_worse(self):
+        fn = build_mac_kernel(n_pairs=8)
+        rf = BankedRegisterFile(32, 2)
+        on = PresCountBankAssigner(rf, use_pressure_counting=True).assign(fn)
+        off = PresCountBankAssigner(rf, use_pressure_counting=False).assign(fn)
+        assert on.residual_cost <= off.residual_cost + 1e-9 or len(on) == len(off)
+
+
+class TestPolicy:
+    def test_order_prefers_assigned_bank(self):
+        fn = build_mac_kernel()
+        rf = BankedRegisterFile(8, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        policy = PresCountPolicy(rf, assignment)
+        vreg = next(iter(assignment.banks))
+        bank = assignment.banks[vreg]
+        live = LiveIntervals.build(fn)
+        order = policy.order(vreg, live.of(vreg))
+        prefix = list(order)[: rf.registers_per_bank]
+        assert all(rf.bank_of(r) == bank for r in prefix)
+        # Soft constraint: the rest of the file follows.
+        assert len(order) == rf.num_registers
+
+    def test_strict_policy_restricts(self):
+        fn = build_mac_kernel()
+        rf = BankedRegisterFile(8, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        assignment.strict = True
+        policy = PresCountPolicy(rf, assignment)
+        vreg = next(iter(assignment.banks))
+        live = LiveIntervals.build(fn)
+        order = policy.order(vreg, live.of(vreg))
+        assert len(order) == rf.registers_per_bank
+
+    def test_split_children_inherit_bank(self):
+        fn = build_mac_kernel()
+        rf = BankedRegisterFile(8, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        policy = PresCountPolicy(rf, assignment)
+        parent = next(iter(assignment.banks))
+        child = fn.new_vreg()
+        policy.on_split(parent, [child])
+        assert assignment.bank_of(child) == assignment.bank_of(parent)
+
+    def test_unassigned_vreg_sees_whole_file(self):
+        fn = build_mac_kernel()
+        rf = BankedRegisterFile(8, 2)
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        policy = PresCountPolicy(rf, assignment)
+        stranger = fn.new_vreg()
+        live = LiveIntervals.build(fn)
+        some_interval = live.vreg_intervals()[0]
+        assert len(policy.order(stranger, some_interval)) == rf.num_registers

@@ -1,0 +1,141 @@
+"""Tests for the bundle-aware RCG extension (soft edges)."""
+
+import pytest
+
+from repro.analysis import ConflictCostModel, ConflictGraph
+from repro.banks import BankSubgroupRegisterFile, BankedRegisterFile
+from repro.ir import IRBuilder
+from repro.prescount import (
+    PipelineConfig,
+    PresCountBankAssigner,
+    add_bundle_edges,
+    run_pipeline,
+)
+from repro.prescount.bundle_aware import _independent
+from repro.sim import DsaMachine, analyze_static, observably_equivalent
+from repro.ir import instruction as ins
+from repro.ir.types import VirtualRegister
+
+V = VirtualRegister
+
+
+def unary_pairs_kernel(lanes=8, stride=4, trip=32):
+    b = IRBuilder("pairs")
+    vals = [b.const(float(i)) for i in range(lanes)]
+    with b.loop(trip_count=trip):
+        for i in range(lanes // 2):
+            vals[i] = b.arith("fneg", vals[i])
+            vals[(i + stride) % lanes] = b.arith("fabs", vals[(i + stride) % lanes])
+    b.ret(*vals)
+    return b.finish()
+
+
+class TestIndependence:
+    def test_true_dependency(self):
+        first = ins.arith("fneg", V(1), V(0))
+        second = ins.arith("fabs", V(2), V(1))
+        assert not _independent(first, second)
+
+    def test_output_dependency(self):
+        first = ins.arith("fneg", V(1), V(0))
+        second = ins.arith("fabs", V(1), V(2))
+        assert not _independent(first, second)
+
+    def test_anti_dependency(self):
+        first = ins.arith("fneg", V(1), V(0))
+        second = ins.arith("fabs", V(0), V(2))
+        assert not _independent(first, second)
+
+    def test_independent(self):
+        first = ins.arith("fneg", V(1), V(0))
+        second = ins.arith("fabs", V(3), V(2))
+        assert _independent(first, second)
+
+
+class TestEdgeConstruction:
+    def test_soft_edges_added_not_hard(self):
+        fn = unary_pairs_kernel()
+        cm = ConflictCostModel.build(fn)
+        rcg = ConflictGraph.build(fn, cm)
+        hard_before = dict(rcg.edge_cost)
+        report = add_bundle_edges(rcg, fn, cm)
+        assert report.edges_added > 0
+        assert rcg.edge_cost == hard_before  # hard edges untouched
+        assert rcg.soft_edge_cost
+
+    def test_soft_penalty_query(self):
+        fn = unary_pairs_kernel()
+        cm = ConflictCostModel.build(fn)
+        rcg = ConflictGraph.build(fn, cm)
+        add_bundle_edges(rcg, fn, cm)
+        node = next(iter(rcg.soft_adjacency))
+        neighbor = next(iter(rcg.soft_adjacency[node]))
+        cost = rcg.soft_edge_cost[frozenset((node, neighbor))]
+        assert rcg.soft_penalty(node, 0, {neighbor: 0}) == pytest.approx(cost)
+        assert rcg.soft_penalty(node, 1, {neighbor: 0}) == 0.0
+
+    def test_disjoint_window_pairing(self):
+        """Edges connect (0,1), (2,3), ... — not the full adjacency chain."""
+        b = IRBuilder("f")
+        vals = [b.const(float(i)) for i in range(4)]
+        outs = []
+        for i in range(4):
+            outs.append(b.arith("fneg", vals[i]))
+        b.ret(*outs)
+        fn = b.finish()
+        cm = ConflictCostModel.build(fn)
+        rcg = ConflictGraph.build(fn, cm)
+        add_bundle_edges(rcg, fn, cm)
+        assert frozenset((vals[0], vals[1])) in rcg.soft_edge_cost
+        assert frozenset((vals[2], vals[3])) in rcg.soft_edge_cost
+        assert frozenset((vals[1], vals[2])) not in rcg.soft_edge_cost
+
+
+class TestAssignmentIntegration:
+    def test_soft_edges_break_ties(self):
+        fn = unary_pairs_kernel()
+        rf = BankedRegisterFile(1024, 2)
+        from repro.alloc import coalesce, schedule_function
+
+        work = fn.clone()
+        coalesce(work)
+        schedule_function(work)
+        cm = ConflictCostModel.build(work)
+        rcg = ConflictGraph.build(work, cm)
+        add_bundle_edges(rcg, work, cm)
+        assignment = PresCountBankAssigner(rf).assign(work, rcg=rcg)
+        # Every soft pair with equal pressure choice should be bi-colored.
+        separated = same = 0
+        for key in rcg.soft_edge_cost:
+            a, b = tuple(key)
+            if a in assignment.banks and b in assignment.banks:
+                if assignment.banks[a] != assignment.banks[b]:
+                    separated += 1
+                else:
+                    same += 1
+        assert separated > same
+
+    def test_pipeline_flag_improves_cycles(self, rf_dsa):
+        fn = unary_pairs_kernel()
+        machine = DsaMachine(rf_dsa)
+        base = run_pipeline(fn, PipelineConfig(rf_dsa, "bpc"))
+        aware = run_pipeline(fn, PipelineConfig(rf_dsa, "bpc", bundle_aware=True))
+        assert machine.run(aware.function).cycles <= machine.run(base.function).cycles
+
+    def test_no_hazard_regression(self, rf_dsa):
+        """Soft edges must never sacrifice true conflict freedom."""
+        from repro.workloads import DSA_KERNELS
+
+        for name in ("reduce", "dw-conv2d", "tr15651"):
+            fn = DSA_KERNELS[name]()
+            base = run_pipeline(fn, PipelineConfig(rf_dsa, "bpc"))
+            aware = run_pipeline(fn, PipelineConfig(rf_dsa, "bpc", bundle_aware=True))
+            assert (
+                analyze_static(aware.function, rf_dsa).conflicts
+                <= analyze_static(base.function, rf_dsa).conflicts
+            ), name
+
+    def test_semantics_preserved(self, rf_dsa):
+        fn = unary_pairs_kernel()
+        aware = run_pipeline(fn, PipelineConfig(rf_dsa, "bpc", bundle_aware=True))
+        assert observably_equivalent(fn, aware.function)

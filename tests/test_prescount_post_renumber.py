@@ -1,0 +1,109 @@
+"""Tests for the post-allocation renumbering baseline."""
+
+import pytest
+
+from repro.alloc.verify import verify_allocation
+from repro.banks import BankedRegisterFile
+from repro.ir import parse_function
+from repro.ir.types import PhysicalRegister
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.prescount.post_renumber import renumber_banks
+from repro.sim import analyze_static, observably_equivalent
+from tests.conftest import build_mac_kernel
+
+P = PhysicalRegister
+
+
+def conflicted_function():
+    """One same-bank conflict ($fp0 and $fp2 are both bank 0 of 2)."""
+    return parse_function(
+        """
+        func @f {
+        block entry:
+          $fp0 = li #1.0
+          $fp2 = li #2.0
+          $fp4 = fadd $fp0, $fp2
+          ret $fp4
+        }
+        """
+    )
+
+
+class TestRenumbering:
+    def test_global_renumber_resolves_conflict(self):
+        fn = conflicted_function()
+        rf = BankedRegisterFile(8, 2)
+        result = renumber_banks(fn, rf)
+        assert result.conflicts_found == 1
+        assert result.renumbered == 1
+        assert analyze_static(fn, rf).bank_conflicts == 0
+
+    def test_renumber_preserves_semantics(self):
+        fn = conflicted_function()
+        reference = fn.clone()
+        renumber_banks(fn, BankedRegisterFile(8, 2))
+        assert observably_equivalent(reference, fn)
+        assert verify_allocation(fn) == []
+
+    def test_copy_fallback_when_registers_scarce(self):
+        """With every other-bank register occupied across the range, the
+        pass must fall back to a local copy (the paper's critique)."""
+        fn = parse_function(
+            """
+            func @f {
+            block entry:
+              $fp0 = li #1.0
+              $fp2 = li #2.0
+              $fp1 = li #3.0
+              $fp3 = li #4.0
+              $fp4 = fadd $fp0, $fp2
+              $fp5 = fadd $fp1, $fp3
+              $fp6 = fadd $fp4, $fp5
+              $fp7 = fadd $fp6, $fp6
+              ret $fp7
+            }
+            """
+        )
+        rf = BankedRegisterFile(8, 2)
+        result = renumber_banks(fn, rf)
+        # fp0/fp2 conflict; banks: odd registers all get used (1,3,5,7),
+        # so a whole-range renumber may or may not exist — the pass must
+        # resolve through one mechanism or report unresolved.
+        assert result.conflicts_found >= 1
+        assert result.renumbered + result.copies_inserted + result.unresolved >= 1
+        assert verify_allocation(fn) == []
+
+    def test_no_conflicts_noop(self):
+        fn = parse_function(
+            "func @f {\nblock entry:\n  $fp0 = li #1.0\n  $fp1 = li #2.0\n"
+            "  $fp2 = fadd $fp0, $fp1\n  ret $fp2\n}"
+        )
+        rf = BankedRegisterFile(8, 2)
+        result = renumber_banks(fn, rf)
+        assert result.conflicts_found == 0
+        assert result.renumbered == 0
+
+
+class TestAgainstPipeline:
+    def test_post_method_reduces_non_conflicts(self, rf_rich):
+        fn = build_mac_kernel(n_pairs=6)
+        res = run_pipeline(fn, PipelineConfig(rf_rich, "non"))
+        before = analyze_static(res.function, rf_rich).bank_conflicts
+        renumber_banks(res.function, rf_rich)
+        after = analyze_static(res.function, rf_rich).bank_conflicts
+        assert after <= before
+        assert observably_equivalent(fn, res.function)
+
+    def test_post_needs_spare_registers(self):
+        """Rich file: mostly renumbering.  Tight file: more copies or
+        unresolved conflicts — the paper's argument for pre-allocation."""
+        fn = build_mac_kernel(n_pairs=8)
+        rich = BankedRegisterFile(1024, 2)
+        tight = BankedRegisterFile(18, 2)
+        res_rich = run_pipeline(fn, PipelineConfig(rich, "non"))
+        res_tight = run_pipeline(fn, PipelineConfig(tight, "non"))
+        post_rich = renumber_banks(res_rich.function, rich)
+        post_tight = renumber_banks(res_tight.function, tight)
+        rich_fallbacks = post_rich.copies_inserted + post_rich.unresolved
+        tight_fallbacks = post_tight.copies_inserted + post_tight.unresolved
+        assert tight_fallbacks >= rich_fallbacks

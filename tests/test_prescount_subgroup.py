@@ -1,0 +1,124 @@
+"""Tests for Algorithm 2: subgroup displacement assignment and hints."""
+
+from repro.analysis import LiveIntervals
+from repro.banks import BankSubgroupRegisterFile
+from repro.ir import IRBuilder
+from repro.prescount import (
+    DsaPresCountPolicy,
+    PresCountBankAssigner,
+    SubgroupState,
+)
+from repro.ir.types import VirtualRegister
+from repro.workloads import reduce_kernel
+
+V = VirtualRegister
+
+
+def small_dsa():
+    return BankSubgroupRegisterFile(32, 2, 4)
+
+
+class TestSubgroupState:
+    def test_components_from_function(self):
+        fn = reduce_kernel(inputs=4)
+        state = SubgroupState.from_function(fn, 4)
+        # Reduction: everything aligns into one component.
+        comp_ids = set(state.component_of.values())
+        assert len(comp_ids) == 1
+
+    def test_component_shares_displacement(self):
+        fn = reduce_kernel(inputs=4)
+        state = SubgroupState.from_function(fn, 4)
+        displacements = {
+            state.displacement_for(reg) for reg in state.component_of
+        }
+        assert len(displacements) == 1
+
+    def test_min_used_balances(self):
+        state = SubgroupState(4)
+        ids = [state.add_component({V(i)}) for i in range(8)]
+        for i in range(8):
+            state.displacement_for(V(i))
+        # Eight singleton components over four subgroups: two each.
+        usage = [state.usage.get(d, 0) for d in range(4)]
+        assert usage == [2, 2, 2, 2]
+
+    def test_usage_charged_by_component_size(self):
+        state = SubgroupState(2)
+        state.add_component({V(0), V(1), V(2)})
+        state.add_component({V(3)})
+        state.displacement_for(V(0))  # charges 3 to subgroup 0
+        displ = state.displacement_for(V(3))
+        assert displ == 1  # the smaller usage side
+
+    def test_adopt_into_existing_component(self):
+        state = SubgroupState(4)
+        state.add_component({V(0)})
+        d0 = state.displacement_for(V(0))
+        state.adopt(V(1), like=V(0))
+        assert state.displacement_for(V(1)) == d0
+
+    def test_adopt_orphan_gets_fresh_component(self):
+        state = SubgroupState(4)
+        state.adopt(V(9))
+        assert V(9) in state.component_of
+
+    def test_as_assignment_flattens(self):
+        fn = reduce_kernel(inputs=3)
+        state = SubgroupState.from_function(fn, 4)
+        for reg in list(state.component_of):
+            state.displacement_for(reg)
+        flat = state.as_assignment()
+        assert len(flat) == len(state.component_of)
+
+
+class TestDsaPolicy:
+    def _setup(self):
+        fn = reduce_kernel(inputs=4)
+        rf = small_dsa()
+        assignment = PresCountBankAssigner(rf).assign(fn)
+        assignment.strict = True
+        state = SubgroupState.from_function(fn, rf.num_subgroups)
+        policy = DsaPresCountPolicy(rf, assignment, state)
+        live = LiveIntervals.build(fn)
+        return fn, rf, assignment, state, policy, live
+
+    def test_hints_conform_to_bank_and_displacement(self):
+        fn, rf, assignment, state, policy, live = self._setup()
+        vreg = next(iter(assignment.banks))
+        order = policy.order(vreg, live.of(vreg))
+        bank = assignment.bank_of(vreg)
+        displ = state.displacement_for(vreg)
+        hint_count = len(rf.registers_conforming(bank, displ))
+        for preg in list(order)[:hint_count]:
+            assert rf.bank_of(preg) == bank
+            assert rf.subgroup_of(preg) == displ
+
+    def test_same_bank_before_other_banks(self):
+        fn, rf, assignment, state, policy, live = self._setup()
+        vreg = next(iter(assignment.banks))
+        order = list(policy.order(vreg, live.of(vreg)))
+        bank = assignment.bank_of(vreg)
+        same_bank = rf.registers_per_bank
+        assert all(rf.bank_of(r) == bank for r in order[:same_bank])
+        assert all(rf.bank_of(r) != bank for r in order[same_bank:])
+
+    def test_full_file_remains_reachable(self):
+        fn, rf, assignment, state, policy, live = self._setup()
+        vreg = next(iter(assignment.banks))
+        assert len(policy.order(vreg, live.of(vreg))) == rf.num_registers
+
+    def test_split_children_inherit_bank_and_subgroup(self):
+        fn, rf, assignment, state, policy, live = self._setup()
+        parent = next(iter(assignment.banks))
+        parent_displ = state.displacement_for(parent)
+        child = fn.new_vreg()
+        policy.on_split(parent, [child])
+        assert assignment.bank_of(child) == assignment.bank_of(parent)
+        assert state.displacement_for(child) == parent_displ
+
+    def test_unknown_vreg_sees_whole_file(self):
+        fn, rf, assignment, state, policy, live = self._setup()
+        stranger = fn.new_vreg()
+        some = live.vreg_intervals()[0]
+        assert len(policy.order(stranger, some)) == rf.num_registers

@@ -1,0 +1,161 @@
+"""Tests for the value-level reference interpreter."""
+
+import math
+
+import pytest
+
+from repro.ir import IRBuilder, parse_function
+from repro.sim import ExecutionError, ValueInterpreter, observably_equivalent
+
+
+class TestArithmetic:
+    def run_ret(self, text):
+        return ValueInterpreter().run(parse_function(text)).return_values[0]
+
+    def test_fadd(self):
+        assert self.run_ret(
+            "func @f {\nblock entry:\n  %v0:fp = li #1.5\n  %v1:fp = li #2.5\n"
+            "  %v2:fp = fadd %v0:fp, %v1:fp\n  ret %v2:fp\n}"
+        ) == 4.0
+
+    def test_fmadd(self):
+        assert self.run_ret(
+            "func @f {\nblock entry:\n  %v0:fp = li #2\n  %v1:fp = li #3\n"
+            "  %v2:fp = li #4\n  %v3:fp = fmadd %v0:fp, %v1:fp, %v2:fp\n"
+            "  ret %v3:fp\n}"
+        ) == 10.0
+
+    def test_frelu(self):
+        assert self.run_ret(
+            "func @f {\nblock entry:\n  %v0:fp = li #-3\n"
+            "  %v1:fp = frelu %v0:fp\n  ret %v1:fp\n}"
+        ) == 0.0
+
+    def test_division_by_zero_is_inf(self):
+        value = self.run_ret(
+            "func @f {\nblock entry:\n  %v0:fp = li #1\n  %v1:fp = li #0\n"
+            "  %v2:fp = fdiv %v0:fp, %v1:fp\n  ret %v2:fp\n}"
+        )
+        assert math.isinf(value)
+
+    def test_unknown_opcode_raises(self):
+        fn = parse_function(
+            "func @f {\nblock entry:\n  %v0:fp = li #1\n"
+            "  %v1:fp = warp %v0:fp, %v0:fp\n  ret %v1:fp\n}"
+        )
+        with pytest.raises(ExecutionError, match="semantics"):
+            ValueInterpreter().run(fn)
+
+    def test_undefined_read_raises(self):
+        fn = parse_function(
+            "func @f {\nblock entry:\n  ret %v9:fp\n}"
+        )
+        with pytest.raises(ExecutionError, match="undefined"):
+            ValueInterpreter().run(fn)
+
+
+class TestControlFlow:
+    def test_loop_accumulates(self):
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        one = b.const(1.0)
+        with b.loop(trip_count=7):
+            b.arith_into(acc, "fadd", acc, one)
+        b.ret(acc)
+        trace = ValueInterpreter().run(b.finish())
+        assert trace.return_values == (7.0,)
+
+    def test_nested_loops_multiply(self):
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        one = b.const(1.0)
+        with b.loop(trip_count=3):
+            with b.loop(trip_count=5):
+                b.arith_into(acc, "fadd", acc, one)
+        b.ret(acc)
+        assert ValueInterpreter().run(b.finish()).return_values == (15.0,)
+
+    def test_branches_deterministic_per_seed(self):
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        one = b.const(1.0)
+        with b.loop(trip_count=20):
+            with b.if_then(taken_prob=0.5):
+                b.arith_into(acc, "fadd", acc, one)
+        b.ret(acc)
+        fn = b.finish()
+        a = ValueInterpreter(seed=5).run(fn).return_values
+        b2 = ValueInterpreter(seed=5).run(fn).return_values
+        assert a == b2
+
+    def test_budget_truncates(self):
+        b = IRBuilder("f")
+        acc = b.const(0.0)
+        with b.loop(trip_count=1000):
+            b.arith_into(acc, "fadd", acc, acc)
+        b.ret(acc)
+        trace = ValueInterpreter(max_instructions=50).run(b.finish())
+        assert trace.truncated
+
+
+class TestSpillMemory:
+    def test_spill_round_trip(self):
+        fn = parse_function(
+            "func @f {\nblock entry:\n  $fp0 = li #42\n  ret $fp1\n}"
+        )
+        from repro.ir import instruction as ins
+        from repro.ir.types import PhysicalRegister as P
+
+        fn.entry.insert(1, ins.store(P(0), spill_slot=7, spill=True))
+        fn.entry.insert(2, ins.load(P(1), spill_slot=7, spill=True))
+        assert ValueInterpreter().run(fn).return_values == (42.0,)
+
+    def test_reload_before_store_raises(self):
+        fn = parse_function("func @f {\nblock entry:\n  ret $fp1\n}")
+        from repro.ir import instruction as ins
+        from repro.ir.types import PhysicalRegister as P
+
+        fn.entry.insert(0, ins.load(P(1), spill_slot=0, spill=True))
+        with pytest.raises(ExecutionError, match="slot"):
+            ValueInterpreter().run(fn)
+
+    def test_plain_stores_are_observable(self):
+        b = IRBuilder("f")
+        x = b.const(3.0)
+        b.store(x)
+        b.ret()
+        trace = ValueInterpreter().run(b.finish())
+        assert trace.stored_values == [3.0]
+
+
+class TestEquivalence:
+    def test_identical_functions_equivalent(self):
+        from tests.conftest import build_mac_kernel
+
+        fn = build_mac_kernel()
+        assert observably_equivalent(fn, fn.clone())
+
+    def test_different_results_detected(self):
+        a = parse_function(
+            "func @f {\nblock entry:\n  %v0:fp = li #1\n  ret %v0:fp\n}"
+        )
+        b = parse_function(
+            "func @f {\nblock entry:\n  %v0:fp = li #2\n  ret %v0:fp\n}"
+        )
+        assert not observably_equivalent(a, b)
+
+    def test_nan_matches_nan(self):
+        text = (
+            "func @f {{\nblock entry:\n  %v0:fp = li #{a}\n  %v1:fp = li #0\n"
+            "  %v2:fp = fdiv %v0:fp, %v1:fp\n  ret %v2:fp\n}}"
+        )
+        a = parse_function(text.format(a=0))
+        b = parse_function(text.format(a=0))
+        assert observably_equivalent(a, b)
+
+    def test_store_count_mismatch_detected(self):
+        a = parse_function(
+            "func @f {\nblock entry:\n  %v0:fp = li #1\n  store %v0:fp\n  ret\n}"
+        )
+        b = parse_function("func @f {\nblock entry:\n  ret\n}")
+        assert not observably_equivalent(a, b)

@@ -1,0 +1,69 @@
+"""Tests for platform descriptors (RV#1 / RV#2 / DSA of §IV-A2)."""
+
+import pytest
+
+from repro.banks import BankSubgroupRegisterFile, BankedRegisterFile
+from repro.sim import (
+    DSA_SUBGROUPED,
+    interleaved_files,
+    platform_dsa,
+    platform_rv1,
+    platform_rv2,
+)
+
+
+class TestRv1:
+    def test_setting_matches_paper(self):
+        """1024 registers, 2/4/8 banks -> 512/256/128 per bank."""
+        platform = platform_rv1()
+        assert platform.bank_settings == [2, 4, 8]
+        for banks in (2, 4, 8):
+            rf = platform.file_for(banks)
+            assert rf.num_registers == 1024
+            assert rf.registers_per_bank == 1024 // banks
+
+    def test_static_only(self):
+        assert not platform_rv1().collects_dynamic
+
+
+class TestRv2:
+    def test_setting_matches_paper(self):
+        """riscv-64's 32 registers, 2/4 banks -> 16/8 per bank."""
+        platform = platform_rv2()
+        assert platform.bank_settings == [2, 4]
+        assert platform.file_for(2).registers_per_bank == 16
+        assert platform.file_for(4).registers_per_bank == 8
+
+    def test_collects_dynamic(self):
+        assert platform_rv2().collects_dynamic
+
+    def test_unknown_setting_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            platform_rv2().file_for(8)
+
+
+class TestDsa:
+    def test_subgrouped_file(self):
+        platform = platform_dsa()
+        rf = platform.file_for(DSA_SUBGROUPED)
+        assert isinstance(rf, BankSubgroupRegisterFile)
+        assert rf.num_banks == 2 and rf.num_subgroups == 4
+        assert rf.num_registers == 1024
+
+    def test_comparison_hardware_points(self):
+        platform = platform_dsa()
+        for banks in (2, 4, 8, 16):
+            rf = platform.file_for(banks)
+            assert isinstance(rf, BankedRegisterFile)
+            assert rf.num_banks == banks
+
+
+class TestInterleavedFiles:
+    def test_default_sweep(self):
+        files = interleaved_files(1024)
+        assert sorted(files) == [2, 4, 8, 16]
+        assert all(f.num_registers == 1024 for f in files.values())
+
+    def test_custom_settings(self):
+        files = interleaved_files(64, (2,))
+        assert list(files) == [2]

@@ -1,0 +1,171 @@
+"""Tests for the workload generators (suite calibration and validity)."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.sim import count_conflict_relevant
+from repro.workloads import (
+    CNN_CATEGORIES,
+    DSA_KERNELS,
+    SPECFP_BENCHMARKS,
+    KernelSpec,
+    cnn_suite,
+    dsa_suite,
+    generate_benchmark,
+    generate_kernel,
+    generate_scalar_function,
+    idft_kernel,
+    random_function,
+    specfp_suite,
+)
+
+
+class TestSynth:
+    def test_kernel_verifies(self):
+        fn = generate_kernel(KernelSpec("k", seed=1))
+        verify_function(fn)
+
+    def test_deterministic_per_seed(self):
+        from repro.ir import print_function
+
+        a = generate_kernel(KernelSpec("k", seed=7))
+        b = generate_kernel(KernelSpec("k", seed=7))
+        assert print_function(a) == print_function(b)
+
+    def test_different_seeds_differ(self):
+        from repro.ir import print_function
+
+        a = generate_kernel(KernelSpec("k", seed=1))
+        b = generate_kernel(KernelSpec("k", seed=2))
+        assert print_function(a) != print_function(b)
+
+    def test_body_ops_scale_relevant_count(self):
+        small = generate_kernel(KernelSpec("s", seed=3, body_ops=10))
+        large = generate_kernel(KernelSpec("l", seed=3, body_ops=100))
+        assert count_conflict_relevant(large) > count_conflict_relevant(small)
+
+    def test_unroll_multiplies_ops(self):
+        base = generate_kernel(KernelSpec("b", seed=4, unroll=1, branch_prob=0.0))
+        unrolled = generate_kernel(KernelSpec("u", seed=4, unroll=4, branch_prob=0.0))
+        assert unrolled.instruction_count() > 2 * base.instruction_count()
+
+    def test_scalar_function_is_irrelevant(self):
+        fn = generate_scalar_function("s", 0)
+        assert count_conflict_relevant(fn) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_functions_verify(self, seed):
+        verify_function(random_function(seed))
+
+
+class TestSpecfp:
+    def test_eight_benchmarks(self):
+        suite = specfp_suite(scale=0.02)
+        assert len(suite) == 8
+        assert {p.name for p in suite.programs} == {
+            b.name for b in SPECFP_BENCHMARKS
+        }
+
+    def test_scale_controls_function_count(self):
+        small = specfp_suite(scale=0.02)
+        large = specfp_suite(scale=0.05)
+        assert len(large.functions()) > len(small.functions())
+
+    def test_reles_scale_with_table1(self):
+        """Total conflict-relevant instructions track Table I ratios."""
+        suite = specfp_suite(scale=0.05)
+        by_name = {
+            p.name: sum(count_conflict_relevant(f) for f in p.functions())
+            for p in suite.programs
+        }
+        # povray (19749) must dwarf sphinx3 (361).
+        assert by_name["453.povray"] > 5 * by_name["482.sphinx3"]
+
+    def test_relevant_fraction_reasonable(self):
+        suite = specfp_suite(scale=0.05)
+        fns = suite.functions()
+        relevant = sum(1 for f in fns if count_conflict_relevant(f) > 0)
+        share = relevant / len(fns)
+        assert 0.35 < share < 0.75  # paper: 56.37%
+
+    def test_all_functions_verify(self):
+        for fn in specfp_suite(scale=0.02).functions():
+            verify_function(fn)
+
+    def test_deterministic(self):
+        a = specfp_suite(scale=0.02, seed=3)
+        b = specfp_suite(scale=0.02, seed=3)
+        assert [f.name for f in a.functions()] == [f.name for f in b.functions()]
+
+
+class TestCnn:
+    def test_category_geometry(self):
+        suite = cnn_suite(scale=1.0)
+        by_cat = suite.by_category()
+        for category in CNN_CATEGORIES:
+            assert len(by_cat[category.name]) == category.count
+
+    def test_total_64_kernels_at_full_scale(self):
+        assert len(cnn_suite(scale=1.0)) == 64
+
+    def test_conv_kernels_are_relevant(self):
+        suite = cnn_suite(scale=0.2)
+        for program in suite.by_category()["conv2d.relu"]:
+            assert count_conflict_relevant(program.functions()[0]) > 0
+
+    def test_irrelevant_category_exists(self):
+        suite = cnn_suite(scale=1.0)
+        irrelevant = suite.by_category()["irrelevant"]
+        for program in irrelevant:
+            assert count_conflict_relevant(program.functions()[0]) == 0
+
+    def test_unroll_sweep_varies_sizes(self):
+        suite = cnn_suite(scale=0.5)
+        sizes = {
+            count_conflict_relevant(p.functions()[0])
+            for p in suite.by_category()["conv2d.relu"]
+        }
+        assert len(sizes) > 3
+
+    def test_all_verify(self):
+        for fn in cnn_suite(scale=0.3).functions():
+            verify_function(fn)
+
+
+class TestDsaOps:
+    def test_all_eight_kernels(self):
+        suite = dsa_suite(idft_points=6)
+        assert [p.name for p in suite.programs] == list(DSA_KERNELS)
+
+    def test_all_verify(self):
+        for fn in dsa_suite(idft_points=6).functions():
+            verify_function(fn)
+
+    def test_idft_size_scales_quadratically(self):
+        small = idft_kernel(points=6)
+        large = idft_kernel(points=12)
+        assert large.instruction_count() > 3 * small.instruction_count()
+
+    def test_idft_computes_inverse_dft(self):
+        """The idft kernel is real math: executing it must reproduce the
+        analytic IDFT real output for index 0."""
+        import math
+
+        from repro.sim import ValueInterpreter
+
+        points = 8
+        fn = idft_kernel(points=points)
+        result = ValueInterpreter().run(fn).return_values[0]
+        xre = [round(math.sin(0.7 * k + 0.3), 6) for k in range(points)]
+        xim = [round(math.cos(1.3 * k), 6) for k in range(points)]
+        expected = sum(
+            xre[k] * round(math.cos(0.0), 8) - xim[k] * round(math.sin(0.0), 8)
+            for k in range(points)
+        ) * round(1.0 / points, 8)
+        assert result == pytest.approx(expected, rel=1e-9)
+
+    def test_shared_use_kernel_consumer_count(self):
+        from repro.workloads import shared_use_kernel
+
+        fn = shared_use_kernel(consumers=10)
+        assert count_conflict_relevant(fn) == 10

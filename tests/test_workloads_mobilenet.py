@@ -1,0 +1,85 @@
+"""Tests for the MobileNet-v1 layer table and kernel derivation."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.sim import count_conflict_relevant
+from repro.workloads import (
+    MOBILENET_V1_LAYERS,
+    ConvLayer,
+    layer_kernel,
+    mobilenet_conv_kernels,
+)
+
+
+class TestLayerTable:
+    def test_twenty_seven_conv_layers(self):
+        """1 standard conv + 13 dw/pw pairs."""
+        assert len(MOBILENET_V1_LAYERS) == 27
+
+    def test_first_layer_is_standard_conv(self):
+        first = MOBILENET_V1_LAYERS[0]
+        assert first.kind == "std"
+        assert first.in_channels == 3 and first.out_channels == 32
+        assert first.stride == 2
+
+    def test_dw_pw_alternate(self):
+        blocks = MOBILENET_V1_LAYERS[1:]
+        assert all(l.kind == "dw" for l in blocks[0::2])
+        assert all(l.kind == "pw" for l in blocks[1::2])
+
+    def test_channel_chaining(self):
+        """Each layer's input channels equal the previous output channels."""
+        for prev, cur in zip(MOBILENET_V1_LAYERS, MOBILENET_V1_LAYERS[1:]):
+            assert cur.in_channels == prev.out_channels
+
+    def test_final_width(self):
+        assert MOBILENET_V1_LAYERS[-1].out_channels == 1024
+
+    def test_macs_per_output(self):
+        dw = next(l for l in MOBILENET_V1_LAYERS if l.kind == "dw")
+        assert dw.macs_per_output == 9
+        pw = next(l for l in MOBILENET_V1_LAYERS if l.kind == "pw")
+        assert pw.macs_per_output == pw.in_channels
+
+
+class TestLayerKernel:
+    @pytest.mark.parametrize("layer", MOBILENET_V1_LAYERS[:6])
+    def test_kernels_verify(self, layer):
+        verify_function(layer_kernel(layer))
+
+    def test_kernel_is_conflict_relevant(self):
+        kernel = layer_kernel(MOBILENET_V1_LAYERS[1])
+        assert count_conflict_relevant(kernel) > 0
+
+    def test_unroll_scales_size(self):
+        layer = MOBILENET_V1_LAYERS[2]
+        small = layer_kernel(layer, unroll=1)
+        large = layer_kernel(layer, unroll=6)
+        assert large.instruction_count() > 2 * small.instruction_count()
+
+    def test_depthwise_uses_nine_taps(self):
+        dw = next(l for l in MOBILENET_V1_LAYERS if l.kind == "dw")
+        kernel = layer_kernel(dw, unroll=1)
+        # 9 fmul per output position.
+        fmuls = sum(1 for __, i in kernel.instructions() if i.opcode == "fmul")
+        assert fmuls == 9
+
+    def test_layer_metadata_attached(self):
+        layer = MOBILENET_V1_LAYERS[0]
+        kernel = layer_kernel(layer)
+        assert kernel.attrs["layer"] is layer
+
+
+class TestPopulation:
+    def test_count(self):
+        assert len(mobilenet_conv_kernels(42)) == 42
+
+    def test_size_variety(self):
+        kernels = mobilenet_conv_kernels(42)
+        sizes = {count_conflict_relevant(k) for k in kernels}
+        assert len(sizes) >= 10  # the unroll sweep creates many levels
+
+    def test_names_unique(self):
+        names = [k.name for k in mobilenet_conv_kernels(42)]
+        assert len(names) == len(set(names))

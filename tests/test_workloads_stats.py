@@ -1,0 +1,59 @@
+"""Tests for suite statistics."""
+
+import pytest
+
+from repro.workloads import FunctionStats, SuiteStats, cnn_suite, dsa_suite
+from tests.conftest import build_mac_kernel, build_nested_loops
+
+
+class TestFunctionStats:
+    def test_basic_counts(self):
+        stats = FunctionStats.of(build_mac_kernel(n_pairs=3, trip_count=8))
+        assert stats.instructions > 10
+        assert stats.loops == 1
+        assert stats.max_loop_depth == 1
+        assert stats.max_trip_product == 8
+        assert stats.conflict_relevant == 6  # 3 fmul + 3 fadd
+
+    def test_nested_depth(self):
+        stats = FunctionStats.of(build_nested_loops((3, 5)))
+        assert stats.max_loop_depth == 2
+        assert stats.max_trip_product == 15
+
+    def test_opcode_mix(self):
+        stats = FunctionStats.of(build_mac_kernel(n_pairs=2))
+        assert stats.opcode_mix["fmul"] == 2
+        assert stats.opcode_mix["fadd"] == 2
+
+    def test_conflict_density(self):
+        stats = FunctionStats.of(build_mac_kernel())
+        assert 0 < stats.conflict_density < 1
+
+
+class TestSuiteStats:
+    @pytest.fixture(scope="class")
+    def cnn_stats(self):
+        return SuiteStats.of(cnn_suite(scale=0.15))
+
+    def test_aggregation(self, cnn_stats):
+        assert cnn_stats.total_instructions == sum(
+            f.instructions for f in cnn_stats.functions
+        )
+
+    def test_relevant_share(self, cnn_stats):
+        assert 0.5 < cnn_stats.relevant_function_share <= 1.0
+
+    def test_pressure_histogram_partitions(self, cnn_stats):
+        histogram = cnn_stats.pressure_histogram()
+        assert sum(histogram.values()) == len(cnn_stats.functions)
+
+    def test_render_mentions_suite(self, cnn_stats):
+        text = cnn_stats.render()
+        assert "CNN-KERNEL" in text
+        assert "pressure histogram" in text
+
+    def test_dsa_suite_stats(self):
+        stats = SuiteStats.of(dsa_suite(idft_points=6))
+        assert len(stats.functions) == 8
+        idft = next(f for f in stats.functions if f.name == "idft")
+        assert idft.conflict_relevant > 50
