@@ -9,6 +9,8 @@ Reduction" (CGO 2024) as a pure-Python compiler stack:
 * :mod:`repro.banks` — banked and bank-subgroup register files (Fig. 6);
 * :mod:`repro.alloc` — the greedy allocator (plus linear-scan and
   Chaitin-Briggs baselines), coalescing, scheduling, split/spill;
+* :mod:`repro.passes` — pass manager and cached analyses with precise
+  preserved-set invalidation (the Fig. 4 phases run as passes);
 * :mod:`repro.prescount` — the contribution: Algorithm 1 bank assignment,
   Algorithm 2 subgroup hints, SDG splitting, the Fig. 4 pipeline;
 * :mod:`repro.sim` — static conflict stats, dynamic execution, the DSA
@@ -37,7 +39,17 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import alloc, analysis, banks, experiments, ir, prescount, sim, workloads
+from . import (
+    alloc,
+    analysis,
+    banks,
+    experiments,
+    ir,
+    passes,
+    prescount,
+    sim,
+    workloads,
+)
 
 __all__ = [
     "alloc",
@@ -45,6 +57,7 @@ __all__ = [
     "banks",
     "experiments",
     "ir",
+    "passes",
     "prescount",
     "sim",
     "workloads",

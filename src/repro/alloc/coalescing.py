@@ -16,10 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.intervals import LiveIntervals
 from ..ir.function import Function
 from ..ir.instruction import OpKind
 from ..ir.types import RegClass, VirtualRegister
+from ..passes import CFG_ONLY, AnalysisManager, LiveIntervalsAnalysis
 
 
 @dataclass
@@ -36,16 +36,24 @@ def coalesce(
     function: Function,
     regclass: RegClass | None = None,
     max_rounds: int = 8,
+    am: AnalysisManager | None = None,
 ) -> CoalescingResult:
     """Coalesce copies in *function* in place; returns statistics.
 
     Copies marked ``sdg_copy`` or ``split_copy`` are never coalesced: they
     were inserted deliberately by later phases (subgroup splitting inserts
     its copies after this pass precisely to keep them).
+
+    Live intervals come from *am* (one is created when absent); every
+    round that rewrites the function invalidates all but the CFG-level
+    analyses, so the cache is consistent with the final function state
+    when this returns.
     """
+    if am is None:
+        am = AnalysisManager(function)
     result = CoalescingResult()
     for _round in range(max_rounds):
-        merged_this_round = _coalesce_round(function, regclass, result)
+        merged_this_round = _coalesce_round(function, regclass, result, am)
         result.rounds += 1
         if not merged_this_round:
             break
@@ -56,8 +64,9 @@ def _coalesce_round(
     function: Function,
     regclass: RegClass | None,
     result: CoalescingResult,
+    am: AnalysisManager,
 ) -> int:
-    live = LiveIntervals.build(function)
+    live = am.get(LiveIntervalsAnalysis)
     mapping: dict[VirtualRegister, VirtualRegister] = {}
     dead_copies: set[int] = set()
 
@@ -115,4 +124,7 @@ def _coalesce_round(
             new_instructions.append(instr.rewrite(compressed))
         block.instructions = new_instructions
     result.copies_removed += removed
+    # The rewrite replaced instruction objects: every id()-keyed or
+    # register-keyed analysis is stale; only the block graph survives.
+    am.invalidate(CFG_ONLY)
     return removed

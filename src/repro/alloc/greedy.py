@@ -24,16 +24,21 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
-from ..analysis.cost import ConflictCostModel
-from ..analysis.intervals import LiveInterval, LiveIntervals
-from ..analysis.slots import SlotIndexes
+from ..analysis.intervals import LiveInterval
 from ..banks.register_file import RegisterFile
 from ..ir import instruction as ins
-from ..ir.cfg import CFG
 from ..ir.function import Function
 from ..ir.instruction import Instruction
-from ..ir.loops import LoopInfo
 from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+from ..passes import (
+    CFG_ONLY,
+    AnalysisManager,
+    CFGAnalysis,
+    ConflictCostAnalysis,
+    LiveIntervalsAnalysis,
+    LoopInfoAnalysis,
+    SlotIndexesAnalysis,
+)
 from .base import AllocationError, AllocationPolicy, AllocationResult, NaturalOrderPolicy, PhysRegState
 from .spiller import SpillPlan, spill_interval
 from .splitter import CopyAction, try_region_split
@@ -69,6 +74,9 @@ class GreedyAllocator:
 
     # Populated per-run (the allocator object is reusable across functions).
     function: Function = field(default=None, repr=False)
+    #: The analysis manager of the current run; policies may consume
+    #: cached analyses through it (see :class:`repro.prescount.bcr.BcrPolicy`).
+    analyses: AnalysisManager | None = field(default=None, repr=False)
     _intervals: dict[VirtualRegister, LiveInterval] = field(default_factory=dict, repr=False)
     _assignment: dict[VirtualRegister, PhysicalRegister] = field(default_factory=dict, repr=False)
     _preg_state: dict[PhysicalRegister, PhysRegState] = field(default_factory=dict, repr=False)
@@ -84,23 +92,38 @@ class GreedyAllocator:
         return self._intervals[vreg]
 
     # ------------------------------------------------------------------
-    def run(self, function: Function, *, clone: bool = True) -> AllocationResult:
+    def run(
+        self,
+        function: Function,
+        *,
+        clone: bool = True,
+        am: AnalysisManager | None = None,
+    ) -> AllocationResult:
         """Allocate *function*; returns the rewritten function and metrics.
 
         With ``clone=True`` (default) the input function is untouched and
         the result holds a rewritten deep copy, so several methods can be
         compared on the same source IR.
+
+        All analyses come from *am* (one is created when absent or when it
+        is bound to a different function than the one being allocated), so
+        a pipeline-supplied manager turns the CFG/loop/interval/cost
+        builds below into cache hits.  Allocation rewrites operands and
+        inserts spill/split code but never touches the block graph, so the
+        manager keeps its CFG-level analyses afterwards.
         """
         if clone:
             function = function.clone()
+        if am is None or am.function is not function:
+            am = AnalysisManager(function)
         self.function = function
+        self.analyses = am
         policy = self.policy if self.policy is not None else NaturalOrderPolicy()
 
-        cfg = CFG.build(function)
-        loop_info = LoopInfo.build(function, cfg)
-        slots = SlotIndexes.build(function)
-        live = LiveIntervals.build(function, cfg, slots)
-        cost_model = ConflictCostModel.build(function, loop_info, regclass=self.regclass)
+        loop_info = am.get(LoopInfoAnalysis)
+        slots = am.get(SlotIndexesAnalysis)
+        live = am.get(LiveIntervalsAnalysis)
+        cost_model = am.get(ConflictCostAnalysis, regclass=self.regclass)
 
         self._intervals = {}
         self._assignment = {}
@@ -198,6 +221,9 @@ class GreedyAllocator:
         )
         result.stats["bank_histogram"] = self._bank_histogram()
         result.stats["max_pressure"] = live.max_pressure(self.regclass)
+        # Materialization rewrote operands and inserted spill/split code;
+        # block labels, terminators, and loop structure are untouched.
+        am.invalidate(CFG_ONLY)
         return result
 
     # ------------------------------------------------------------------

@@ -33,17 +33,25 @@ class SchedulingResult:
     reverted: bool = False
 
 
-def schedule_function(function: Function) -> SchedulingResult:
+def schedule_function(function: Function, am=None) -> SchedulingResult:
     """Schedule every block of *function* in place.
 
     The kill-first list heuristic is greedy and can occasionally *raise*
     register pressure; since lowering pressure is this phase's entire
     purpose, the result is compared against the original order and
     reverted wholesale when it is worse ("do no harm").
-    """
-    from ..analysis.intervals import LiveIntervals
 
-    before_pressure = LiveIntervals.build(function).max_pressure()
+    The before/after pressure probes read live intervals through *am*
+    (created on demand), so the "before" probe is a cache hit whenever an
+    earlier phase left valid intervals behind; reorders invalidate all but
+    the CFG-level analyses, leaving the cache consistent on return.
+    """
+    from ..passes import CFG_ONLY, AnalysisManager, LiveIntervalsAnalysis
+
+    if am is None:
+        am = AnalysisManager(function)
+
+    before_pressure = am.get(LiveIntervalsAnalysis).max_pressure()
     original_orders = [list(block.instructions) for block in function.blocks]
 
     result = SchedulingResult()
@@ -53,12 +61,14 @@ def schedule_function(function: Function) -> SchedulingResult:
         result.instructions_moved += moved
 
     if result.instructions_moved:
-        after_pressure = LiveIntervals.build(function).max_pressure()
+        am.invalidate(CFG_ONLY)
+        after_pressure = am.get(LiveIntervalsAnalysis).max_pressure()
         if after_pressure > before_pressure:
             for block, order in zip(function.blocks, original_orders):
                 block.instructions = order
             result.instructions_moved = 0
             result.reverted = True
+            am.invalidate(CFG_ONLY)
     return result
 
 

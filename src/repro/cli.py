@@ -8,6 +8,8 @@ Usage::
     python -m repro compare                 # paper-vs-measured shapes
     python -m repro suite SPECfp --scale 0.02   # inspect a suite
     python -m repro allocate --method bpc --banks 2 --registers 32  # demo
+    python -m repro --jobs 4 all            # fan programs over 4 processes
+    python -m repro --pass-stats table II   # + pass/cache statistics
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -17,10 +19,22 @@ calibrated defaults.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import ALL_FIGURES, ALL_TABLES, ExperimentContext
 from .sim import count_conflict_relevant
+
+
+def _resolve_cli_jobs(args: argparse.Namespace) -> int:
+    """``--jobs`` wins, then ``REPRO_JOBS``, then every CPU."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        return max(1, jobs)
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
 
 
 def _build_context(args: argparse.Namespace) -> ExperimentContext:
@@ -29,6 +43,7 @@ def _build_context(args: argparse.Namespace) -> ExperimentContext:
         cnn_scale=args.cnn_scale,
         idft_points=args.idft_points,
         seed=args.seed,
+        jobs=_resolve_cli_jobs(args),
     )
 
 
@@ -129,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--idft-points", type=int, default=8,
                         help="IDFT size for the DSA suite (default 8)")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for suite runs (default: REPRO_JOBS env "
+        "var, else all CPUs; 1 = serial). Results are identical at any "
+        "job count.",
+    )
+    parser.add_argument(
+        "--pass-stats", action="store_true",
+        help="print per-pass timing and analysis-cache statistics to "
+        "stderr after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="regenerate one table (I..VII)")
@@ -164,6 +190,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "pass_stats", False):
+        from .passes.instrument import GLOBAL
+
+        GLOBAL.enable()
+        try:
+            return args.func(args)
+        finally:
+            print(GLOBAL.render(), file=sys.stderr)
     return args.func(args)
 
 

@@ -10,7 +10,13 @@ from .export import (
     write_all,
 )
 from .figures import ALL_FIGURES, FigureResult, figure1, figure10, figure11
-from .harness import ExperimentContext, ProgramResult, run_program, run_suite
+from .harness import (
+    ExperimentContext,
+    ProgramResult,
+    resolve_jobs,
+    run_program,
+    run_suite,
+)
 from .paper import PAPER, ComparisonReport, ShapeCheck, compare
 from .report import geomean, percent, render_table
 from .tables import (
@@ -48,6 +54,7 @@ __all__ = [
     "geomean",
     "percent",
     "render_table",
+    "resolve_jobs",
     "run_program",
     "run_suite",
     "table1",

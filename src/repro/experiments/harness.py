@@ -10,14 +10,23 @@ aggregates.
 :class:`ExperimentContext` memoizes suite generation and per-combination
 results so the table/figure modules can share runs (Table II and Table
 III, for example, consume the same RV#1 sweeps).
+
+With ``jobs > 1`` (CLI ``--jobs`` / env ``REPRO_JOBS``), :func:`run_suite`
+fans the per-program work across a process pool.  Programs are
+independent — each worker runs whole pipelines on its own function clones
+— and ``pool.map`` preserves suite order, so the merged result list is
+identical to a serial run.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..banks.register_file import RegisterFile
 from ..ir.types import FP, RegClass
+from ..passes.instrument import GLOBAL
 from ..prescount.pipeline import PipelineConfig, run_pipeline
 from ..sim.dsa import DsaMachine
 from ..sim.dynamic import estimate_dynamic_conflicts
@@ -85,7 +94,11 @@ def run_program(
         config = PipelineConfig(register_file, method, regclass, **overrides)
         pipe = run_pipeline(function, config)
         allocated = pipe.function
-        static = analyze_static(allocated, register_file, regclass)
+        # The pipeline's analysis cache is still valid for the allocated
+        # function (allocation preserves the CFG-level analyses), so the
+        # measurement passes keep hitting it.
+        am = pipe.analyses
+        static = analyze_static(allocated, register_file, regclass, am=am)
         result.functions += 1
         result.conflict_relevant += count_conflict_relevant(function, regclass)
         result.static_conflicts += static.conflicts
@@ -106,16 +119,47 @@ def run_program(
             result.dynamic_instances = result.dynamic_instances or 0
             if function.attrs.get("covered", True):
                 dynamic = estimate_dynamic_conflicts(
-                    allocated, register_file, regclass
+                    allocated, register_file, regclass, am=am
                 )
                 result.dynamic_conflicts += round(dynamic.conflicting_sites)
                 result.dynamic_instances += (
                     dynamic.dynamic_conflicts + dynamic.dynamic_subgroup_violations
                 )
         if machine is not None:
-            report = machine.run(allocated)
+            report = machine.run(allocated, am=am)
             result.cycles = (result.cycles or 0.0) + report.cycles
     return result
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job count: ``None`` falls back to the ``REPRO_JOBS``
+    environment variable, then to serial execution."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    return max(1, int(jobs))
+
+
+def _run_program_task(payload: tuple) -> tuple[ProgramResult, dict | None]:
+    """Process-pool worker: one program, plus its instrumentation delta.
+
+    When the parent runs with ``--pass-stats`` the payload tells the
+    worker to record and ship its counters back for merging.  The
+    registry is reset around the task because worker processes are
+    reused (and, under fork, inherit the parent's counters): each
+    snapshot must cover exactly one program, or merging would re-count
+    everything the process saw before.
+    """
+    program, register_file, method, kwargs, instrumented = payload
+    if instrumented:
+        GLOBAL.enable()
+        GLOBAL.reset()
+    result = run_program(program, register_file, method, **kwargs)
+    if not instrumented:
+        return result, None
+    snapshot = GLOBAL.snapshot()
+    GLOBAL.reset()
+    return result, snapshot
 
 
 def run_suite(
@@ -127,21 +171,36 @@ def run_suite(
     measure_dynamic: bool = False,
     measure_cycles: bool = False,
     config_overrides: dict | None = None,
+    jobs: int | None = 1,
 ) -> list[ProgramResult]:
-    """Run every program of *suite* and return one result per program."""
-    return [
-        run_program(
-            program,
-            register_file,
-            method,
-            suite_name=suite.name,
-            file_key=file_key,
-            measure_dynamic=measure_dynamic,
-            measure_cycles=measure_cycles,
-            config_overrides=config_overrides,
-        )
+    """Run every program of *suite* and return one result per program.
+
+    ``jobs > 1`` distributes programs over a process pool; the result
+    list is ordered and valued identically to a serial run.
+    """
+    kwargs = dict(
+        suite_name=suite.name,
+        file_key=file_key,
+        measure_dynamic=measure_dynamic,
+        measure_cycles=measure_cycles,
+        config_overrides=config_overrides,
+    )
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(suite.programs) <= 1:
+        return [
+            run_program(program, register_file, method, **kwargs)
+            for program in suite.programs
+        ]
+    payloads = [
+        (program, register_file, method, kwargs, GLOBAL.enabled)
         for program in suite.programs
     ]
+    results: list[ProgramResult] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        for result, snapshot in pool.map(_run_program_task, payloads):
+            GLOBAL.merge(snapshot)
+            results.append(result)
+    return results
 
 
 @dataclass
@@ -154,12 +213,16 @@ class ExperimentContext:
         cnn_scale: CNN-KERNEL suite scale.
         idft_points: IDFT size for the DSA suite.
         seed: Master seed for all generators.
+        jobs: Worker processes per suite run (``None`` = honor
+            ``REPRO_JOBS``, else serial).  Results are independent of the
+            job count; only wall time changes.
     """
 
     spec_scale: float = 0.05
     cnn_scale: float = 0.5
     idft_points: int = 16
     seed: int = 0
+    jobs: int | None = None
     _suites: dict = field(default_factory=dict, repr=False)
     _results: dict = field(default_factory=dict, repr=False)
 
@@ -219,6 +282,7 @@ class ExperimentContext:
                 file_key=file_key,
                 measure_dynamic=measure_dynamic,
                 measure_cycles=measure_cycles,
+                jobs=self.jobs,
             )
         return self._results[key]
 
@@ -242,7 +306,9 @@ class ExperimentContext:
             for function in self.suite(suite_name).functions():
                 config = PipelineConfig(register_file, method)
                 pipe = run_pipeline(function, config)
-                static = analyze_static(pipe.function, register_file)
+                static = analyze_static(
+                    pipe.function, register_file, am=pipe.analyses
+                )
                 triples.append(
                     (
                         function.name,

@@ -1,0 +1,189 @@
+"""Per-pass instrumentation: wall time, analysis cache traffic, IR deltas.
+
+:data:`GLOBAL` is a process-wide registry, disabled by default.  When
+enabled (``repro --pass-stats`` or :meth:`InstrumentationRegistry.enable`)
+the :class:`~repro.passes.manager.FunctionPassManager` records one
+:class:`PassStats` row per pass execution and every
+:class:`~repro.passes.analysis_manager.AnalysisManager` forwards its cache
+events, so a whole experiment run can be summarized afterwards with
+:meth:`InstrumentationRegistry.render`.
+
+Registries are picklable via :meth:`snapshot` / :meth:`merge`, which is
+how the experiment harness folds worker-process stats back into the
+parent when running with ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassStats:
+    """Aggregated execution statistics of one pass kind."""
+
+    runs: int = 0
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+    #: Net instruction-count change the pass applied to its functions.
+    instructions_delta: int = 0
+
+    def record(
+        self,
+        seconds: float,
+        hits: int,
+        misses: int,
+        invalidations: int,
+        instructions_delta: int,
+    ) -> None:
+        self.runs += 1
+        self.seconds += seconds
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.invalidations += invalidations
+        self.instructions_delta += instructions_delta
+
+
+@dataclass
+class AnalysisStats:
+    """Aggregated cache traffic of one analysis kind."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class InstrumentationRegistry:
+    """Collects pass and analysis statistics across pipeline runs."""
+
+    enabled: bool = False
+    passes: dict[str, PassStats] = field(default_factory=dict)
+    analyses: dict[str, AnalysisStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        self.passes.clear()
+        self.analyses.clear()
+
+    # ------------------------------------------------------------------
+    def record_pass(
+        self,
+        name: str,
+        seconds: float,
+        hits: int = 0,
+        misses: int = 0,
+        invalidations: int = 0,
+        instructions_delta: int = 0,
+    ) -> None:
+        self.passes.setdefault(name, PassStats()).record(
+            seconds, hits, misses, invalidations, instructions_delta
+        )
+
+    def record_analysis(
+        self, name: str, hit: bool = False, invalidated: bool = False
+    ) -> None:
+        stats = self.analyses.setdefault(name, AnalysisStats())
+        if invalidated:
+            stats.invalidations += 1
+        elif hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+
+    # ------------------------------------------------------------------
+    # Pool-safe aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict copy of all counters (picklable across processes)."""
+        return {
+            "passes": {
+                name: {
+                    "runs": p.runs,
+                    "seconds": p.seconds,
+                    "cache_hits": p.cache_hits,
+                    "cache_misses": p.cache_misses,
+                    "invalidations": p.invalidations,
+                    "instructions_delta": p.instructions_delta,
+                }
+                for name, p in self.passes.items()
+            },
+            "analyses": {
+                name: {
+                    "hits": a.hits,
+                    "misses": a.misses,
+                    "invalidations": a.invalidations,
+                }
+                for name, a in self.analyses.items()
+            },
+        }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into self."""
+        if not snapshot:
+            return
+        for name, p in snapshot.get("passes", {}).items():
+            stats = self.passes.setdefault(name, PassStats())
+            stats.runs += p["runs"]
+            stats.seconds += p["seconds"]
+            stats.cache_hits += p["cache_hits"]
+            stats.cache_misses += p["cache_misses"]
+            stats.invalidations += p["invalidations"]
+            stats.instructions_delta += p["instructions_delta"]
+        for name, a in snapshot.get("analyses", {}).items():
+            stats = self.analyses.setdefault(name, AnalysisStats())
+            stats.hits += a["hits"]
+            stats.misses += a["misses"]
+            stats.invalidations += a["invalidations"]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable two-part summary table."""
+        lines = ["pass statistics"]
+        if self.passes:
+            header = (
+                f"  {'pass':<18} {'runs':>6} {'seconds':>9} {'hits':>7} "
+                f"{'misses':>7} {'inval':>7} {'d-instrs':>9}"
+            )
+            lines.append(header)
+            for name, p in sorted(
+                self.passes.items(), key=lambda kv: -kv[1].seconds
+            ):
+                lines.append(
+                    f"  {name:<18} {p.runs:>6} {p.seconds:>9.3f} "
+                    f"{p.cache_hits:>7} {p.cache_misses:>7} "
+                    f"{p.invalidations:>7} {p.instructions_delta:>+9}"
+                )
+        else:
+            lines.append("  (no passes recorded)")
+        lines.append("analysis cache")
+        if self.analyses:
+            lines.append(
+                f"  {'analysis':<18} {'hits':>7} {'misses':>7} "
+                f"{'inval':>7} {'hit rate':>9}"
+            )
+            for name, a in sorted(self.analyses.items()):
+                lines.append(
+                    f"  {name:<18} {a.hits:>7} {a.misses:>7} "
+                    f"{a.invalidations:>7} {a.hit_rate:>8.1%}"
+                )
+        else:
+            lines.append("  (no analyses recorded)")
+        return "\n".join(lines)
+
+
+#: The process-wide registry ``--pass-stats`` enables.
+GLOBAL = InstrumentationRegistry()

@@ -1,0 +1,107 @@
+"""Function passes and the pass manager that sequences them.
+
+A :class:`Pass` is one unit of transformation (or pure computation) over a
+:class:`~repro.ir.function.Function`.  The
+:class:`FunctionPassManager` runs a pass list in order, threading one
+shared :class:`~repro.passes.analysis_manager.AnalysisManager` through all
+of them, applying each pass's :meth:`Pass.preserved` set afterwards, and
+recording per-pass instrumentation when enabled.
+
+Passes communicate through the *state* mapping: the manager stores each
+pass's return value under its ``name`` (e.g. the RCG bank-assignment pass
+publishes the :class:`~repro.banks.assignment.BankAssignment` the
+allocation pass consumes), mirroring how the paper's phases hand artifacts
+down the Fig. 4 pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..ir.function import Function
+from .analysis_manager import PRESERVE_NONE, AnalysisManager
+from .instrument import GLOBAL, InstrumentationRegistry
+
+
+class Pass:
+    """Base class for function passes.
+
+    Subclasses set :attr:`name` (unique within a pipeline; it is the key
+    their result is published under) and implement :meth:`run`.  A pass
+    that manages invalidation itself — because it mutates and re-analyzes
+    iteratively — returns ``PRESERVE_ALL`` from :meth:`preserved` and
+    calls :meth:`AnalysisManager.invalidate` inline instead.
+    """
+
+    name: str = "pass"
+
+    def run(self, function: Function, am: AnalysisManager, state: dict):
+        """Transform *function* (in place); the return value is published
+        in the pipeline state under :attr:`name`."""
+        raise NotImplementedError
+
+    def preserved(self, result):
+        """Analyses still valid after :meth:`run` returned *result*.
+
+        The default is maximally conservative: nothing survives.
+        """
+        return PRESERVE_NONE
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class FunctionPassManager:
+    """Runs passes over one function with a shared analysis cache."""
+
+    passes: list[Pass] = field(default_factory=list)
+    #: Explicit registry; None falls back to the global one when enabled.
+    instrumentation: InstrumentationRegistry | None = None
+
+    def add(self, pass_: Pass) -> "FunctionPassManager":
+        self.passes.append(pass_)
+        return self
+
+    def _registry(self) -> InstrumentationRegistry | None:
+        if self.instrumentation is not None:
+            return self.instrumentation
+        return GLOBAL if GLOBAL.enabled else None
+
+    def run(
+        self,
+        function: Function,
+        am: AnalysisManager | None = None,
+        state: dict | None = None,
+    ) -> dict:
+        """Run all passes in order; returns the pipeline state mapping."""
+        if am is None:
+            am = AnalysisManager(function)
+        if am.function is not function:
+            raise ValueError(
+                "analysis manager is bound to a different function "
+                f"({am.function!r} vs {function!r})"
+            )
+        state = state if state is not None else {}
+        registry = self._registry()
+        for pass_ in self.passes:
+            if registry is not None:
+                hits0 = am.total_hits()
+                misses0 = am.total_misses()
+                inval0 = am.total_invalidations()
+                instrs0 = function.instruction_count()
+                started = time.perf_counter()
+            result = pass_.run(function, am, state)
+            am.invalidate(pass_.preserved(result))
+            state[pass_.name] = result
+            if registry is not None:
+                registry.record_pass(
+                    pass_.name,
+                    time.perf_counter() - started,
+                    hits=am.total_hits() - hits0,
+                    misses=am.total_misses() - misses0,
+                    invalidations=am.total_invalidations() - inval0,
+                    instructions_delta=function.instruction_count() - instrs0,
+                )
+        return state

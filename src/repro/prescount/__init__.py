@@ -6,6 +6,7 @@
 * :mod:`subgroup` — Algorithm 2 (subgroup displacement bookkeeping and
   DSA allocation hints).
 * :mod:`sdg_split` — SDG-based subgroup splitting (Figs. 8/9).
+* :mod:`passes` — the five Fig. 4 phases as registered function passes.
 * :mod:`pipeline` — the combined Fig. 4 register allocation pipeline.
 """
 
@@ -16,23 +17,44 @@ from .bank_assigner import (
 )
 from .bcr import BcrPolicy
 from .bundle_aware import BundleEdgeReport, add_bundle_edges
-from .pipeline import METHODS, PipelineConfig, PipelineResult, run_pipeline
+from .passes import (
+    PASS_REGISTRY,
+    AllocationPass,
+    BankAssignmentPass,
+    CoalescingPass,
+    SchedulingPass,
+    SdgSplitPass,
+)
+from .pipeline import (
+    METHODS,
+    PipelineConfig,
+    PipelineResult,
+    build_pipeline,
+    run_pipeline,
+)
 from .sdg_split import SdgSplitConfig, SdgSplitResult, split_subgroups
 from .subgroup import DsaPresCountPolicy, SubgroupState
 
 __all__ = [
+    "AllocationPass",
+    "BankAssignmentPass",
     "BcrPolicy",
     "BundleEdgeReport",
+    "CoalescingPass",
     "add_bundle_edges",
+    "build_pipeline",
     "DEFAULT_THRES_RATIO",
     "DsaPresCountPolicy",
     "METHODS",
+    "PASS_REGISTRY",
     "PipelineConfig",
     "PipelineResult",
     "PresCountBankAssigner",
     "PresCountPolicy",
+    "SchedulingPass",
     "SdgSplitConfig",
     "SdgSplitResult",
+    "SdgSplitPass",
     "SubgroupState",
     "run_pipeline",
     "split_subgroups",

@@ -41,7 +41,13 @@ class BcrPolicy:
     def setup(self, allocator) -> None:
         self._allocator = allocator
         function: Function = allocator.function
-        cost_model = ConflictCostModel.build(function, regclass=self.regclass)
+        am = getattr(allocator, "analyses", None)
+        if am is not None:
+            from ..passes import ConflictCostAnalysis
+
+            cost_model = am.get(ConflictCostAnalysis, regclass=self.regclass)
+        else:
+            cost_model = ConflictCostModel.build(function, regclass=self.regclass)
         self._partners = {}
         for _, instr in function.instructions():
             if not instr.is_conflict_relevant(self.regclass):

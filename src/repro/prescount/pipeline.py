@@ -21,24 +21,37 @@ non    (none)                         natural order
 bcr    (none)                         per-instruction hinting
 bpc    PresCount (Algorithm 1)        bank-ordered candidates
 ====== ============================== =======================
+
+Each phase is a :class:`~repro.passes.Pass` (see :mod:`.passes`);
+:func:`build_pipeline` composes the pass list the config selects and
+:func:`run_pipeline` executes it through a
+:class:`~repro.passes.FunctionPassManager` over one shared
+:class:`~repro.passes.AnalysisManager`, so live intervals, the conflict
+cost model, and the SDG are computed once per function state instead of
+once per phase.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..alloc.base import AllocationResult, NaturalOrderPolicy
-from ..alloc.coalescing import CoalescingResult, coalesce
-from ..alloc.greedy import GreedyAllocator
-from ..alloc.scheduling import schedule_function
+from ..alloc.base import AllocationResult
+from ..alloc.coalescing import CoalescingResult
 from ..banks.assignment import BankAssignment
 from ..banks.register_file import BankSubgroupRegisterFile, RegisterFile
 from ..ir.function import Function
 from ..ir.types import FP, RegClass
-from .bank_assigner import DEFAULT_THRES_RATIO, PresCountBankAssigner, PresCountPolicy
-from .bcr import BcrPolicy
-from .sdg_split import SdgSplitConfig, SdgSplitResult, split_subgroups
-from .subgroup import DsaPresCountPolicy, SubgroupState
+from ..passes import AnalysisManager, FunctionPassManager
+from .bank_assigner import DEFAULT_THRES_RATIO
+from .passes import (
+    AllocationPass,
+    BankAssignmentPass,
+    CoalescingPass,
+    SchedulingPass,
+    SdgSplitPass,
+)
+from .sdg_split import SdgSplitConfig, SdgSplitResult
+from .subgroup import SubgroupState
 
 #: The method names used throughout experiments and benches.
 METHODS = ("non", "bcr", "bpc")
@@ -98,6 +111,10 @@ class PipelineResult:
     subgroups: SubgroupState | None = None
     coalescing: CoalescingResult | None = None
     sdg_split: SdgSplitResult | None = None
+    #: The shared analysis cache of the run; its surviving entries are
+    #: valid for the *allocated* function, so downstream measurement
+    #: (static stats, dynamic estimation) can keep hitting it.
+    analyses: AnalysisManager | None = None
 
     @property
     def spill_count(self) -> int:
@@ -109,83 +126,48 @@ class PipelineResult:
         return self.allocation.copies_inserted + sdg
 
 
+def build_pipeline(config: PipelineConfig) -> FunctionPassManager:
+    """Compose the Fig. 4 pass list selected by *config*.
+
+    ====== ===========================================================
+    method passes
+    ====== ===========================================================
+    non    [coalescing] → [scheduling] → allocation
+    bcr    [coalescing] → [scheduling] → allocation
+    bpc    [coalescing] → [sdg-split]* → [scheduling] → bank-assignment
+           → allocation            (* DSA register files only)
+    ====== ===========================================================
+    """
+    fpm = FunctionPassManager()
+    if config.run_coalescing:
+        fpm.add(CoalescingPass(config))
+    if config.dsa and config.method == "bpc":
+        fpm.add(SdgSplitPass(config))
+    if config.run_scheduling:
+        fpm.add(SchedulingPass(config))
+    if config.method == "bpc":
+        fpm.add(BankAssignmentPass(config))
+    fpm.add(AllocationPass(config))
+    return fpm
+
+
 def run_pipeline(function: Function, config: PipelineConfig) -> PipelineResult:
     """Run the Fig. 4 pipeline on (a clone of) *function*."""
     work = function.clone()
+    am = AnalysisManager(work)
+    state = build_pipeline(config).run(work, am=am)
 
-    coalescing_result: CoalescingResult | None = None
-    if config.run_coalescing:
-        coalescing_result = coalesce(work, config.regclass)
-
-    sdg_result: SdgSplitResult | None = None
-    subgroups: SubgroupState | None = None
-    if config.dsa and config.method == "bpc":
-        sdg_config = config.sdg_config
-        if sdg_config is None and isinstance(config.register_file, BankSubgroupRegisterFile):
-            # Balance share: one bank's slice of a single subgroup.
-            share = max(
-                4,
-                config.register_file.registers_per_bank
-                // config.register_file.num_subgroups,
-            )
-            sdg_config = SdgSplitConfig(max_component_size=share)
-        sdg_result = split_subgroups(work, config.regclass, sdg_config)
-
-    if config.run_scheduling:
-        schedule_function(work)
-
-    bank_assignment: BankAssignment | None = None
-    policy = None
-    if config.method == "bpc":
-        assigner = PresCountBankAssigner(
-            config.register_file,
-            config.regclass,
-            thres_ratio=config.thres_ratio,
-            use_pressure_counting=config.use_pressure_counting,
-            cost_ordering=config.cost_ordering,
-            balance_free_registers=config.balance_free_registers,
-        )
-        rcg = None
-        if config.bundle_aware:
-            from ..analysis.conflict_graph import ConflictGraph
-            from ..analysis.cost import ConflictCostModel
-            from .bundle_aware import add_bundle_edges
-
-            cost_model = ConflictCostModel.build(work, regclass=config.regclass)
-            rcg = ConflictGraph.build(work, cost_model, config.regclass)
-            add_bundle_edges(rcg, work, cost_model, config.regclass)
-        bank_assignment = assigner.assign(work, rcg=rcg)
-        bank_assignment.strict = bool(config.strict_banks)
-        if config.dsa:
-            file_ = config.register_file
-            if not isinstance(file_, BankSubgroupRegisterFile):
-                raise TypeError("DSA pipeline requires a BankSubgroupRegisterFile")
-            subgroups = SubgroupState.from_function(
-                work, file_.num_subgroups, config.regclass
-            )
-            policy = DsaPresCountPolicy(file_, bank_assignment, subgroups)
-        else:
-            policy = PresCountPolicy(config.register_file, bank_assignment)
-    elif config.method == "bcr":
-        policy = BcrPolicy(config.register_file, config.regclass)
-    else:
-        policy = NaturalOrderPolicy()
-
-    allocator = GreedyAllocator(
-        config.register_file,
-        policy,
-        config.regclass,
-        enable_split=config.enable_live_range_split,
-    )
-    allocation = allocator.run(work, clone=False)
+    allocation: AllocationResult = state["allocation"]
+    coalescing_result: CoalescingResult | None = state.get("coalescing")
     if coalescing_result is not None:
         allocation.copies_removed += coalescing_result.copies_removed
 
     return PipelineResult(
         function=work,
         allocation=allocation,
-        bank_assignment=bank_assignment,
-        subgroups=subgroups,
+        bank_assignment=state.get("bank-assignment"),
+        subgroups=state.get("subgroups"),
         coalescing=coalescing_result,
-        sdg_split=sdg_result,
+        sdg_split=state.get("sdg-split"),
+        analyses=am,
     )

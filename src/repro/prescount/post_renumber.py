@@ -25,8 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.intervals import LiveInterval, LiveIntervals
-from ..analysis.slots import SlotIndexes
+from ..analysis.intervals import LiveInterval
 from ..banks.register_file import RegisterFile
 from ..ir import instruction as ins
 from ..ir.function import Function
@@ -64,6 +63,7 @@ def renumber_banks(
     register_file: RegisterFile,
     regclass: RegClass = FP,
     max_passes: int = 4,
+    am=None,
 ) -> PostRenumberResult:
     """Reduce bank conflicts of an *allocated* function in place.
 
@@ -71,11 +71,20 @@ def renumber_banks(
     same-bank pairs at the register's other uses, so the pass iterates
     (like the published renumbering schemes) until the conflict count
     stops improving or *max_passes* is hit.
+
+    Slot indexes and live intervals for each sweep come from *am*
+    (created on demand): the first sweep hits whatever a preceding
+    allocation left cached; sweeps that change the function invalidate
+    all but the CFG-level analyses so the next sweep recomputes.
     """
+    from ..passes import AnalysisManager
+
+    if am is None:
+        am = AnalysisManager(function)
     total = PostRenumberResult()
     previous = None
     for _pass in range(max_passes):
-        result = _renumber_once(function, register_file, regclass)
+        result = _renumber_once(function, register_file, regclass, am)
         total.conflicts_found = max(total.conflicts_found, result.conflicts_found)
         total.renumbered += result.renumbered
         total.copies_inserted += result.copies_inserted
@@ -91,12 +100,15 @@ def renumber_banks(
 def _renumber_once(
     function: Function,
     register_file: RegisterFile,
-    regclass: RegClass = FP,
+    regclass: RegClass,
+    am,
 ) -> PostRenumberResult:
     """One renumbering sweep (see :func:`renumber_banks`)."""
+    from ..passes import LiveIntervalsAnalysis, SlotIndexesAnalysis
+
     result = PostRenumberResult()
-    slots = SlotIndexes.build(function)
-    live = LiveIntervals.build(function, slots=slots)
+    slots = am.get(SlotIndexesAnalysis)
+    live = am.get(LiveIntervalsAnalysis)
 
     def interval_of(reg: PhysicalRegister) -> LiveInterval | None:
         return live.intervals.get(reg)
@@ -260,4 +272,11 @@ def _renumber_once(
             new_instructions.append(rewritten)
         block.instructions = new_instructions
     result.renames = global_renames
+    if result.renumbered or result.copies_inserted:
+        # The sweep rewrote instructions *and* used the cached intervals as
+        # mutable bookkeeping (occupied()); both copies of the truth are
+        # stale now, so drop everything below the CFG.
+        from ..passes import CFG_ONLY
+
+        am.invalidate(CFG_ONLY)
     return result

@@ -28,6 +28,7 @@ from ..ir import instruction as ins
 from ..ir.function import Function
 from ..ir.instruction import Instruction
 from ..ir.types import FP, RegClass, VirtualRegister
+from ..passes import CFG_ONLY, AnalysisManager, SDGAnalysis
 
 
 @dataclass
@@ -64,12 +65,21 @@ def split_subgroups(
     function: Function,
     regclass: RegClass | None = FP,
     config: SdgSplitConfig | None = None,
+    am: AnalysisManager | None = None,
 ) -> SdgSplitResult:
-    """Split oversized SDG components of *function* in place."""
+    """Split oversized SDG components of *function* in place.
+
+    The per-round SDG comes from *am* (created on demand); rounds that cut
+    invalidate all but the CFG-level analyses, so the final no-cut round
+    leaves a cached SDG that matches the function — Algorithm 2's subgroup
+    state construction reuses it for free.
+    """
     config = config or SdgSplitConfig()
+    if am is None:
+        am = AnalysisManager(function)
     result = SdgSplitResult()
     for _round in range(config.max_rounds):
-        sdg = SameDisplacementGraph.build(function, regclass)
+        sdg = am.get(SDGAnalysis, regclass=regclass)
         oversized = [
             comp for comp in sdg.components() if len(comp) > config.max_component_size
         ]
@@ -95,7 +105,9 @@ def split_subgroups(
                     cuts += 1
                     if cuts >= 8:
                         break  # re-analyze before cutting further
-        if not progressed:
+        if progressed:
+            am.invalidate(CFG_ONLY)
+        else:
             break
     return result
 

@@ -67,9 +67,15 @@ class SubgroupState:
         num_subgroups: int,
         regclass: RegClass | None = FP,
         sdg: SameDisplacementGraph | None = None,
+        am=None,
     ) -> "SubgroupState":
         if sdg is None:
-            sdg = SameDisplacementGraph.build(function, regclass)
+            if am is not None:
+                from ..passes import SDGAnalysis
+
+                sdg = am.get(SDGAnalysis, regclass=regclass)
+            else:
+                sdg = SameDisplacementGraph.build(function, regclass)
         state = cls(num_subgroups)
         for component in sdg.components():
             state.add_component(component)

@@ -149,9 +149,18 @@ class DsaMachine:
         )
         return report
 
-    def run(self, function: Function) -> DsaCycleReport:
-        """Frequency-weighted cycle total over the whole function."""
-        frequencies = expected_block_frequencies(function)
+    def run(self, function: Function, am=None) -> DsaCycleReport:
+        """Frequency-weighted cycle total over the whole function.
+
+        With *am* given, block frequencies are solved over the cached CFG
+        (still valid after allocation, which preserves block structure).
+        """
+        cfg = None
+        if am is not None:
+            from ..passes import CFGAnalysis
+
+            cfg = am.get(CFGAnalysis)
+        frequencies = expected_block_frequencies(function, cfg)
         total = DsaCycleReport()
         for block in function.blocks:
             freq = frequencies.get(block.label, 0.0)

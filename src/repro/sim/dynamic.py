@@ -212,11 +212,21 @@ def estimate_dynamic_conflicts(
     register_file: RegisterFile,
     regclass: RegClass | None = FP,
     frequencies: dict[str, float] | None = None,
+    am=None,
 ) -> DynamicStats:
     """Expected dynamic counts: per-block conflict degrees folded through
     :func:`expected_block_frequencies`.  Counts are rounded to integers at
-    the block level so aggregates remain comparable to interpreter runs."""
-    frequencies = frequencies or expected_block_frequencies(function)
+    the block level so aggregates remain comparable to interpreter runs.
+
+    With *am* given, the flow system is solved over the cached CFG (valid
+    after allocation, which preserves block structure)."""
+    if frequencies is None:
+        cfg = None
+        if am is not None:
+            from ..passes import CFGAnalysis
+
+            cfg = am.get(CFGAnalysis)
+        frequencies = expected_block_frequencies(function, cfg)
     is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
     stats = DynamicStats()
     for block in function.blocks:

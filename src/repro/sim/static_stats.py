@@ -110,11 +110,22 @@ def analyze_static(
     register_file: RegisterFile,
     regclass: RegClass | None = FP,
     loop_info: LoopInfo | None = None,
+    am=None,
 ) -> StaticStats:
-    """Collect :class:`StaticStats` over an allocated *function*."""
+    """Collect :class:`StaticStats` over an allocated *function*.
+
+    Block frequencies come from *loop_info*, or the analysis cache *am* a
+    pipeline run left behind (allocation preserves the CFG-level
+    analyses), or a fresh computation — in that order.
+    """
     is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
     if loop_info is None:
-        loop_info = LoopInfo.build(function)
+        if am is not None:
+            from ..passes import LoopInfoAnalysis
+
+            loop_info = am.get(LoopInfoAnalysis)
+        else:
+            loop_info = LoopInfo.build(function)
     stats = StaticStats()
     for block in function.blocks:
         freq = loop_info.block_frequency(block.label)

@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.banks import BankedRegisterFile, BankSubgroupRegisterFile
 from repro.ir import IRBuilder
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip process-pool tests where there is nothing to parallelize."""
+    if (os.cpu_count() or 1) >= 2:
+        return
+    skip = pytest.mark.skip(reason="parallel harness tests need >= 2 CPUs")
+    for item in items:
+        if "parallel" in item.keywords:
+            item.add_marker(skip)
 
 
 def build_mac_kernel(n_pairs: int = 4, trip_count: int = 16):

@@ -1,0 +1,67 @@
+"""Process-pool harness: jobs resolution and parallel/serial equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentContext,
+    resolve_jobs,
+    run_suite,
+)
+from repro.sim.machine import platform_rv2
+from repro.workloads.specfp import specfp_suite
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_none_falls_back_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_none_without_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+@pytest.mark.parallel
+class TestParallelEquivalence:
+    def test_run_suite_jobs4_equals_serial(self):
+        suite = specfp_suite(0.02, seed=0)
+        register_file = platform_rv2().file_for(2)
+        kwargs = dict(file_key="rv2:2", measure_dynamic=True)
+        serial = run_suite(suite, register_file, "bpc", jobs=1, **kwargs)
+        parallel = run_suite(suite, register_file, "bpc", jobs=4, **kwargs)
+        # ProgramResult is a plain dataclass: == compares every field, so
+        # this asserts byte-identical aggregates in identical order.
+        assert parallel == serial
+
+    def test_context_results_identical_across_job_counts(self):
+        shared = dict(spec_scale=0.02, cnn_scale=0.2, idft_points=8, seed=0)
+        serial_ctx = ExperimentContext(jobs=1, **shared)
+        parallel_ctx = ExperimentContext(jobs=4, **shared)
+        for suite_name, platform, banks in [
+            ("SPECfp", "rv1", 4),
+            ("CNN-KERNEL", "rv2", 2),
+            ("DSA-OP", "dsa", 2),
+        ]:
+            for method in ("non", "bpc"):
+                assert parallel_ctx.results(
+                    suite_name, platform, banks, method
+                ) == serial_ctx.results(suite_name, platform, banks, method)
+
+    def test_env_jobs_drive_context(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        ctx = ExperimentContext(spec_scale=0.02, seed=0)  # jobs=None -> env
+        env_results = ctx.results("SPECfp", "rv2", 2, "non")
+        serial = ExperimentContext(spec_scale=0.02, seed=0, jobs=1).results(
+            "SPECfp", "rv2", 2, "non"
+        )
+        assert env_results == serial
