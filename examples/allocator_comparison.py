@@ -6,6 +6,10 @@ allocator), the classic baselines (linear scan, Chaitin-Briggs), the
 bank-aware PBQP formulation, and post-allocation renumbering — on the
 same convolution kernel at a rich and a tight register budget.
 
+The non/bcr/bpc rows run the Fig. 4 pass pipeline (`run_pipeline`, a
+thin builder over `FunctionPassManager` — docs/ARCHITECTURE.md); the
+classic baselines are standalone allocator classes driven directly.
+
 Run:  python examples/allocator_comparison.py
 """
 

@@ -6,9 +6,11 @@ Walks the paper's §III-C machinery on real kernels:
 1. decodes registers through the Fig. 6 bank/subgroup formulas;
 2. shows the Same Displacement Graph of a reduction and a shared-input
    kernel, with their sharing centers;
-3. runs the full DSA pipeline (SDG splitting + Algorithm 2 hints) and
-   compares hazards and cycles against plain N-banked hardware running
-   the default allocator — the Table VI/VII co-design experiment.
+3. runs the full DSA pass pipeline (coalescing → SDG splitting →
+   scheduling → bank assignment → allocation with Algorithm 2 hints;
+   docs/ARCHITECTURE.md) and compares hazards and cycles against plain
+   N-banked hardware running the default allocator — the Table VI/VII
+   co-design experiment.
 
 Run:  python examples/dsa_subgroups.py
 """

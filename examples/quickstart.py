@@ -5,6 +5,12 @@ Builds a multiply-accumulate loop, allocates it with `non` (default),
 `bcr` (Intel-style per-instruction hinting), and `bpc` (PresCount), and
 prints the resulting bank conflicts, spills, and the allocated code.
 
+`run_pipeline` executes the Fig. 4 phases as an LLVM-style pass pipeline
+over a shared analysis cache (see docs/ARCHITECTURE.md); to watch it
+work, the same run is traceable from the CLI:
+`python -m repro --trace t.json --explain v3 allocate --method bpc`
+(docs/OBSERVABILITY.md).
+
 Run:  python examples/quickstart.py
 """
 

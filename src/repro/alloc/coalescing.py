@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from ..ir.function import Function
 from ..ir.instruction import OpKind
 from ..ir.types import RegClass, VirtualRegister
+from ..obs import METRICS, TRACER
 from ..passes import CFG_ONLY, AnalysisManager, LiveIntervalsAnalysis
 
 
@@ -53,10 +54,16 @@ def coalesce(
         am = AnalysisManager(function)
     result = CoalescingResult()
     for _round in range(max_rounds):
-        merged_this_round = _coalesce_round(function, regclass, result, am)
+        with TRACER.span(
+            "coalesce-round", category="stage", function=function.name,
+            round=_round,
+        ):
+            merged_this_round = _coalesce_round(function, regclass, result, am)
         result.rounds += 1
         if not merged_this_round:
             break
+    METRICS.inc("coalescing.copies_removed", result.copies_removed)
+    METRICS.observe("coalescing.rounds", result.rounds)
     return result
 
 

@@ -30,6 +30,7 @@ from ..ir import instruction as ins
 from ..ir.function import Function
 from ..ir.instruction import Instruction
 from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+from ..obs import AUDIT, METRICS, TRACER
 from ..passes import (
     CFG_ONLY,
     AnalysisManager,
@@ -201,6 +202,16 @@ class GreedyAllocator:
                     f"register file too small for one instruction's operands"
                 )
             origin = split_parent.get(vreg, vreg)
+            if AUDIT.enabled:
+                AUDIT.record(
+                    function.name,
+                    vreg.name,
+                    "spill",
+                    weight=interval.weight,
+                    span=interval.span,
+                    origin=origin.name,
+                    evictions_used=self._eviction_count.get(vreg, 0),
+                )
             result.spilled.add(origin)
             retired.add(vreg)
             # All split siblings of one original vreg share a single stack
@@ -216,11 +227,21 @@ class GreedyAllocator:
                 heapq.heappush(queue, _QueueEntry(self._priority(tiny), tiny))
 
         result.assignment = dict(self._assignment)
-        result.copies_inserted += self._materialize(
-            function, spill_plan, split_rewrites, split_copies, result
-        )
+        with TRACER.span("materialize", category="stage", function=function.name):
+            result.copies_inserted += self._materialize(
+                function, spill_plan, split_rewrites, split_copies, result
+            )
         result.stats["bank_histogram"] = self._bank_histogram()
         result.stats["max_pressure"] = live.max_pressure(self.regclass)
+        if METRICS.enabled:
+            METRICS.inc("alloc.spilled_vregs", len(result.spilled))
+            METRICS.inc("alloc.spill_instructions", result.spill_instructions)
+            METRICS.inc("alloc.evictions", result.evictions)
+            METRICS.inc("alloc.copies_inserted", result.copies_inserted)
+            METRICS.inc("alloc.split_children", len(split_generated))
+            METRICS.observe(
+                "alloc.max_pressure", result.stats["max_pressure"]
+            )
         # Materialization rewrote operands and inserted spill/split code;
         # block labels, terminators, and loop structure are untouched.
         am.invalidate(CFG_ONLY)

@@ -46,6 +46,7 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
     earlier phase left valid intervals behind; reorders invalidate all but
     the CFG-level analyses, leaving the cache consistent on return.
     """
+    from ..obs import METRICS, TRACER
     from ..passes import CFG_ONLY, AnalysisManager, LiveIntervalsAnalysis
 
     if am is None:
@@ -55,10 +56,13 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
     original_orders = [list(block.instructions) for block in function.blocks]
 
     result = SchedulingResult()
-    for block in function.blocks:
-        moved = _schedule_block(block)
-        result.blocks_scheduled += 1
-        result.instructions_moved += moved
+    with TRACER.span(
+        "list-schedule", category="stage", function=function.name
+    ):
+        for block in function.blocks:
+            moved = _schedule_block(block)
+            result.blocks_scheduled += 1
+            result.instructions_moved += moved
 
     if result.instructions_moved:
         am.invalidate(CFG_ONLY)
@@ -69,6 +73,9 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
             result.instructions_moved = 0
             result.reverted = True
             am.invalidate(CFG_ONLY)
+    METRICS.inc("scheduling.instructions_moved", result.instructions_moved)
+    if result.reverted:
+        METRICS.inc("scheduling.reverted")
     return result
 
 

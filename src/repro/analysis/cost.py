@@ -92,6 +92,12 @@ class ConflictCostModel:
         by interval size, so long cold intervals spill first."""
         return self._access_cost.get(reg, 0.0) / max(1, interval_size)
 
+    def total_cost(self) -> float:
+        """Summed Eq. 2 costs over every costed register — the function's
+        total *potential* conflict cost (the quantity the per-phase
+        ``phase.cost_delta.*`` metrics difference)."""
+        return sum(self._reg_cost.values())
+
 
 def block_frequencies(function: Function, cfg: CFG | None = None) -> dict[str, float]:
     """Convenience map: block label -> static execution frequency."""

@@ -10,6 +10,9 @@ Usage::
     python -m repro allocate --method bpc --banks 2 --registers 32  # demo
     python -m repro --jobs 4 all            # fan programs over 4 processes
     python -m repro --pass-stats table II   # + pass/cache statistics
+    python -m repro --trace out.json table II    # Chrome-trace the run
+    python -m repro --metrics out.json table II  # machine-readable metrics
+    python -m repro --explain v5 allocate        # why did v5 land there?
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -155,6 +158,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-pass timing and analysis-cache statistics to "
         "stderr after the command",
     )
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record nested spans for every phase/stage/analysis and "
+        "write Chrome-trace JSON (open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="OUT.json", default=None,
+        help="record pipeline metrics (spills, bank pressure, conflict "
+        "cost deltas, ...) and write them as JSON; '-' renders a table "
+        "to stderr instead",
+    )
+    parser.add_argument(
+        "--explain", metavar="VREG", default=None,
+        help="record Algorithm 1 decisions and print the decision "
+        "history of one virtual register (e.g. v5) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="regenerate one table (I..VII)")
@@ -186,19 +205,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _normalize_vreg(name: str) -> str:
+    """Accept ``v5``, ``%v5``, or ``5`` for ``--explain``."""
+    name = name.strip()
+    if name.isdigit():
+        name = f"v{name}"
+    if not name.startswith("%"):
+        name = f"%{name}"
+    return name
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from . import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "pass_stats", False):
+    if args.pass_stats:
         from .passes.instrument import GLOBAL
 
         GLOBAL.enable()
-        try:
-            return args.func(args)
-        finally:
+    if args.trace:
+        obs.TRACER.enable()
+    if args.metrics:
+        obs.METRICS.enable()
+    if args.explain:
+        obs.AUDIT.enable()
+    try:
+        return args.func(args)
+    finally:
+        if args.pass_stats:
+            from .passes.instrument import GLOBAL
+
             print(GLOBAL.render(), file=sys.stderr)
-    return args.func(args)
+        if args.trace:
+            obs.TRACER.write_chrome_trace(args.trace)
+            print(
+                f"wrote {len(obs.TRACER.spans)} spans to {args.trace} "
+                "(open in chrome://tracing or https://ui.perfetto.dev)",
+                file=sys.stderr,
+            )
+        if args.metrics:
+            if args.metrics == "-":
+                print(obs.METRICS.render(), file=sys.stderr)
+            else:
+                obs.METRICS.write_json(args.metrics)
+                print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+        if args.explain:
+            print(
+                obs.AUDIT.explain(_normalize_vreg(args.explain)),
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

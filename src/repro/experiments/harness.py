@@ -16,6 +16,13 @@ fans the per-program work across a process pool.  Programs are
 independent — each worker runs whole pipelines on its own function clones
 — and ``pool.map`` preserves suite order, so the merged result list is
 identical to a serial run.
+
+Observability (:mod:`repro.obs`) crosses the pool the same way the
+``--pass-stats`` counters do: each worker resets its tracer/metrics/audit
+around every task, ships one picklable snapshot per program back, and the
+parent merges snapshots in ``pool.map`` (= suite) order — so the merged
+Chrome trace has one deterministic track per program and its span tree is
+structurally identical to a serial run's.
 """
 
 from __future__ import annotations
@@ -24,8 +31,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..banks.register_file import RegisterFile
 from ..ir.types import FP, RegClass
+from ..obs import TRACER
 from ..passes.instrument import GLOBAL
 from ..prescount.pipeline import PipelineConfig, run_pipeline
 from ..sim.dsa import DsaMachine
@@ -89,45 +98,57 @@ def run_program(
         file_key=file_key,
     )
     machine = DsaMachine(register_file, regclass) if measure_cycles else None
-    for function in program.functions():
-        overrides = dict(config_overrides or {})
-        config = PipelineConfig(register_file, method, regclass, **overrides)
-        pipe = run_pipeline(function, config)
-        allocated = pipe.function
-        # The pipeline's analysis cache is still valid for the allocated
-        # function (allocation preserves the CFG-level analyses), so the
-        # measurement passes keep hitting it.
-        am = pipe.analyses
-        static = analyze_static(allocated, register_file, regclass, am=am)
-        result.functions += 1
-        result.conflict_relevant += count_conflict_relevant(function, regclass)
-        result.static_conflicts += static.conflicts
-        result.bank_conflicts += static.bank_conflicts
-        result.subgroup_violations += static.subgroup_violations
-        result.spills += pipe.spill_count
-        result.spill_instructions += pipe.allocation.spill_instructions
-        result.copies_inserted += pipe.copies_inserted
-        result.copies_removed += pipe.allocation.copies_removed
-        if measure_dynamic:
-            # The paper's QEMU methodology counts *executed conflict sites*
-            # (Table IV's dynamic counts sit below the static ones), so the
-            # harness reports the site estimate; raw per-execution instance
-            # counts stay available in `dynamic_instances`.  Functions the
-            # test input never reaches (coverage metadata from the suite
-            # generator) contribute nothing dynamically.
-            result.dynamic_conflicts = result.dynamic_conflicts or 0
-            result.dynamic_instances = result.dynamic_instances or 0
-            if function.attrs.get("covered", True):
-                dynamic = estimate_dynamic_conflicts(
-                    allocated, register_file, regclass, am=am
+    with TRACER.span(
+        program.name,
+        category="program",
+        suite=suite_name,
+        method=method,
+        file=file_key,
+    ):
+        for function in program.functions():
+            with TRACER.span(function.name, category="function"):
+                overrides = dict(config_overrides or {})
+                config = PipelineConfig(register_file, method, regclass, **overrides)
+                pipe = run_pipeline(function, config)
+                allocated = pipe.function
+                # The pipeline's analysis cache is still valid for the
+                # allocated function (allocation preserves the CFG-level
+                # analyses), so the measurement passes keep hitting it.
+                am = pipe.analyses
+                static = analyze_static(allocated, register_file, regclass, am=am)
+                result.functions += 1
+                result.conflict_relevant += count_conflict_relevant(
+                    function, regclass
                 )
-                result.dynamic_conflicts += round(dynamic.conflicting_sites)
-                result.dynamic_instances += (
-                    dynamic.dynamic_conflicts + dynamic.dynamic_subgroup_violations
-                )
-        if machine is not None:
-            report = machine.run(allocated, am=am)
-            result.cycles = (result.cycles or 0.0) + report.cycles
+                result.static_conflicts += static.conflicts
+                result.bank_conflicts += static.bank_conflicts
+                result.subgroup_violations += static.subgroup_violations
+                result.spills += pipe.spill_count
+                result.spill_instructions += pipe.allocation.spill_instructions
+                result.copies_inserted += pipe.copies_inserted
+                result.copies_removed += pipe.allocation.copies_removed
+                if measure_dynamic:
+                    # The paper's QEMU methodology counts *executed conflict
+                    # sites* (Table IV's dynamic counts sit below the static
+                    # ones), so the harness reports the site estimate; raw
+                    # per-execution instance counts stay available in
+                    # `dynamic_instances`.  Functions the test input never
+                    # reaches (coverage metadata from the suite generator)
+                    # contribute nothing dynamically.
+                    result.dynamic_conflicts = result.dynamic_conflicts or 0
+                    result.dynamic_instances = result.dynamic_instances or 0
+                    if function.attrs.get("covered", True):
+                        dynamic = estimate_dynamic_conflicts(
+                            allocated, register_file, regclass, am=am
+                        )
+                        result.dynamic_conflicts += round(dynamic.conflicting_sites)
+                        result.dynamic_instances += (
+                            dynamic.dynamic_conflicts
+                            + dynamic.dynamic_subgroup_violations
+                        )
+                if machine is not None:
+                    report = machine.run(allocated, am=am)
+                    result.cycles = (result.cycles or 0.0) + report.cycles
     return result
 
 
@@ -140,26 +161,32 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, int(jobs))
 
 
-def _run_program_task(payload: tuple) -> tuple[ProgramResult, dict | None]:
-    """Process-pool worker: one program, plus its instrumentation delta.
+def _run_program_task(
+    payload: tuple,
+) -> tuple[ProgramResult, dict | None, dict | None]:
+    """Process-pool worker: one program, plus its observability deltas.
 
-    When the parent runs with ``--pass-stats`` the payload tells the
-    worker to record and ship its counters back for merging.  The
-    registry is reset around the task because worker processes are
-    reused (and, under fork, inherit the parent's counters): each
-    snapshot must cover exactly one program, or merging would re-count
-    everything the process saw before.
+    When the parent runs with ``--pass-stats`` (or any :mod:`repro.obs`
+    layer on) the payload tells the worker to record and ship its
+    counters/spans back for merging.  Everything is reset around the task
+    because worker processes are reused (and, under fork, inherit the
+    parent's state): each snapshot must cover exactly one program, or
+    merging would re-count everything the process saw before.
     """
-    program, register_file, method, kwargs, instrumented = payload
+    program, register_file, method, kwargs, instrumented, obs_flags = payload
     if instrumented:
         GLOBAL.enable()
         GLOBAL.reset()
+    obs.apply_flags(obs_flags)
+    obs.reset_all()
     result = run_program(program, register_file, method, **kwargs)
+    obs_snapshot = obs.snapshot_all() if obs.any_enabled() else None
+    obs.reset_all()
     if not instrumented:
-        return result, None
+        return result, None, obs_snapshot
     snapshot = GLOBAL.snapshot()
     GLOBAL.reset()
-    return result, snapshot
+    return result, snapshot, obs_snapshot
 
 
 def run_suite(
@@ -192,13 +219,18 @@ def run_suite(
             for program in suite.programs
         ]
     payloads = [
-        (program, register_file, method, kwargs, GLOBAL.enabled)
+        (program, register_file, method, kwargs, GLOBAL.enabled,
+         obs.enabled_flags())
         for program in suite.programs
     ]
     results: list[ProgramResult] = []
     with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        for result, snapshot in pool.map(_run_program_task, payloads):
+        # pool.map preserves suite order, so snapshots merge onto tracer
+        # tracks (and into metrics/audit) deterministically regardless of
+        # which worker finished first.
+        for result, snapshot, obs_snapshot in pool.map(_run_program_task, payloads):
             GLOBAL.merge(snapshot)
+            obs.merge_all(obs_snapshot, track=result.program)
             results.append(result)
     return results
 

@@ -1,0 +1,100 @@
+"""Observability for the reproduction: tracing, metrics, decision audit.
+
+Three independent, individually-enableable layers, all off by default and
+overhead-free while off (outputs stay bit-identical):
+
+* :data:`TRACER` (:mod:`.tracer`) — nested spans over every pipeline
+  phase, allocator stage, analysis computation, and harness program run,
+  exported as Chrome-trace JSON (``--trace out.json``);
+* :data:`METRICS` (:mod:`.metrics`) — counters/gauges/histograms (spill
+  counts, per-bank pressure, RCG colorability failures, per-phase
+  conflict-cost deltas), dumped machine-readably (``--metrics out.json``);
+* :data:`AUDIT` (:mod:`.audit`) — the per-RCG-node Algorithm 1 decision
+  log behind ``--explain vreg``.
+
+All three snapshot to picklable plain data and merge deterministically,
+which is how the parallel experiment harness folds worker-process
+observations back into the parent (see
+:mod:`repro.experiments.harness`).  The module-level helpers below move
+those three snapshots as one unit.
+
+See ``docs/OBSERVABILITY.md`` for the user guide and worked examples.
+"""
+
+from __future__ import annotations
+
+from .audit import GLOBAL as AUDIT
+from .audit import AuditLog, AuditRecord
+from .metrics import GLOBAL as METRICS
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import GLOBAL as TRACER
+from .tracer import Span, Tracer
+
+__all__ = [
+    "AUDIT",
+    "AuditLog",
+    "AuditRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "any_enabled",
+    "enabled_flags",
+    "apply_flags",
+    "snapshot_all",
+    "merge_all",
+    "reset_all",
+]
+
+
+def any_enabled() -> bool:
+    """True when at least one observability layer is recording."""
+    return TRACER.enabled or METRICS.enabled or AUDIT.enabled
+
+
+def enabled_flags() -> tuple[bool, bool, bool]:
+    """(trace, metrics, audit) enablement — picklable worker payload."""
+    return (TRACER.enabled, METRICS.enabled, AUDIT.enabled)
+
+
+def apply_flags(flags: tuple[bool, bool, bool] | None) -> None:
+    """Enable the layers a parent process's :func:`enabled_flags` named."""
+    if flags is None:
+        return
+    trace, metrics, audit = flags
+    TRACER.enable(trace)
+    METRICS.enable(metrics)
+    AUDIT.enable(audit)
+
+
+def snapshot_all() -> dict:
+    """One picklable snapshot of every enabled layer (empty when off)."""
+    return {
+        "trace": TRACER.snapshot() if TRACER.enabled else None,
+        "metrics": METRICS.snapshot() if METRICS.enabled else None,
+        "audit": AUDIT.snapshot() if AUDIT.enabled else None,
+    }
+
+
+def merge_all(snapshot: dict | None, track: str | None = None) -> None:
+    """Fold a worker's :func:`snapshot_all` into the global layers.
+
+    *track* names the tracer track the snapshot's spans land on (the
+    harness passes the program name).
+    """
+    if not snapshot:
+        return
+    TRACER.merge(snapshot.get("trace"), track=track)
+    METRICS.merge(snapshot.get("metrics"))
+    AUDIT.merge(snapshot.get("audit"))
+
+
+def reset_all() -> None:
+    """Clear all three layers (enablement is left untouched)."""
+    TRACER.reset()
+    METRICS.reset()
+    AUDIT.reset()

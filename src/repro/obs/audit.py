@@ -1,0 +1,168 @@
+"""Allocation decision audit log — ``--explain vreg``.
+
+Algorithm 1 (the PresCount bank assigner) makes one decision per RCG
+node: which bank the virtual register lands in, and *why* — was a
+conflict-free color available (``PresCountPrioritize`` on the available
+set), did the register-pressure threshold force pressure minimization
+over the full color set (``THRES`` fallback), or did the node fall
+through to ``NeighbourCostPrioritize`` (cheapest residual conflict)?
+When enabled, the assigner records every decision here with the full
+candidate ranking, so a paper-vs-code discrepancy is diagnosable from the
+run's output alone — no debugger, no re-run.
+
+Free-register balancing (§III-B, end) logs through the same channel with
+``step="free-balance"``, and the greedy allocator's spill decisions land
+as ``step="spill"`` so a vreg's whole life is explainable.
+
+Like the tracer and metrics, the process-wide :data:`GLOBAL` log is
+disabled by default, snapshots are picklable dicts, and merging worker
+snapshots in suite order keeps the merged log deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["GLOBAL", "AuditLog", "AuditRecord"]
+
+#: The three Algorithm 1 outcomes an RCG-node decision can take.
+PATH_CONFLICT_FREE = "conflict-free"
+PATH_THRESHOLD_FALLBACK = "threshold-fallback"
+PATH_NEIGHBOUR_COST = "neighbour-cost"
+
+
+@dataclass
+class AuditRecord:
+    """One recorded decision about one virtual register.
+
+    Attributes:
+        function: Name of the function being processed.
+        vreg: Printed form of the register (e.g. ``"v5"``).
+        step: Decision site — ``"rcg-color"`` (Algorithm 1 work list),
+            ``"free-balance"`` (§III-B free-register balancing), or
+            ``"spill"`` (greedy allocator gave up on the interval).
+        path: Which prioritization ran (see module constants); empty for
+            non-coloring steps.
+        chosen: The winning bank (or ``-1`` when not applicable).
+        detail: Step-specific facts: node cost/degree, neighbor banks,
+            the ranked candidate list with per-bank keys, THRES vs
+            pressure, spill weights, ...
+    """
+
+    function: str
+    vreg: str
+    step: str
+    path: str = ""
+    chosen: int = -1
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "vreg": self.vreg,
+            "step": self.step,
+            "path": self.path,
+            "chosen": self.chosen,
+            "detail": dict(self.detail),
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.vreg} [{self.function}] {self.step}"
+                 + (f" via {self.path}" if self.path else "")
+                 + (f" -> bank {self.chosen}" if self.chosen >= 0 else "")]
+        for key, value in self.detail.items():
+            if key == "candidates":
+                lines.append("    candidates (best first):")
+                for cand in value:
+                    keys = ", ".join(
+                        f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                        for k, v in cand.items()
+                        if k != "bank"
+                    )
+                    lines.append(f"      bank {cand['bank']}: {keys}")
+            else:
+                lines.append(f"    {key} = {value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AuditLog:
+    """Ordered log of :class:`AuditRecord`; disabled (no-op) by default."""
+
+    enabled: bool = False
+    records: list[AuditRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        function: str,
+        vreg: str,
+        step: str,
+        path: str = "",
+        chosen: int = -1,
+        **detail,
+    ) -> None:
+        """Append one decision (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            AuditRecord(function, vreg, step, path, chosen, detail)
+        )
+
+    # ------------------------------------------------------------------
+    # Pool-safe aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        return [r.as_dict() for r in self.records]
+
+    def merge(self, snapshot: list[dict] | None) -> None:
+        if not snapshot:
+            return
+        for r in snapshot:
+            self.records.append(
+                AuditRecord(
+                    r["function"], r["vreg"], r["step"], r["path"],
+                    r["chosen"], dict(r["detail"]),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Query & export
+    # ------------------------------------------------------------------
+    def for_vreg(self, vreg: str, function: str | None = None) -> list[AuditRecord]:
+        """All records about *vreg* (e.g. ``"v5"``), oldest first."""
+        return [
+            r
+            for r in self.records
+            if r.vreg == vreg and (function is None or r.function == function)
+        ]
+
+    def explain(self, vreg: str, function: str | None = None) -> str:
+        """Human-readable decision history of one virtual register."""
+        records = self.for_vreg(vreg, function)
+        if not records:
+            scope = f" in function {function!r}" if function else ""
+            return f"no recorded decisions for {vreg!r}{scope}"
+        return "\n".join(r.render() for r in records)
+
+    def to_json(self) -> list[dict]:
+        return self.snapshot()
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: The process-wide audit log ``--explain`` enables.
+GLOBAL = AuditLog()

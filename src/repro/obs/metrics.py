@@ -1,0 +1,218 @@
+"""Metrics registry: counters, gauges, and histograms for pipeline runs.
+
+Instrumented code records *facts* — spills, evictions, per-bank pressure,
+RCG colorability failures, per-phase conflict-cost deltas — against the
+process-wide :data:`GLOBAL` registry; ``--metrics out.json`` dumps the
+whole registry machine-readably so bench scripts and notebooks consume
+numbers instead of scraping stdout.
+
+Three instrument kinds:
+
+* **counter** — monotonically accumulating count (``inc``);
+* **gauge** — last-seen value, with the running maximum kept alongside
+  (``set``); gauges merge across worker processes by *maximum*, the only
+  order-independent choice;
+* **histogram** — count/total/min/max summary of observed values
+  (``observe``).
+
+The registry is **disabled by default**; every recording method
+early-returns on ``enabled`` so call sites need no guard (guard only when
+*computing* the value is itself expensive).  Snapshots are plain dicts,
+picklable across the process pool, and :meth:`MetricsRegistry.merge` is
+commutative over counters and histograms and max-combining over gauges,
+so parallel harness runs aggregate to the same totals as serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["GLOBAL", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-seen value, with the running maximum kept alongside."""
+
+    value: float = 0.0
+    max: float = float("-inf")
+    samples: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+
+@dataclass
+class Histogram:
+    """Count/total/min/max summary of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters/gauges/histograms; disabled (no-op) by default."""
+
+    enabled: bool = False
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Recording (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters.setdefault(name, Counter()).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges.setdefault(name, Gauge()).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.histograms.setdefault(name, Histogram()).observe(value)
+
+    # ------------------------------------------------------------------
+    # Pool-safe aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every instrument (picklable)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self.counters.items()},
+                "gauges": {
+                    n: {"value": g.value, "max": g.max, "samples": g.samples}
+                    for n, g in self.gauges.items()
+                },
+                "histograms": {
+                    n: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for n, h in self.histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a worker :meth:`snapshot` into this registry.
+
+        Counters and histograms add; gauges keep the maximum (and the
+        latest value seen by merge order for ``value``), so merging is
+        insensitive to worker completion order.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters.setdefault(name, Counter()).inc(value)
+            for name, g in snapshot.get("gauges", {}).items():
+                gauge = self.gauges.setdefault(name, Gauge())
+                gauge.value = g["value"]
+                if g["max"] > gauge.max:
+                    gauge.max = g["max"]
+                gauge.samples += g["samples"]
+            for name, h in snapshot.get("histograms", {}).items():
+                hist = self.histograms.setdefault(name, Histogram())
+                hist.count += h["count"]
+                hist.total += h["total"]
+                if h["min"] < hist.min:
+                    hist.min = h["min"]
+                if h["max"] > hist.max:
+                    hist.max = h["max"]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The ``--metrics out.json`` document: snapshot plus derived
+        histogram means, with non-finite empty-instrument bounds nulled."""
+        doc = self.snapshot()
+        for name, h in doc["histograms"].items():
+            hist = self.histograms[name]
+            h["mean"] = hist.mean
+            if not hist.count:
+                h["min"] = h["max"] = None
+        for g in doc["gauges"].values():
+            if not g["samples"]:
+                g["max"] = None
+        return doc
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable dump (for ``--metrics -``)."""
+        lines = ["metrics"]
+        if self.counters:
+            lines.append("  counters")
+            for name, c in sorted(self.counters.items()):
+                lines.append(f"    {name:<40} {c.value:g}")
+        if self.gauges:
+            lines.append("  gauges (last / max)")
+            for name, g in sorted(self.gauges.items()):
+                lines.append(f"    {name:<40} {g.value:g} / {g.max:g}")
+        if self.histograms:
+            lines.append("  histograms (count / mean / min / max)")
+            for name, h in sorted(self.histograms.items()):
+                lines.append(
+                    f"    {name:<40} {h.count} / {h.mean:g} / "
+                    f"{h.min:g} / {h.max:g}"
+                )
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+
+#: The process-wide registry ``--metrics`` enables.
+GLOBAL = MetricsRegistry()

@@ -1,0 +1,334 @@
+"""Span-based tracing for the Fig. 4 pipeline and its harness.
+
+A *span* is one named, timed interval of work — a pipeline phase, an
+allocator stage, an analysis computation, a whole program sweep.  Spans
+nest: the tracer keeps a per-thread stack of open spans, so a span opened
+while another is open records it as its parent, and the completed log
+reconstructs the exact call tree of a run (:meth:`Tracer.span_tree`).
+
+The process-wide :data:`GLOBAL` tracer is **disabled by default** and the
+disabled path is allocation-free: :meth:`Tracer.span` returns one shared
+no-op context manager, so instrumented code costs a single attribute
+check per span site and outputs stay bit-identical.
+
+Export is Chrome-trace JSON (:meth:`Tracer.to_chrome_trace`): load the
+file in ``chrome://tracing`` or https://ui.perfetto.dev to see the
+pipeline on a timeline.  Worker processes of the parallel harness record
+into their own tracer, :meth:`snapshot` the spans (plain picklable
+dicts), and the parent :meth:`merge`\\ s each snapshot onto its own
+*track* — tracks are assigned in merge order, which the harness keeps at
+suite order, so the merged span tree is deterministic and identical in
+structure to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["GLOBAL", "Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One completed, timed interval of work.
+
+    Attributes:
+        sid: Span id, unique within a tracer, assigned in *open* order.
+        parent: sid of the enclosing span, or None at top level.
+        tid: Logical track (serial runs use track 0; each merged worker
+            snapshot gets its own track).
+        name: Display name (pass name, function name, program name, ...).
+        category: Coarse grouping for trace viewers ("pass", "analysis",
+            "program", "function", "measure", ...).
+        start: Seconds since the tracer epoch.
+        end: Seconds since the tracer epoch.
+        args: Extra key/values shown by trace viewers on click.
+    """
+
+    sid: int
+    parent: int | None
+    tid: int
+    name: str
+    category: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (picklable / JSON-ready)."""
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "tid": self.tid,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "args": dict(self.args),
+        }
+
+
+class _NullSpan:
+    """The shared no-op context manager the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **args) -> None:
+        """Discard annotations (mirrors :meth:`_LiveSpan.note`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span; completes (records itself) when the ``with`` exits."""
+
+    __slots__ = ("_tracer", "sid", "parent", "name", "category", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", sid: int, parent: int | None,
+                 name: str, category: str, args: dict):
+        self._tracer = tracer
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start = 0.0
+
+    def note(self, **args) -> None:
+        """Attach key/values to the span (visible in the trace viewer)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._complete(self, end)
+        return False
+
+
+class Tracer:
+    """Collects nested spans; disabled (and overhead-free) by default."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._spans: list[Span] = []
+        self._next_sid = 0
+        self._next_tid = 0
+        self._epoch = time.perf_counter()
+        #: Optional display names per track, shown as thread names in
+        #: Chrome trace viewers (e.g. the program a worker ran).
+        self.track_names: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        """Drop all spans and restart ids, tracks, and the epoch."""
+        with self._lock:
+            self._spans.clear()
+            self._next_sid = 0
+            self._next_tid = 0
+            self._epoch = time.perf_counter()
+            self.track_names.clear()
+            self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "phase", **args):
+        """Open a span; use as ``with TRACER.span("coalescing"): ...``.
+
+        When the tracer is disabled this returns a shared no-op context
+        manager without allocating, so call sites need no guard.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        stack = self._stack()
+        parent = stack[-1].sid if stack else None
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+        live = _LiveSpan(self, sid, parent, name, category, args)
+        stack.append(live)
+        return live
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _thread_tid(self) -> int:
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            with self._lock:
+                tid = self._tls.tid = self._next_tid
+                self._next_tid += 1
+        return tid
+
+    def _complete(self, live: _LiveSpan, end: float) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, re-raised errors): pop
+        # the span wherever it sits instead of corrupting the stack.
+        if live in stack:
+            stack.remove(live)
+        span = Span(
+            sid=live.sid,
+            parent=live.parent,
+            tid=self._thread_tid(),
+            name=live.name,
+            category=live.category,
+            start=live._start - self._epoch,
+            end=end - self._epoch,
+            args=live.args,
+        )
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # Pool-safe aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """Picklable copy of all completed spans (for worker shipping)."""
+        return [span.as_dict() for span in self.spans]
+
+    def merge(self, snapshot: list[dict] | None, track: str | None = None) -> None:
+        """Fold a worker :meth:`snapshot` into this tracer.
+
+        The snapshot's spans land on a fresh track whose id is assigned in
+        merge order; sids are rebased past this tracer's counter, and
+        parent links are remapped with them.  Merging the same snapshots
+        in the same order therefore always produces the same span tree —
+        the harness merges in suite order, making parallel traces
+        structurally identical to serial ones.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            base = self._next_sid
+            tid = self._next_tid
+            self._next_tid += 1
+            self._next_sid += max(s["sid"] for s in snapshot) + 1
+            if track:
+                self.track_names[tid] = track
+            for s in snapshot:
+                self._spans.append(
+                    Span(
+                        sid=s["sid"] + base,
+                        parent=None if s["parent"] is None else s["parent"] + base,
+                        tid=tid,
+                        name=s["name"],
+                        category=s["category"],
+                        start=s["start"],
+                        end=s["end"],
+                        args=dict(s["args"]),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Reconstruction & export
+    # ------------------------------------------------------------------
+    def span_tree(self) -> list[dict]:
+        """The nested call tree: ``{"name", "category", "children"}``.
+
+        Top-level spans are ordered by (track, open order), children by
+        open order — both deterministic, and independent of timestamps,
+        so a parallel run's tree equals the serial run's.
+        """
+        spans = sorted(self.spans, key=lambda s: (s.tid, s.sid))
+        nodes = {
+            s.sid: {"name": s.name, "category": s.category, "children": []}
+            for s in spans
+        }
+        roots: list[dict] = []
+        for s in spans:
+            if s.parent is not None and s.parent in nodes:
+                nodes[s.parent]["children"].append(nodes[s.sid])
+            else:
+                roots.append(nodes[s.sid])
+        return roots
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON object form.
+
+        One complete-duration (``"ph": "X"``) event per span, timestamps
+        in microseconds, plus metadata events naming the process and any
+        named tracks.
+        """
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for tid, name in sorted(self.track_names.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        for s in sorted(self.spans, key=lambda s: (s.tid, s.sid)):
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": round(s.start * 1e6, 3),
+                    "dur": round(max(0.0, s.duration) * 1e6, 3),
+                    "pid": 0,
+                    "tid": s.tid,
+                    "args": dict(s.args),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Serialize :meth:`to_chrome_trace` to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+
+#: The process-wide tracer ``--trace`` enables.
+GLOBAL = Tracer()

@@ -30,6 +30,7 @@ from ..analysis.slots import SlotIndexes
 from ..ir.cfg import CFG
 from ..ir.function import Function
 from ..ir.loops import LoopInfo
+from ..obs import TRACER
 
 
 class _PreserveAll:
@@ -261,7 +262,10 @@ class AnalysisManager:
             return self._cache[key]
         counter.misses += 1
         self._record_event(analysis, hit=False)
-        result = analysis.run(self.function, self, **params)
+        with TRACER.span(
+            analysis.name(), category="analysis", function=self.function.name
+        ):
+            result = analysis.run(self.function, self, **params)
         if self.caching:
             self._cache[key] = result
         return result

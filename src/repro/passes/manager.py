@@ -20,8 +20,23 @@ import time
 from dataclasses import dataclass, field
 
 from ..ir.function import Function
+from ..obs import METRICS, TRACER
 from .analysis_manager import PRESERVE_NONE, AnalysisManager
 from .instrument import GLOBAL, InstrumentationRegistry
+
+
+def _potential_cost(function: Function, pass_: "Pass") -> float:
+    """Total Eq. 2 conflict cost of *function*'s current state.
+
+    Only computed while ``--metrics`` is on; the per-phase difference is
+    recorded as ``phase.cost_delta.<pass>``.  Built directly (not through
+    the analysis manager) so metrics collection never perturbs the
+    ``--pass-stats`` cache counters.
+    """
+    from ..analysis.cost import ConflictCostModel
+
+    regclass = getattr(getattr(pass_, "config", None), "regclass", None)
+    return ConflictCostModel.build(function, regclass=regclass).total_cost()
 
 
 class Pass:
@@ -85,23 +100,34 @@ class FunctionPassManager:
             )
         state = state if state is not None else {}
         registry = self._registry()
+        metrics = METRICS if METRICS.enabled else None
         for pass_ in self.passes:
             if registry is not None:
                 hits0 = am.total_hits()
                 misses0 = am.total_misses()
                 inval0 = am.total_invalidations()
                 instrs0 = function.instruction_count()
-                started = time.perf_counter()
-            result = pass_.run(function, am, state)
+            if metrics is not None:
+                cost0 = _potential_cost(function, pass_)
+            started = time.perf_counter()
+            with TRACER.span(pass_.name, category="pass", function=function.name):
+                result = pass_.run(function, am, state)
+            elapsed = time.perf_counter() - started
             am.invalidate(pass_.preserved(result))
             state[pass_.name] = result
             if registry is not None:
                 registry.record_pass(
                     pass_.name,
-                    time.perf_counter() - started,
+                    elapsed,
                     hits=am.total_hits() - hits0,
                     misses=am.total_misses() - misses0,
                     invalidations=am.total_invalidations() - inval0,
                     instructions_delta=function.instruction_count() - instrs0,
+                )
+            if metrics is not None:
+                metrics.observe(f"pass.seconds.{pass_.name}", elapsed)
+                metrics.observe(
+                    f"phase.cost_delta.{pass_.name}",
+                    _potential_cost(function, pass_) - cost0,
                 )
         return state

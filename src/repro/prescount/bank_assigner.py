@@ -39,6 +39,12 @@ from ..banks.assignment import BankAssignment
 from ..banks.register_file import RegisterFile
 from ..ir.function import Function
 from ..ir.types import FP, PhysicalRegister, RegClass, VirtualRegister
+from ..obs import AUDIT, METRICS, TRACER
+from ..obs.audit import (
+    PATH_CONFLICT_FREE,
+    PATH_NEIGHBOUR_COST,
+    PATH_THRESHOLD_FALLBACK,
+)
 
 #: Default overall-register-pressure threshold, as a fraction of the
 #: register file size, above which Algorithm 1 keeps minimizing pressure
@@ -107,22 +113,31 @@ class PresCountBankAssigner:
                 }
                 avail = [c for c in range(num_banks) if c not in neighbor_colors]
                 if avail:
+                    path = PATH_CONFLICT_FREE
                     ordered = self._prescount_prioritize(
                         avail, interval, tracker, node=node, rcg=rcg, assignment=assignment
                     )
                 else:
                     assignment.uncolorable.add(node)
+                    METRICS.inc("prescount.uncolorable")
                     all_colors = list(range(num_banks))
                     if reg_pressure > thres:
+                        path = PATH_THRESHOLD_FALLBACK
                         ordered = self._prescount_prioritize(
                             all_colors, interval, tracker,
                             node=node, rcg=rcg, assignment=assignment,
                         )
                     else:
+                        path = PATH_NEIGHBOUR_COST
                         ordered = self._neighbour_cost_prioritize(
                             all_colors, node, rcg, assignment
                         )
                 color = ordered[0]
+                if AUDIT.enabled:
+                    self._audit_decision(
+                        function, node, path, ordered, interval,
+                        tracker, rcg, assignment, reg_pressure, thres,
+                    )
                 assignment.assign(node, color)
                 tracker.assign(color, interval)
                 for neighbor in rcg.neighbors(node):
@@ -130,10 +145,83 @@ class PresCountBankAssigner:
                         worklist.add(neighbor)
 
         if self.balance_free_registers:
-            self._assign_free_registers(function, rcg, intervals, assignment, tracker)
+            with TRACER.span(
+                "free-balance", category="stage", function=function.name
+            ):
+                self._assign_free_registers(
+                    function, rcg, intervals, assignment, tracker
+                )
 
         assignment.residual_cost = rcg.coloring_conflict_cost(assignment.banks)
+        if METRICS.enabled:
+            METRICS.inc("prescount.rcg_nodes", len(rcg))
+            METRICS.inc("prescount.rcg_edges", rcg.edge_count())
+            METRICS.observe("prescount.residual_cost", assignment.residual_cost)
+            for bank in range(num_banks):
+                METRICS.set_gauge(
+                    f"prescount.bank_pressure.bank{bank}", tracker.pressure(bank)
+                )
         return assignment
+
+    # ------------------------------------------------------------------
+    def _audit_decision(
+        self,
+        function: Function,
+        node: VirtualRegister,
+        path: str,
+        ordered: list[int],
+        interval: LiveInterval,
+        tracker: BankPressureTracker,
+        rcg: ConflictGraph,
+        assignment: BankAssignment,
+        reg_pressure: int,
+        thres: float,
+    ) -> None:
+        """Record one Algorithm 1 work-list decision (``--explain``).
+
+        Called before the tracker/assignment mutate, so the candidate keys
+        reflect exactly what the prioritizers ranked on.
+        """
+        if path == PATH_NEIGHBOUR_COST:
+            candidates = [
+                {
+                    "bank": c,
+                    "neighbour_cost": sum(
+                        rcg.cost(nb)
+                        for nb in rcg.neighbors(node)
+                        if assignment.banks.get(nb) == c
+                    ),
+                }
+                for c in ordered
+            ]
+        else:
+            candidates = [
+                {
+                    "bank": c,
+                    "pressure_if_assigned": tracker.pressure_if_assigned(c, interval),
+                    "occupancy": tracker.occupancy(c),
+                }
+                for c in ordered
+            ]
+        AUDIT.record(
+            function.name,
+            node.name,
+            "rcg-color",
+            path=path,
+            chosen=ordered[0],
+            cost=rcg.cost(node),
+            degree=rcg.degree(node),
+            ordering="cost" if self.cost_ordering else "degree",
+            pressure_counting=self.use_pressure_counting,
+            reg_pressure=reg_pressure,
+            thres=thres,
+            neighbor_banks={
+                nb.name: assignment.banks[nb]
+                for nb in sorted(rcg.neighbors(node), key=lambda r: r.vid)
+                if nb in assignment.banks
+            },
+            candidates=candidates,
+        )
 
     # ------------------------------------------------------------------
     def _prescount_prioritize(
@@ -217,6 +305,25 @@ class PresCountBankAssigner:
                 assignment=assignment,
             )
             bank = ordered[0]
+            if AUDIT.enabled:
+                AUDIT.record(
+                    function.name,
+                    interval.reg.name,
+                    "free-balance",
+                    path=PATH_CONFLICT_FREE,
+                    chosen=bank,
+                    interval_size=interval.size,
+                    candidates=[
+                        {
+                            "bank": c,
+                            "pressure_if_assigned": tracker.pressure_if_assigned(
+                                c, interval
+                            ),
+                            "occupancy": tracker.occupancy(c),
+                        }
+                        for c in ordered
+                    ],
+                )
             assignment.assign(interval.reg, bank)
             tracker.assign(bank, interval)
 

@@ -22,13 +22,22 @@ bcr    (none)                         per-instruction hinting
 bpc    PresCount (Algorithm 1)        bank-ordered candidates
 ====== ============================== =======================
 
-Each phase is a :class:`~repro.passes.Pass` (see :mod:`.passes`);
-:func:`build_pipeline` composes the pass list the config selects and
-:func:`run_pipeline` executes it through a
+Since the pass-manager refactor this module no longer hand-composes the
+phases: each phase is a registered :class:`~repro.passes.Pass` (see
+:mod:`.passes`), :func:`build_pipeline` merely selects the pass list the
+config asks for, and :func:`run_pipeline` is a *thin builder* — it clones
+the function, hands the pass list to a
 :class:`~repro.passes.FunctionPassManager` over one shared
-:class:`~repro.passes.AnalysisManager`, so live intervals, the conflict
+:class:`~repro.passes.AnalysisManager` (so live intervals, the conflict
 cost model, and the SDG are computed once per function state instead of
-once per phase.
+once per phase), and repackages the final state mapping as a
+:class:`PipelineResult`.
+
+Observability: every pass execution is wrapped in a span by the pass
+manager, :func:`run_pipeline` itself opens a ``pipeline`` span, and the
+bank assigner records its Algorithm 1 decisions — see :mod:`repro.obs`
+and ``docs/OBSERVABILITY.md``.  All of it is off by default and the
+pipeline's outputs are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from ..banks.assignment import BankAssignment
 from ..banks.register_file import BankSubgroupRegisterFile, RegisterFile
 from ..ir.function import Function
 from ..ir.types import FP, RegClass
+from ..obs import TRACER
 from ..passes import AnalysisManager, FunctionPassManager
 from .bank_assigner import DEFAULT_THRES_RATIO
 from .passes import (
@@ -153,9 +163,15 @@ def build_pipeline(config: PipelineConfig) -> FunctionPassManager:
 
 def run_pipeline(function: Function, config: PipelineConfig) -> PipelineResult:
     """Run the Fig. 4 pipeline on (a clone of) *function*."""
-    work = function.clone()
-    am = AnalysisManager(work)
-    state = build_pipeline(config).run(work, am=am)
+    with TRACER.span(
+        "pipeline",
+        category="pipeline",
+        function=function.name,
+        method=config.method,
+    ):
+        work = function.clone()
+        am = AnalysisManager(work)
+        state = build_pipeline(config).run(work, am=am)
 
     allocation: AllocationResult = state["allocation"]
     coalescing_result: CoalescingResult | None = state.get("coalescing")

@@ -77,6 +77,7 @@ def renumber_banks(
     allocation left cached; sweeps that change the function invalidate
     all but the CFG-level analyses so the next sweep recomputes.
     """
+    from ..obs import METRICS, TRACER
     from ..passes import AnalysisManager
 
     if am is None:
@@ -84,7 +85,11 @@ def renumber_banks(
     total = PostRenumberResult()
     previous = None
     for _pass in range(max_passes):
-        result = _renumber_once(function, register_file, regclass, am)
+        with TRACER.span(
+            "renumber-sweep", category="stage", function=function.name,
+            sweep=_pass,
+        ):
+            result = _renumber_once(function, register_file, regclass, am)
         total.conflicts_found = max(total.conflicts_found, result.conflicts_found)
         total.renumbered += result.renumbered
         total.copies_inserted += result.copies_inserted
@@ -94,6 +99,9 @@ def renumber_banks(
         if result.conflicts_found == 0 or previous == result.conflicts_found:
             break
         previous = result.conflicts_found
+    METRICS.inc("post.renumbered", total.renumbered)
+    METRICS.inc("post.copies_inserted", total.copies_inserted)
+    METRICS.inc("post.unresolved", total.unresolved)
     return total
 
 

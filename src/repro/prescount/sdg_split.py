@@ -74,41 +74,50 @@ def split_subgroups(
     leaves a cached SDG that matches the function — Algorithm 2's subgroup
     state construction reuses it for free.
     """
+    from ..obs import METRICS, TRACER
+
     config = config or SdgSplitConfig()
     if am is None:
         am = AnalysisManager(function)
     result = SdgSplitResult()
     for _round in range(config.max_rounds):
-        sdg = am.get(SDGAnalysis, regclass=regclass)
-        oversized = [
-            comp for comp in sdg.components() if len(comp) > config.max_component_size
-        ]
-        if not oversized:
-            break
-        result.rounds += 1
-        progressed = False
-        for component in oversized:
-            centers = sdg.sharing_centers(component, config.fanout_threshold)
-            # Cut several centers per round: each cut re-reads the live
-            # function, so sequential cuts compose safely, and big
-            # shared-input kernels (idft) converge in few SDG rebuilds.
-            cuts = 0
-            for center, kind, fanout in centers:
-                if kind == "input_sharing":
-                    done = _split_input_sharing(function, sdg, center)
-                else:
-                    done = _split_output_sharing(function, sdg, center)
-                if done:
-                    result.copies_inserted += 1
-                    result.splits.append((kind, fanout))
-                    progressed = True
-                    cuts += 1
-                    if cuts >= 8:
-                        break  # re-analyze before cutting further
-        if progressed:
-            am.invalidate(CFG_ONLY)
-        else:
-            break
+        with TRACER.span(
+            "sdg-round", category="stage", function=function.name, round=_round
+        ):
+            sdg = am.get(SDGAnalysis, regclass=regclass)
+            oversized = [
+                comp
+                for comp in sdg.components()
+                if len(comp) > config.max_component_size
+            ]
+            if not oversized:
+                break
+            result.rounds += 1
+            progressed = False
+            for component in oversized:
+                centers = sdg.sharing_centers(component, config.fanout_threshold)
+                # Cut several centers per round: each cut re-reads the live
+                # function, so sequential cuts compose safely, and big
+                # shared-input kernels (idft) converge in few SDG rebuilds.
+                cuts = 0
+                for center, kind, fanout in centers:
+                    if kind == "input_sharing":
+                        done = _split_input_sharing(function, sdg, center)
+                    else:
+                        done = _split_output_sharing(function, sdg, center)
+                    if done:
+                        result.copies_inserted += 1
+                        result.splits.append((kind, fanout))
+                        progressed = True
+                        cuts += 1
+                        if cuts >= 8:
+                            break  # re-analyze before cutting further
+            if progressed:
+                am.invalidate(CFG_ONLY)
+            else:
+                break
+    METRICS.inc("sdg.copies_inserted", result.copies_inserted)
+    METRICS.observe("sdg.rounds", result.rounds)
     return result
 
 

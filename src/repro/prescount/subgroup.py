@@ -69,17 +69,23 @@ class SubgroupState:
         sdg: SameDisplacementGraph | None = None,
         am=None,
     ) -> "SubgroupState":
-        if sdg is None:
-            if am is not None:
-                from ..passes import SDGAnalysis
+        from ..obs import METRICS, TRACER
 
-                sdg = am.get(SDGAnalysis, regclass=regclass)
-            else:
-                sdg = SameDisplacementGraph.build(function, regclass)
-        state = cls(num_subgroups)
-        for component in sdg.components():
-            state.add_component(component)
-        return state
+        with TRACER.span(
+            "subgroup-state", category="stage", function=function.name
+        ):
+            if sdg is None:
+                if am is not None:
+                    from ..passes import SDGAnalysis
+
+                    sdg = am.get(SDGAnalysis, regclass=regclass)
+                else:
+                    sdg = SameDisplacementGraph.build(function, regclass)
+            state = cls(num_subgroups)
+            for component in sdg.components():
+                state.add_component(component)
+            METRICS.observe("subgroup.components", len(state.component_size))
+            return state
 
     # ------------------------------------------------------------------
     def add_component(self, members: set[VirtualRegister]) -> int:

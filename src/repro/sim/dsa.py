@@ -155,24 +155,32 @@ class DsaMachine:
         With *am* given, block frequencies are solved over the cached CFG
         (still valid after allocation, which preserves block structure).
         """
-        cfg = None
-        if am is not None:
-            from ..passes import CFGAnalysis
+        from ..obs import METRICS, TRACER
 
-            cfg = am.get(CFGAnalysis)
-        frequencies = expected_block_frequencies(function, cfg)
-        total = DsaCycleReport()
-        for block in function.blocks:
-            freq = frequencies.get(block.label, 0.0)
-            if freq <= 0.0:
-                continue
-            per_exec = self.block_cycles(block)
-            total.cycles += per_exec.cycles * freq
-            total.bundles += per_exec.bundles
-            total.issue_cycles += per_exec.issue_cycles * freq
-            total.conflict_penalty_cycles += per_exec.conflict_penalty_cycles * freq
-            total.alignment_penalty_cycles += per_exec.alignment_penalty_cycles * freq
-            total.memory_penalty_cycles += per_exec.memory_penalty_cycles * freq
-            total.copy_instructions += round(per_exec.copy_instructions * freq)
-            total.spill_instructions += round(per_exec.spill_instructions * freq)
+        with TRACER.span(
+            "dsa-cycles", category="measure", function=function.name
+        ):
+            cfg = None
+            if am is not None:
+                from ..passes import CFGAnalysis
+
+                cfg = am.get(CFGAnalysis)
+            frequencies = expected_block_frequencies(function, cfg)
+            total = DsaCycleReport()
+            for block in function.blocks:
+                freq = frequencies.get(block.label, 0.0)
+                if freq <= 0.0:
+                    continue
+                per_exec = self.block_cycles(block)
+                total.cycles += per_exec.cycles * freq
+                total.bundles += per_exec.bundles
+                total.issue_cycles += per_exec.issue_cycles * freq
+                total.conflict_penalty_cycles += per_exec.conflict_penalty_cycles * freq
+                total.alignment_penalty_cycles += (
+                    per_exec.alignment_penalty_cycles * freq
+                )
+                total.memory_penalty_cycles += per_exec.memory_penalty_cycles * freq
+                total.copy_instructions += round(per_exec.copy_instructions * freq)
+                total.spill_instructions += round(per_exec.spill_instructions * freq)
+        METRICS.observe("sim.dsa_cycles", total.cycles)
         return total

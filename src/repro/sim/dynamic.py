@@ -220,37 +220,48 @@ def estimate_dynamic_conflicts(
 
     With *am* given, the flow system is solved over the cached CFG (valid
     after allocation, which preserves block structure)."""
-    if frequencies is None:
-        cfg = None
-        if am is not None:
-            from ..passes import CFGAnalysis
+    from ..obs import METRICS, TRACER
 
-            cfg = am.get(CFGAnalysis)
-        frequencies = expected_block_frequencies(function, cfg)
-    is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
-    stats = DynamicStats()
-    for block in function.blocks:
-        freq = frequencies.get(block.label, 0.0)
-        if freq <= 0.0:
-            continue
-        block_conflicts = 0
-        block_violations = 0
-        block_relevant = 0
-        for instr in block:
-            block_conflicts += instruction_bank_conflicts(
-                instr, register_file, regclass
-            )
-            if is_dsa:
-                block_violations += instruction_subgroup_violations(
+    with TRACER.span(
+        "dynamic-estimate", category="measure", function=function.name
+    ):
+        if frequencies is None:
+            cfg = None
+            if am is not None:
+                from ..passes import CFGAnalysis
+
+                cfg = am.get(CFGAnalysis)
+            frequencies = expected_block_frequencies(function, cfg)
+        is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
+        stats = DynamicStats()
+        for block in function.blocks:
+            freq = frequencies.get(block.label, 0.0)
+            if freq <= 0.0:
+                continue
+            block_conflicts = 0
+            block_violations = 0
+            block_relevant = 0
+            for instr in block:
+                block_conflicts += instruction_bank_conflicts(
                     instr, register_file, regclass
                 )
-            if instr.is_conflict_relevant(regclass):
-                block_relevant += 1
-        stats.executed_instructions += round(len(block.instructions) * freq)
-        stats.executed_conflict_relevant += round(block_relevant * freq)
-        stats.dynamic_conflicts += round(block_conflicts * freq)
-        stats.dynamic_subgroup_violations += round(block_violations * freq)
-        # Executed-site estimate: a site in a block with expected frequency
-        # f executes at least once with probability ~min(1, f).
-        stats.conflicting_sites += (block_conflicts + block_violations) * min(1.0, freq)
+                if is_dsa:
+                    block_violations += instruction_subgroup_violations(
+                        instr, register_file, regclass
+                    )
+                if instr.is_conflict_relevant(regclass):
+                    block_relevant += 1
+            stats.executed_instructions += round(len(block.instructions) * freq)
+            stats.executed_conflict_relevant += round(block_relevant * freq)
+            stats.dynamic_conflicts += round(block_conflicts * freq)
+            stats.dynamic_subgroup_violations += round(block_violations * freq)
+            # Executed-site estimate: a site in a block with expected frequency
+            # f executes at least once with probability ~min(1, f).
+            stats.conflicting_sites += (block_conflicts + block_violations) * min(
+                1.0, freq
+            )
+    METRICS.inc("sim.dynamic_conflicts", stats.dynamic_conflicts)
+    METRICS.inc(
+        "sim.dynamic_subgroup_violations", stats.dynamic_subgroup_violations
+    )
     return stats

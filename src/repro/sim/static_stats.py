@@ -118,32 +118,39 @@ def analyze_static(
     pipeline run left behind (allocation preserves the CFG-level
     analyses), or a fresh computation — in that order.
     """
-    is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
-    if loop_info is None:
-        if am is not None:
-            from ..passes import LoopInfoAnalysis
+    from ..obs import METRICS, TRACER
 
-            loop_info = am.get(LoopInfoAnalysis)
-        else:
-            loop_info = LoopInfo.build(function)
-    stats = StaticStats()
-    for block in function.blocks:
-        freq = loop_info.block_frequency(block.label)
-        for instr in block:
-            stats.instructions += 1
-            if instr.is_conflict_relevant(regclass):
-                stats.conflict_relevant += 1
-            conflicts = instruction_bank_conflicts(instr, register_file, regclass)
-            violations = 0
-            if is_dsa:
-                violations = instruction_subgroup_violations(
-                    instr, register_file, regclass
-                )
-            if conflicts or violations:
-                stats.conflicting_instructions += 1
-                stats.weighted_conflicts += (conflicts + violations) * freq
-            stats.bank_conflicts += conflicts
-            stats.subgroup_violations += violations
+    is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
+    with TRACER.span(
+        "static-stats", category="measure", function=function.name
+    ):
+        if loop_info is None:
+            if am is not None:
+                from ..passes import LoopInfoAnalysis
+
+                loop_info = am.get(LoopInfoAnalysis)
+            else:
+                loop_info = LoopInfo.build(function)
+        stats = StaticStats()
+        for block in function.blocks:
+            freq = loop_info.block_frequency(block.label)
+            for instr in block:
+                stats.instructions += 1
+                if instr.is_conflict_relevant(regclass):
+                    stats.conflict_relevant += 1
+                conflicts = instruction_bank_conflicts(instr, register_file, regclass)
+                violations = 0
+                if is_dsa:
+                    violations = instruction_subgroup_violations(
+                        instr, register_file, regclass
+                    )
+                if conflicts or violations:
+                    stats.conflicting_instructions += 1
+                    stats.weighted_conflicts += (conflicts + violations) * freq
+                stats.bank_conflicts += conflicts
+                stats.subgroup_violations += violations
+    METRICS.inc("sim.static_bank_conflicts", stats.bank_conflicts)
+    METRICS.inc("sim.static_subgroup_violations", stats.subgroup_violations)
     return stats
 
 

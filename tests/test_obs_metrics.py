@@ -1,0 +1,149 @@
+"""Metrics registry: instruments, disabled path, pool-safe merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_tracks_last_and_max(self):
+        g = Gauge()
+        g.set(3)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 9
+        assert g.samples == 3
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 2.0 and h.max == 6.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_disabled_records_nothing(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.set_gauge("b", 1)
+        m.observe("c", 2.0)
+        assert not m.counters and not m.gauges and not m.histograms
+
+    def test_enabled_records(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("spills", 2)
+        m.inc("spills")
+        m.set_gauge("pressure.bank0", 7)
+        m.observe("seconds", 0.25)
+        assert m.counters["spills"].value == 3
+        assert m.gauges["pressure.bank0"].value == 7
+        assert m.histograms["seconds"].count == 1
+
+    def test_reset(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("a")
+        m.reset()
+        assert not m.counters
+
+
+class TestSnapshotMerge:
+    def _worker(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("spills", 2)
+        m.set_gauge("pressure", 5)
+        m.observe("cost", 10.0)
+        return m.snapshot()
+
+    def test_snapshot_is_plain_json_data(self):
+        json.dumps(self._worker())
+
+    def test_counters_and_histograms_add(self):
+        m = MetricsRegistry(enabled=True)
+        m.merge(self._worker())
+        m.merge(self._worker())
+        assert m.counters["spills"].value == 4
+        assert m.histograms["cost"].count == 2
+        assert m.histograms["cost"].total == 20.0
+
+    def test_gauges_combine_max_and_sum_samples(self):
+        m = MetricsRegistry(enabled=True)
+        w1 = MetricsRegistry(enabled=True)
+        w1.set_gauge("pressure", 9)
+        w2 = MetricsRegistry(enabled=True)
+        w2.set_gauge("pressure", 4)
+        m.merge(w1.snapshot())
+        m.merge(w2.snapshot())
+        assert m.gauges["pressure"].max == 9
+        assert m.gauges["pressure"].value == 4  # last in merge order
+        assert m.gauges["pressure"].samples == 2
+
+    def test_merge_none_is_noop(self):
+        m = MetricsRegistry(enabled=True)
+        m.merge(None)
+        assert not m.counters
+
+    def test_merge_totals_are_order_independent(self):
+        snaps = []
+        for spills, pressure in [(1, 3), (2, 8), (3, 5)]:
+            w = MetricsRegistry(enabled=True)
+            w.inc("spills", spills)
+            w.set_gauge("pressure", pressure)
+            w.observe("cost", float(spills))
+            snaps.append(w.snapshot())
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        for s in snaps:
+            a.merge(s)
+        for s in reversed(snaps):
+            b.merge(s)
+        assert a.counters["spills"].value == b.counters["spills"].value
+        assert a.gauges["pressure"].max == b.gauges["pressure"].max
+        assert a.histograms["cost"].total == b.histograms["cost"].total
+
+
+class TestExport:
+    def test_to_json_shape(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("spills", 2)
+        m.set_gauge("pressure", 5)
+        m.observe("cost", 10.0)
+        doc = m.to_json()
+        assert doc["counters"] == {"spills": 2}
+        assert doc["gauges"]["pressure"]["max"] == 5
+        assert doc["histograms"]["cost"]["mean"] == 10.0
+        json.dumps(doc)  # finite everywhere
+
+    def test_write_json(self, tmp_path):
+        m = MetricsRegistry(enabled=True)
+        m.inc("a")
+        path = tmp_path / "metrics.json"
+        m.write_json(str(path))
+        assert json.loads(path.read_text())["counters"]["a"] == 1
+
+    def test_render_lists_everything(self):
+        m = MetricsRegistry(enabled=True)
+        m.inc("spills", 2)
+        m.set_gauge("pressure", 5)
+        m.observe("cost", 10.0)
+        text = m.render()
+        assert "spills" in text and "pressure" in text and "cost" in text
+
+    def test_render_empty(self):
+        assert "(nothing recorded)" in MetricsRegistry().render()

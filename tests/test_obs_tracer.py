@@ -1,0 +1,214 @@
+"""Span tracer: nesting, ordering, merging, Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracer import _NULL_SPAN, Span, Tracer
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b", category="pass", k=1) is _NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b") as sp:
+                sp.note(items=3)
+        assert len(tracer) == 0
+        assert tracer.snapshot() == []
+
+    def test_enable_disable_roundtrip(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        tracer.enable(False)
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans] == ["a"]
+
+
+class TestNesting:
+    def test_parent_links_reconstruct_the_call_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner1"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner2"):
+                pass
+        tree = tracer.span_tree()
+        assert [t["name"] for t in tree] == ["outer"]
+        inner = [c["name"] for c in tree[0]["children"]]
+        assert inner == ["inner1", "inner2"]
+        assert tree[0]["children"][0]["children"][0]["name"] == "leaf"
+
+    def test_sids_assigned_in_open_order(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["a"].sid < by_name["b"].sid < by_name["c"].sid
+        assert by_name["b"].parent == by_name["a"].sid
+        assert by_name["a"].parent is None
+        assert by_name["c"].parent is None
+
+    def test_siblings_ordered_by_open_order_not_completion(self):
+        # "a" completes *after* "b" but opened first: span_tree orders by
+        # open order, which is what makes trees timestamp-independent.
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            a = tracer.span("a")
+            a.__enter__()
+            with tracer.span("b"):  # opens and closes while a is open
+                pass
+            a.__exit__(None, None, None)
+        tree = tracer.span_tree()
+        # b opened while a was open, so it nests under a.
+        assert [c["name"] for c in tree[0]["children"]] == ["a"]
+        assert [c["name"] for c in tree[0]["children"][0]["children"]] == ["b"]
+
+    def test_note_attaches_args(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", category="stage", fixed=1) as sp:
+            sp.note(extra=2)
+        (span,) = tracer.spans
+        assert span.args == {"fixed": 1, "extra": 2}
+        assert span.category == "stage"
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("a"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.args["error"] == "ValueError"
+
+    def test_timing_is_monotone(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+
+class TestSnapshotMerge:
+    def _worker_snapshot(self, names):
+        worker = Tracer(enabled=True)
+        with worker.span(names[0]):
+            for inner in names[1:]:
+                with worker.span(inner):
+                    pass
+        return worker.snapshot()
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._worker_snapshot(["p", "c"])
+        assert all(isinstance(s, dict) for s in snap)
+        json.dumps(snap)  # picklable and JSON-able
+
+    def test_merge_rebases_sids_and_remaps_parents(self):
+        parent = Tracer(enabled=True)
+        with parent.span("local"):
+            pass
+        parent.merge(self._worker_snapshot(["prog", "fn"]), track="prog")
+        tree = parent.span_tree()
+        assert [t["name"] for t in tree] == ["local", "prog"]
+        assert [c["name"] for c in tree[1]["children"]] == ["fn"]
+        sids = [s.sid for s in parent.spans]
+        assert len(sids) == len(set(sids))
+
+    def test_merge_order_determines_tracks(self):
+        a = Tracer(enabled=True)
+        a.merge(self._worker_snapshot(["one"]), track="one")
+        a.merge(self._worker_snapshot(["two"]), track="two")
+        b = Tracer(enabled=True)
+        b.merge(self._worker_snapshot(["one"]), track="one")
+        b.merge(self._worker_snapshot(["two"]), track="two")
+        assert a.track_names == b.track_names
+        assert [t["name"] for t in a.span_tree()] == ["one", "two"]
+        assert a.span_tree() == b.span_tree()
+
+    def test_merge_none_or_empty_is_noop(self):
+        tracer = Tracer(enabled=True)
+        tracer.merge(None)
+        tracer.merge([])
+        assert len(tracer) == 0
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.merge(self._worker_snapshot(["w"]), track="w")
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.track_names == {}
+        with tracer.span("b"):
+            pass
+        assert tracer.spans[0].sid == 0
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", category="pipeline", method="bpc"):
+            with tracer.span("inner", category="pass"):
+                pass
+        doc = tracer.to_chrome_trace()
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "repro"
+        assert [e["name"] for e in complete] == ["outer", "inner"]
+        outer = complete[0]
+        assert outer["cat"] == "pipeline"
+        assert outer["args"] == {"method": "bpc"}
+        for e in complete:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0  # microseconds
+
+    def test_track_names_become_thread_metadata(self):
+        worker = Tracer(enabled=True)
+        with worker.span("prog"):
+            pass
+        parent = Tracer(enabled=True)
+        parent.merge(worker.snapshot(), track="433.milc")
+        names = [
+            e["args"]["name"]
+            for e in parent.to_chrome_trace()["traceEvents"]
+            if e["name"] == "thread_name"
+        ]
+        assert names == ["433.milc"]
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestSpanDataclass:
+    def test_as_dict_roundtrip(self):
+        span = Span(sid=3, parent=1, tid=0, name="n", category="c",
+                    start=0.5, end=1.25, args={"k": "v"})
+        d = span.as_dict()
+        assert d["sid"] == 3 and d["parent"] == 1
+        assert d["args"] == {"k": "v"}
+        assert d["args"] is not span.args  # defensive copy
+        assert span.duration == pytest.approx(0.75)
