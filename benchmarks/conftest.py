@@ -38,6 +38,24 @@ def ctx() -> ExperimentContext:
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_history(ctx):
+    """Opt-in history recording: ``REPRO_BENCH_HISTORY=1`` appends one
+    ``BENCH_<timestamp>.json`` record (see ``repro.experiments.history``)
+    to ``benchmarks/results/history/`` after the bench session.  The
+    canonical matrix is memoized on the shared *ctx*, so a full bench run
+    pays almost nothing extra."""
+    yield
+    if os.environ.get("REPRO_BENCH_HISTORY", "") != "1":
+        return
+    from repro.experiments import collect_record, write_record
+
+    record = collect_record(ctx, label="bench-session")
+    path = write_record(record, str(RESULTS_DIR / "history"))
+    print(f"\nbench history: recorded {len(record['programs'])} entries "
+          f"to {path}")
+
+
 @pytest.fixture(scope="session")
 def record_text():
     """Writer: record_text(name, text) -> saved under benchmarks/results."""

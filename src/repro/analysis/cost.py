@@ -99,6 +99,29 @@ class ConflictCostModel:
         return sum(self._reg_cost.values())
 
 
+def total_potential_cost(
+    function: Function,
+    loop_info: LoopInfo | None = None,
+    regclass: RegClass | None = None,
+) -> float:
+    """:meth:`ConflictCostModel.total_cost` without building the model.
+
+    The total is a straight fold — each conflict-relevant instruction
+    contributes ``freq * len(bankable_reads)`` — so callers that only
+    need the scalar (the per-phase ``phase.cost_delta.*`` metrics) skip
+    the model's three per-register dicts entirely.
+    """
+    if loop_info is None:
+        loop_info = LoopInfo.build(function)
+    total = 0.0
+    for block in function.blocks:
+        freq = loop_info.block_frequency(block.label)
+        for instr in block:
+            if instr.is_conflict_relevant(regclass):
+                total += freq * len(instr.bankable_reads(regclass))
+    return total
+
+
 def block_frequencies(function: Function, cfg: CFG | None = None) -> dict[str, float]:
     """Convenience map: block label -> static execution frequency."""
     loop_info = LoopInfo.build(function, cfg)

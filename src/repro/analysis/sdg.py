@@ -133,17 +133,22 @@ class SameDisplacementGraph:
 
         Returns (register, kind, fanout) triples where kind is
         ``"input_sharing"`` (high out-degree) or ``"output_sharing"``
-        (high in-degree), sorted by decreasing fanout.
+        (high in-degree), sorted by decreasing fanout with ties broken by
+        register id.  *component* is a set (hash-ordered), so both the
+        iteration and the sort tie-break must be pinned to register ids —
+        otherwise the split pass picks different equal-fanout centers
+        under different ``PYTHONHASHSEED`` values and the allocated
+        output drifts run to run.
         """
         centers = []
-        for reg in component:
+        for reg in sorted(component, key=lambda r: r.vid):
             out_deg = self.out_degree(reg)
             in_deg = self.in_degree(reg)
             if out_deg >= threshold:
                 centers.append((reg, "input_sharing", out_deg))
             if in_deg >= threshold:
                 centers.append((reg, "output_sharing", in_deg))
-        centers.sort(key=lambda c: -c[2])
+        centers.sort(key=lambda c: (-c[2], c[0].vid, c[1]))
         return centers
 
     def __len__(self) -> int:

@@ -13,6 +13,9 @@ Usage::
     python -m repro --trace out.json table II    # Chrome-trace the run
     python -m repro --metrics out.json table II  # machine-readable metrics
     python -m repro --explain v5 allocate        # why did v5 land there?
+    python -m repro --profile - table VII        # conflict hotspot table
+    python -m repro bench record                 # benchmark history record
+    python -m repro bench diff OLD.json NEW.json # regression gate (CI)
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -125,12 +128,61 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     result = run_pipeline(fn, PipelineConfig(register_file, args.method))
     stats = analyze_static(result.function, register_file)
     print(f"; method={args.method} file={register_file.describe()}")
-    print(print_function(result.function))
+    from . import obs
+
+    if obs.PROFILE.enabled:
+        # Attribute the demo kernel's expected conflicts, then print the
+        # listing annotated with per-site stall cycles.
+        from .sim import estimate_dynamic_conflicts
+
+        estimate_dynamic_conflicts(result.function, register_file)
+        print(obs.PROFILE.annotate(result.function))
+    else:
+        print(print_function(result.function))
     print(
         f"; static bank conflicts: {stats.bank_conflicts}   "
         f"spills: {result.spill_count}   copies: {result.copies_inserted}"
     )
     return 0
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    """Collect a benchmark history record and write it to disk."""
+    from .experiments import DEFAULT_HISTORY_DIR, collect_record, write_record
+
+    ctx = _build_context(args)
+    record = collect_record(ctx, label=args.label)
+    path = write_record(record, args.out or DEFAULT_HISTORY_DIR)
+    totals = record["totals"]
+    print(f"recorded {len(record['programs'])} program entries to {path}")
+    print(
+        "  totals: "
+        + "  ".join(f"{name}={totals[name]:g}" for name in sorted(totals))
+    )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two history records; non-zero exit on regression."""
+    from .experiments import RecordError, diff_records, load_record
+
+    try:
+        old = load_record(args.old)
+        new = load_record(args.new)
+    except RecordError as exc:
+        print(f"bench diff: {exc}", file=sys.stderr)
+        return 2
+    report = diff_records(
+        old,
+        new,
+        old_path=args.old,
+        new_path=args.new,
+        threshold_pct=args.threshold_pct,
+        abs_floor=args.abs_floor,
+        allow_config_mismatch=args.allow_config_mismatch,
+    )
+    print(report.render())
+    return report.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record Algorithm 1 decisions and print the decision "
         "history of one virtual register (e.g. v5) to stderr",
     )
+    parser.add_argument(
+        "--profile", metavar="OUT.json", default=None,
+        help="attribute every conflict stall cycle to its (function, "
+        "loop nest, block, instruction, bank pair) site and write the "
+        "profile as JSON; '-' renders a top-N hotspot table to stderr, "
+        "a .folded suffix writes flamegraph-compatible collapsed stacks",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="regenerate one table (I..VII)")
@@ -202,6 +261,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_alloc.add_argument("--registers", type=int, default=32)
     p_alloc.add_argument("--trip-count", type=int, default=16)
     p_alloc.set_defaults(func=_cmd_allocate)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark history: record runs, diff them"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_record = bench_sub.add_parser(
+        "record",
+        help="run the canonical combination matrix and write a "
+        "BENCH_<timestamp>.json history record",
+    )
+    p_record.add_argument(
+        "--label", default="", help="free-form label stored in the record"
+    )
+    p_record.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="history directory (default benchmarks/results/history/)",
+    )
+    p_record.set_defaults(func=_cmd_bench_record)
+    p_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two history records; exit 1 on regression, 2 when "
+        "the records are not comparable",
+    )
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.add_argument(
+        "--threshold-pct", type=float, default=5.0,
+        help="relative delta that counts as a regression (default 5%%)",
+    )
+    p_diff.add_argument(
+        "--abs-floor", type=float, default=1.0,
+        help="ignore absolute deltas below this floor (default 1)",
+    )
+    p_diff.add_argument(
+        "--allow-config-mismatch", action="store_true",
+        help="diff records with different config fingerprints anyway",
+    )
+    p_diff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 
@@ -231,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         obs.METRICS.enable()
     if args.explain:
         obs.AUDIT.enable()
+    if args.profile:
+        obs.PROFILE.enable()
     try:
         return args.func(args)
     finally:
@@ -256,6 +355,25 @@ def main(argv: list[str] | None = None) -> int:
                 obs.AUDIT.explain(_normalize_vreg(args.explain)),
                 file=sys.stderr,
             )
+        if args.profile:
+            if args.profile == "-":
+                print(obs.PROFILE.render(), file=sys.stderr)
+            elif args.profile.endswith(".folded"):
+                with open(args.profile, "w", encoding="utf-8") as fh:
+                    fh.write(obs.PROFILE.folded_stacks() + "\n")
+                print(
+                    f"wrote {len(obs.PROFILE)} sites to {args.profile} "
+                    "(collapsed stacks; feed to flamegraph.pl or "
+                    "speedscope)",
+                    file=sys.stderr,
+                )
+            else:
+                obs.PROFILE.write_json(args.profile)
+                print(
+                    f"wrote {len(obs.PROFILE)} hotspot sites to "
+                    f"{args.profile}",
+                    file=sys.stderr,
+                )
 
 
 if __name__ == "__main__":

@@ -17,6 +17,17 @@ from .harness import (
     run_program,
     run_suite,
 )
+from .history import (
+    DEFAULT_HISTORY_DIR,
+    SCHEMA_VERSION,
+    Delta,
+    DiffReport,
+    RecordError,
+    collect_record,
+    diff_records,
+    load_record,
+    write_record,
+)
 from .paper import PAPER, ComparisonReport, ShapeCheck, compare
 from .report import geomean, percent, render_table
 from .tables import (
@@ -34,13 +45,22 @@ from .tables import (
 __all__ = [
     "ALL_FIGURES",
     "ALL_TABLES",
+    "DEFAULT_HISTORY_DIR",
+    "Delta",
+    "DiffReport",
     "ExperimentContext",
     "FigureResult",
     "ProgramResult",
     "PAPER",
     "ComparisonReport",
+    "RecordError",
+    "SCHEMA_VERSION",
     "ShapeCheck",
+    "collect_record",
     "compare",
+    "diff_records",
+    "load_record",
+    "write_record",
     "TableResult",
     "figure1",
     "figure_to_json",

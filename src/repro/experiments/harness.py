@@ -18,11 +18,13 @@ independent — each worker runs whole pipelines on its own function clones
 identical to a serial run.
 
 Observability (:mod:`repro.obs`) crosses the pool the same way the
-``--pass-stats`` counters do: each worker resets its tracer/metrics/audit
-around every task, ships one picklable snapshot per program back, and the
-parent merges snapshots in ``pool.map`` (= suite) order — so the merged
-Chrome trace has one deterministic track per program and its span tree is
-structurally identical to a serial run's.
+``--pass-stats`` counters do: each worker resets its
+tracer/metrics/audit/profiler around every task, ships one picklable
+snapshot per program back, and the parent merges snapshots in
+``pool.map`` (= suite) order — so the merged Chrome trace has one
+deterministic track per program, its span tree is structurally identical
+to a serial run's, and hotspot-profile totals are bit-equal at any job
+count.
 """
 
 from __future__ import annotations

@@ -59,12 +59,23 @@ def format_block_header(block: BasicBlock) -> str:
     return f"block {block.label}{suffix}:"
 
 
-def print_function(function: Function) -> str:
+def print_function(function: Function, annotations=None) -> str:
+    """Textual dump of *function*.
+
+    *annotations* optionally maps ``(block label, instruction index)`` to
+    a trailing ``; ...`` comment — the conflict profiler uses this to
+    render annotated hotspot listings.  Comments are ignored by the
+    parser, so annotated output still round-trips.
+    """
     lines = [f"func @{function.name} {{"]
     for block in function.blocks:
         lines.append(format_block_header(block))
-        for instr in block:
-            lines.append(f"  {format_instruction(instr)}")
+        for index, instr in enumerate(block):
+            text = f"  {format_instruction(instr)}"
+            note = annotations.get((block.label, index)) if annotations else None
+            if note:
+                text += f"  ; {note}"
+            lines.append(text)
     lines.append("}")
     return "\n".join(lines)
 

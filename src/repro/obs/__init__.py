@@ -1,6 +1,6 @@
-"""Observability for the reproduction: tracing, metrics, decision audit.
+"""Observability for the reproduction: tracing, metrics, audit, profiling.
 
-Three independent, individually-enableable layers, all off by default and
+Four independent, individually-enableable layers, all off by default and
 overhead-free while off (outputs stay bit-identical):
 
 * :data:`TRACER` (:mod:`.tracer`) — nested spans over every pipeline
@@ -10,13 +10,18 @@ overhead-free while off (outputs stay bit-identical):
   counts, per-bank pressure, RCG colorability failures, per-phase
   conflict-cost deltas), dumped machine-readably (``--metrics out.json``);
 * :data:`AUDIT` (:mod:`.audit`) — the per-RCG-node Algorithm 1 decision
-  log behind ``--explain vreg``.
+  log behind ``--explain vreg``;
+* :data:`PROFILE` (:mod:`.profile`) — the conflict hotspot profiler:
+  every conflict stall cycle attributed to its
+  (function, loop nest, block, instruction, bank pair) site, rendered as
+  top-N tables, annotated IR listings, or flamegraph folded stacks
+  (``--profile out.json``).
 
-All three snapshot to picklable plain data and merge deterministically,
+All four snapshot to picklable plain data and merge deterministically,
 which is how the parallel experiment harness folds worker-process
 observations back into the parent (see
 :mod:`repro.experiments.harness`).  The module-level helpers below move
-those three snapshots as one unit.
+those four snapshots as one unit.
 
 See ``docs/OBSERVABILITY.md`` for the user guide and worked examples.
 """
@@ -27,6 +32,8 @@ from .audit import GLOBAL as AUDIT
 from .audit import AuditLog, AuditRecord
 from .metrics import GLOBAL as METRICS
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import GLOBAL as PROFILE
+from .profile import ConflictProfiler, SiteStats, loop_paths
 from .tracer import GLOBAL as TRACER
 from .tracer import Span, Tracer
 
@@ -34,17 +41,21 @@ __all__ = [
     "AUDIT",
     "AuditLog",
     "AuditRecord",
+    "ConflictProfiler",
     "Counter",
     "Gauge",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
+    "PROFILE",
+    "SiteStats",
     "Span",
     "TRACER",
     "Tracer",
     "any_enabled",
     "enabled_flags",
     "apply_flags",
+    "loop_paths",
     "snapshot_all",
     "merge_all",
     "reset_all",
@@ -53,22 +64,28 @@ __all__ = [
 
 def any_enabled() -> bool:
     """True when at least one observability layer is recording."""
-    return TRACER.enabled or METRICS.enabled or AUDIT.enabled
+    return (
+        TRACER.enabled or METRICS.enabled or AUDIT.enabled or PROFILE.enabled
+    )
 
 
-def enabled_flags() -> tuple[bool, bool, bool]:
-    """(trace, metrics, audit) enablement — picklable worker payload."""
-    return (TRACER.enabled, METRICS.enabled, AUDIT.enabled)
+def enabled_flags() -> tuple[bool, bool, bool, bool]:
+    """(trace, metrics, audit, profile) enablement — picklable payload."""
+    return (TRACER.enabled, METRICS.enabled, AUDIT.enabled, PROFILE.enabled)
 
 
-def apply_flags(flags: tuple[bool, bool, bool] | None) -> None:
-    """Enable the layers a parent process's :func:`enabled_flags` named."""
+def apply_flags(flags: tuple[bool, ...] | None) -> None:
+    """Enable the layers a parent process's :func:`enabled_flags` named.
+
+    Three-element tuples (pre-profiler snapshots) are still accepted.
+    """
     if flags is None:
         return
-    trace, metrics, audit = flags
+    trace, metrics, audit, *rest = flags
     TRACER.enable(trace)
     METRICS.enable(metrics)
     AUDIT.enable(audit)
+    PROFILE.enable(bool(rest[0]) if rest else False)
 
 
 def snapshot_all() -> dict:
@@ -77,6 +94,7 @@ def snapshot_all() -> dict:
         "trace": TRACER.snapshot() if TRACER.enabled else None,
         "metrics": METRICS.snapshot() if METRICS.enabled else None,
         "audit": AUDIT.snapshot() if AUDIT.enabled else None,
+        "profile": PROFILE.snapshot() if PROFILE.enabled else None,
     }
 
 
@@ -91,10 +109,12 @@ def merge_all(snapshot: dict | None, track: str | None = None) -> None:
     TRACER.merge(snapshot.get("trace"), track=track)
     METRICS.merge(snapshot.get("metrics"))
     AUDIT.merge(snapshot.get("audit"))
+    PROFILE.merge(snapshot.get("profile"))
 
 
 def reset_all() -> None:
-    """Clear all three layers (enablement is left untouched)."""
+    """Clear all four layers (enablement is left untouched)."""
     TRACER.reset()
     METRICS.reset()
     AUDIT.reset()
+    PROFILE.reset()

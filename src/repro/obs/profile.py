@@ -1,0 +1,305 @@
+"""Conflict hotspot profiler: per-site attribution of conflict stalls.
+
+The aggregate counters of :mod:`repro.sim` answer *how many* conflicts a
+program suffers; this layer answers *where the cycles go*.  A **site** is
+the full static coordinate of one hazard source::
+
+    (function, loop-nest path, block, instruction index, opcode, detail)
+
+where the loop-nest path is the chain of enclosing loop headers (outer to
+inner) and *detail* pins the hazard down to the hardware resource — the
+conflicting bank plus the register pair that collides on it
+(``bank1($fp1,$fp9)``) or the misaligned subgroup set (``align(sg0|sg2)``).
+An empty detail marks a pure execution-heat record (the value
+interpreter counts executed instances without decoding banks).
+
+Producers (all guarded on ``PROFILE.enabled``, zero-cost while off):
+
+* :class:`~repro.sim.dsa.DsaMachine` attributes every conflict and
+  alignment *stall cycle* of the cycle model, frequency-weighted, so the
+  per-site cycle total always reconciles with the aggregate
+  ``conflict_penalty_cycles + alignment_penalty_cycles``;
+* :func:`~repro.sim.dynamic.estimate_dynamic_conflicts` and
+  :class:`~repro.sim.dynamic.DynamicSimulator` attribute expected /
+  interpreted conflict *instances* (one stall cycle each);
+* :class:`~repro.sim.exec.ValueInterpreter` attributes executed
+  instances (execution heat, no bank decode).
+
+Like the tracer/metrics/audit layers, the profiler snapshots to plain
+picklable data and merges commutatively, so the parallel experiment
+harness folds worker profiles into totals identical to a serial run.
+
+Consumers: :meth:`ConflictProfiler.render` (top-N hotspot table),
+:meth:`ConflictProfiler.folded_stacks` (flamegraph-compatible collapsed
+stacks keyed by loop nest — feed to ``flamegraph.pl`` or speedscope),
+:meth:`ConflictProfiler.annotate` (IR listing with per-instruction
+stall annotations via :mod:`repro.ir.printer`), and
+:meth:`ConflictProfiler.to_json` behind the CLI's ``--profile out.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+__all__ = ["GLOBAL", "ConflictProfiler", "SiteKey", "SiteStats", "loop_paths"]
+
+#: Site coordinate: (function, loop path, block, instr index, opcode, detail).
+SiteKey = tuple  # tuple[str, tuple[str, ...], str, int, str, str]
+
+
+@dataclass
+class SiteStats:
+    """What one site cost.
+
+    Attributes:
+        conflicts: Hazard events attributed here (frequency-weighted
+            expected instances, or interpreted instances).
+        cycles: Stall cycles attributed here (each serialized extra bank
+            access and each misalignment re-route costs one).
+        executions: Executed instances of the instruction itself
+            (execution heat; recorded by the interpreters).
+    """
+
+    conflicts: float = 0.0
+    cycles: float = 0.0
+    executions: float = 0.0
+
+    def add(self, conflicts: float = 0.0, cycles: float = 0.0,
+            executions: float = 0.0) -> None:
+        self.conflicts += conflicts
+        self.cycles += cycles
+        self.executions += executions
+
+
+def loop_paths(function) -> dict[str, tuple[str, ...]]:
+    """Block label -> enclosing loop headers, outermost first.
+
+    One :class:`~repro.ir.loops.LoopInfo` build per call; producers call
+    this once per profiled function, only while the profiler is enabled.
+    """
+    from ..ir.loops import LoopInfo
+
+    info = LoopInfo.build(function)
+    paths: dict[str, tuple[str, ...]] = {}
+    for block in function.blocks:
+        chain = info.enclosing_loops(block.label)  # innermost first
+        paths[block.label] = tuple(loop.header for loop in reversed(chain))
+    return paths
+
+
+class ConflictProfiler:
+    """Accumulates per-site hazard attribution; disabled by default.
+
+    All recording methods early-return while ``enabled`` is False, so
+    instrumented code needs no guard for the *recording* itself — guard
+    only the site-key construction when it is more than trivial.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self.sites: dict[SiteKey, SiteStats] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        with self._lock:
+            self.sites.clear()
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, key: SiteKey, conflicts: float = 0.0,
+               cycles: float = 0.0, executions: float = 0.0) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.sites.setdefault(key, SiteStats()).add(
+                conflicts, cycles, executions
+            )
+
+    def record_many(self, updates) -> None:
+        """Fold an iterable of ``(key, conflicts, cycles, executions)``
+        under one lock acquisition — the interpreters batch per-run local
+        accumulations through this."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for key, conflicts, cycles, executions in updates:
+                self.sites.setdefault(key, SiteStats()).add(
+                    conflicts, cycles, executions
+                )
+
+    # ------------------------------------------------------------------
+    # Pool-safe aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list:
+        """Picklable copy: ``[key, conflicts, cycles, executions]`` rows."""
+        with self._lock:
+            return [
+                [list(key), s.conflicts, s.cycles, s.executions]
+                for key, s in self.sites.items()
+            ]
+
+    def merge(self, snapshot: list | None) -> None:
+        """Fold a worker :meth:`snapshot` in; addition is commutative, so
+        parallel harness runs aggregate to the same totals as serial."""
+        if not snapshot:
+            return
+        with self._lock:
+            for raw_key, conflicts, cycles, executions in snapshot:
+                func, loops, block, index, opcode, detail = raw_key
+                key = (func, tuple(loops), block, index, opcode, detail)
+                self.sites.setdefault(key, SiteStats()).add(
+                    conflicts, cycles, executions
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_cycles(self) -> float:
+        with self._lock:
+            return sum(s.cycles for s in self.sites.values())
+
+    def total_conflicts(self) -> float:
+        with self._lock:
+            return sum(s.conflicts for s in self.sites.values())
+
+    def top(self, n: int = 10, by: str = "cycles") -> list[tuple[SiteKey, SiteStats]]:
+        """The *n* costliest sites, deterministically ordered (value
+        descending, then site key)."""
+        with self._lock:
+            items = list(self.sites.items())
+        items.sort(key=lambda kv: (-getattr(kv[1], by), kv[0]))
+        return items[:n]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _site_label(key: SiteKey) -> str:
+        func, loops, block, index, opcode, detail = key
+        nest = "/".join(loops) if loops else "-"
+        where = f"{func}:{block}#{index}"
+        label = f"{where} {opcode}"
+        if detail:
+            label += f" {detail}"
+        return f"{label}  [{nest}]"
+
+    def render(self, n: int = 20) -> str:
+        """Human-readable top-N hotspot table (for ``--profile -``)."""
+        total = self.total_cycles()
+        lines = [
+            "conflict hotspots "
+            f"({len(self.sites)} sites, {total:g} attributed stall cycles)",
+            f"  {'cycles':>10}  {'share':>6}  {'events':>8}  site",
+        ]
+        for key, stats in self.top(n):
+            share = stats.cycles / total if total else 0.0
+            lines.append(
+                f"  {stats.cycles:10g}  {share:6.1%}  {stats.conflicts:8g}  "
+                f"{self._site_label(key)}"
+            )
+        if len(self.sites) > n:
+            lines.append(f"  ... {len(self.sites) - n} cooler sites elided")
+        if not self.sites:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+    def folded_stacks(self, by: str = "cycles") -> str:
+        """Flamegraph-compatible collapsed stacks, keyed by loop nest.
+
+        One line per site: ``function;loop;...;block;opcode#i[detail]
+        <value>`` — pipe into ``flamegraph.pl`` or load in speedscope.
+        Values are rounded to integers (the folded format is integral);
+        zero-valued sites are dropped.
+        """
+        lines = []
+        with self._lock:
+            items = sorted(self.sites.items())
+        for key, stats in items:
+            value = round(getattr(stats, by))
+            if value <= 0:
+                continue
+            func, loops, block, index, opcode, detail = key
+            frames = [func, *loops, block,
+                      f"{opcode}#{index}" + (f"[{detail}]" if detail else "")]
+            lines.append(f"{';'.join(frames)} {value}")
+        return "\n".join(lines)
+
+    def annotate(self, function) -> str:
+        """IR listing of *function* with per-instruction stall annotations.
+
+        Sites are matched by (block, instruction index); several details
+        on one instruction merge into one trailing comment.
+        """
+        from ..ir.printer import print_function
+
+        per_instr: dict[tuple[str, int], list[tuple[SiteKey, SiteStats]]] = {}
+        with self._lock:
+            for key, stats in self.sites.items():
+                func, __, block, index, __, __ = key
+                if func != function.name:
+                    continue
+                per_instr.setdefault((block, index), []).append((key, stats))
+
+        annotations: dict[tuple[str, int], str] = {}
+        for loc, entries in per_instr.items():
+            entries.sort(key=lambda kv: (-kv[1].cycles, kv[0]))
+            cycles = sum(s.cycles for __, s in entries)
+            executions = max(s.executions for __, s in entries)
+            details = [key[5] for key, __ in entries if key[5]]
+            parts = []
+            if cycles:
+                parts.append(f"{cycles:g} stall cycles")
+            if details:
+                parts.append(", ".join(details))
+            if executions:
+                parts.append(f"{executions:g} exec")
+            if parts:
+                annotations[loc] = "; ".join(parts)
+        return print_function(function, annotations=annotations)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The ``--profile out.json`` document (schema-versioned)."""
+        with self._lock:
+            items = sorted(self.sites.items())
+        return {
+            "schema": 1,
+            "total_cycles": sum(s.cycles for __, s in items),
+            "total_conflicts": sum(s.conflicts for __, s in items),
+            "sites": [
+                {
+                    "function": key[0],
+                    "loops": list(key[1]),
+                    "block": key[2],
+                    "instr": key[3],
+                    "opcode": key[4],
+                    "detail": key[5],
+                    "conflicts": stats.conflicts,
+                    "cycles": stats.cycles,
+                    "executions": stats.executions,
+                }
+                for key, stats in items
+            ],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+
+
+#: The process-wide profiler ``--profile`` enables.
+GLOBAL = ConflictProfiler()

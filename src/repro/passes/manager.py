@@ -29,14 +29,16 @@ def _potential_cost(function: Function, pass_: "Pass") -> float:
     """Total Eq. 2 conflict cost of *function*'s current state.
 
     Only computed while ``--metrics`` is on; the per-phase difference is
-    recorded as ``phase.cost_delta.<pass>``.  Built directly (not through
-    the analysis manager) so metrics collection never perturbs the
-    ``--pass-stats`` cache counters.
+    recorded as ``phase.cost_delta.<pass>``.  Computed directly (not
+    through the analysis manager) so metrics collection never perturbs
+    the ``--pass-stats`` cache counters, and via the scalar
+    :func:`~repro.analysis.cost.total_potential_cost` fold so it never
+    allocates the full cost model's per-register dicts.
     """
-    from ..analysis.cost import ConflictCostModel
+    from ..analysis.cost import total_potential_cost
 
     regclass = getattr(getattr(pass_, "config", None), "regclass", None)
-    return ConflictCostModel.build(function, regclass=regclass).total_cost()
+    return total_potential_cost(function, regclass=regclass)
 
 
 class Pass:
@@ -101,6 +103,11 @@ class FunctionPassManager:
         state = state if state is not None else {}
         registry = self._registry()
         metrics = METRICS if METRICS.enabled else None
+        # The function only mutates inside passes, so the cost computed
+        # *after* pass N is still exact *before* pass N+1: cache it across
+        # phases (keyed by the costing regclass) instead of rebuilding the
+        # cost model twice per pass — this halves the --metrics overhead.
+        carried_cost: tuple[object, float] | None = None
         for pass_ in self.passes:
             if registry is not None:
                 hits0 = am.total_hits()
@@ -108,7 +115,13 @@ class FunctionPassManager:
                 inval0 = am.total_invalidations()
                 instrs0 = function.instruction_count()
             if metrics is not None:
-                cost0 = _potential_cost(function, pass_)
+                regclass = getattr(
+                    getattr(pass_, "config", None), "regclass", None
+                )
+                if carried_cost is not None and carried_cost[0] == regclass:
+                    cost0 = carried_cost[1]
+                else:
+                    cost0 = _potential_cost(function, pass_)
             started = time.perf_counter()
             with TRACER.span(pass_.name, category="pass", function=function.name):
                 result = pass_.run(function, am, state)
@@ -125,9 +138,8 @@ class FunctionPassManager:
                     instructions_delta=function.instruction_count() - instrs0,
                 )
             if metrics is not None:
+                cost1 = _potential_cost(function, pass_)
+                carried_cost = (regclass, cost1)
                 metrics.observe(f"pass.seconds.{pass_.name}", elapsed)
-                metrics.observe(
-                    f"phase.cost_delta.{pass_.name}",
-                    _potential_cost(function, pass_) - cost0,
-                )
+                metrics.observe(f"phase.cost_delta.{pass_.name}", cost1 - cost0)
         return state

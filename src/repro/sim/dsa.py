@@ -149,13 +149,43 @@ class DsaMachine:
         )
         return report
 
+    def _profile_block(
+        self, function_name: str, block: BasicBlock,
+        paths: dict[str, tuple[str, ...]], freq: float,
+    ) -> None:
+        """Attribute *block*'s conflict/alignment stall cycles to sites.
+
+        Every hazard event in the cycle model costs exactly one cycle, so
+        per-site cycles are ``events * freq`` — summing them over the
+        function reconciles with ``conflict_penalty_cycles +
+        alignment_penalty_cycles`` of :meth:`run`.
+        """
+        from ..obs import PROFILE
+        from .static_stats import instruction_conflict_details
+
+        loops = paths.get(block.label, ())
+        for index, instr in enumerate(block):
+            for detail, events in instruction_conflict_details(
+                instr, self.register_file, self.regclass
+            ):
+                key = (
+                    function_name, loops, block.label, index,
+                    instr.opcode, detail,
+                )
+                PROFILE.record(
+                    key,
+                    conflicts=events * freq,
+                    cycles=events * freq,
+                    executions=freq,
+                )
+
     def run(self, function: Function, am=None) -> DsaCycleReport:
         """Frequency-weighted cycle total over the whole function.
 
         With *am* given, block frequencies are solved over the cached CFG
         (still valid after allocation, which preserves block structure).
         """
-        from ..obs import METRICS, TRACER
+        from ..obs import METRICS, PROFILE, TRACER
 
         with TRACER.span(
             "dsa-cycles", category="measure", function=function.name
@@ -167,10 +197,17 @@ class DsaMachine:
                 cfg = am.get(CFGAnalysis)
             frequencies = expected_block_frequencies(function, cfg)
             total = DsaCycleReport()
+            paths = None
+            if PROFILE.enabled:
+                from ..obs import loop_paths
+
+                paths = loop_paths(function)
             for block in function.blocks:
                 freq = frequencies.get(block.label, 0.0)
                 if freq <= 0.0:
                     continue
+                if paths is not None:
+                    self._profile_block(function.name, block, paths, freq)
                 per_exec = self.block_cycles(block)
                 total.cycles += per_exec.cycles * freq
                 total.bundles += per_exec.bundles

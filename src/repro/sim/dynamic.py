@@ -32,7 +32,11 @@ from ..ir.cfg import CFG
 from ..ir.function import Function
 from ..ir.instruction import OpKind
 from ..ir.types import FP, RegClass
-from .static_stats import instruction_bank_conflicts, instruction_subgroup_violations
+from .static_stats import (
+    instruction_bank_conflicts,
+    instruction_conflict_details,
+    instruction_subgroup_violations,
+)
 
 
 @dataclass
@@ -92,6 +96,8 @@ class DynamicSimulator:
     max_instructions: int = 2_000_000
 
     def run(self, function: Function) -> DynamicStats:
+        from ..obs import PROFILE
+
         rng = random.Random(self.seed)
         is_dsa = isinstance(self.register_file, BankSubgroupRegisterFile)
         stats = DynamicStats()
@@ -118,6 +124,42 @@ class DynamicSimulator:
                 conflict_cache[key] = cached
             return cached
 
+        # Hotspot attribution (only while profiling): executed instances
+        # accumulate in run-local dicts and flush under one lock at exit.
+        profiling = PROFILE.enabled
+        site_keys: dict[int, list] = {}
+        local_counts: dict[int, tuple[float, float]] = {}
+        paths: dict[str, tuple[str, ...]] = {}
+        if profiling:
+            from ..obs import loop_paths
+
+            paths = loop_paths(function)
+
+        def attribute(block, index, instr) -> None:
+            keys = site_keys.get(id(instr))
+            if keys is None:
+                loops = paths.get(block.label, ())
+                keys = site_keys[id(instr)] = [
+                    (
+                        (function.name, loops, block.label, index,
+                         instr.opcode, detail),
+                        events,
+                    )
+                    for detail, events in instruction_conflict_details(
+                        instr, self.register_file, self.regclass
+                    )
+                ]
+            for key, events in keys:
+                hazards, executions = local_counts.get(key, (0.0, 0.0))
+                local_counts[key] = (hazards + events, executions + 1.0)
+
+        def flush() -> None:
+            if local_counts:
+                PROFILE.record_many(
+                    (key, hazards, hazards, executions)
+                    for key, (hazards, executions) in local_counts.items()
+                )
+
         # Loop latch bookkeeping: remaining iterations per header label.
         remaining: dict[str, int] = {}
         executed_sites: set[int] = set()
@@ -127,19 +169,22 @@ class DynamicSimulator:
                 stats.truncated = True
                 break
             next_label = None
-            for instr in block:
+            for index, instr in enumerate(block):
                 stats.executed_instructions += 1
                 conflicts, violations, relevant = decode(instr)
                 if relevant:
                     stats.executed_conflict_relevant += 1
                 stats.dynamic_conflicts += conflicts
                 stats.dynamic_subgroup_violations += violations
+                if profiling and (conflicts or violations):
+                    attribute(block, index, instr)
                 if (conflicts or violations) and id(instr) not in executed_sites:
                     executed_sites.add(id(instr))
                     stats.conflicting_sites += conflicts + violations
                 if instr.kind is OpKind.JUMP:
                     next_label = instr.attrs["target"]
                 elif instr.kind is OpKind.RET:
+                    flush()
                     return stats
                 elif instr.kind is OpKind.BRANCH:
                     target = instr.attrs["target"]
@@ -162,6 +207,7 @@ class DynamicSimulator:
             if next_label is None:
                 next_label = function.next_label(block)
             block = function.block(next_label) if next_label is not None else None
+        flush()
         return stats
 
 
@@ -220,7 +266,7 @@ def estimate_dynamic_conflicts(
 
     With *am* given, the flow system is solved over the cached CFG (valid
     after allocation, which preserves block structure)."""
-    from ..obs import METRICS, TRACER
+    from ..obs import METRICS, PROFILE, TRACER
 
     with TRACER.span(
         "dynamic-estimate", category="measure", function=function.name
@@ -234,6 +280,11 @@ def estimate_dynamic_conflicts(
             frequencies = expected_block_frequencies(function, cfg)
         is_dsa = isinstance(register_file, BankSubgroupRegisterFile)
         stats = DynamicStats()
+        paths = None
+        if PROFILE.enabled:
+            from ..obs import loop_paths
+
+            paths = loop_paths(function)
         for block in function.blocks:
             freq = frequencies.get(block.label, 0.0)
             if freq <= 0.0:
@@ -241,7 +292,7 @@ def estimate_dynamic_conflicts(
             block_conflicts = 0
             block_violations = 0
             block_relevant = 0
-            for instr in block:
+            for index, instr in enumerate(block):
                 block_conflicts += instruction_bank_conflicts(
                     instr, register_file, regclass
                 )
@@ -251,6 +302,19 @@ def estimate_dynamic_conflicts(
                     )
                 if instr.is_conflict_relevant(regclass):
                     block_relevant += 1
+                if paths is not None:
+                    # Attribute expected conflict instances (one stall
+                    # cycle each) to the site, frequency-weighted.
+                    for detail, events in instruction_conflict_details(
+                        instr, register_file, regclass
+                    ):
+                        PROFILE.record(
+                            (function.name, paths.get(block.label, ()),
+                             block.label, index, instr.opcode, detail),
+                            conflicts=events * freq,
+                            cycles=events * freq,
+                            executions=freq,
+                        )
             stats.executed_instructions += round(len(block.instructions) * freq)
             stats.executed_conflict_relevant += round(block_relevant * freq)
             stats.dynamic_conflicts += round(block_conflicts * freq)

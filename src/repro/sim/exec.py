@@ -93,12 +93,32 @@ class ValueInterpreter:
     max_instructions: int = 1_000_000
 
     def run(self, function: Function) -> ExecutionTrace:
+        from ..obs import PROFILE
+
         rng = random.Random(self.seed)
         env: dict[Register, float] = {}
         spill_memory: dict[int, float] = {}
         input_counter = 0
         trace = ExecutionTrace()
         remaining: dict[str, int] = {}
+
+        # Execution-heat profiling: the interpreter has no register file,
+        # so it attributes executed instances (empty detail), giving the
+        # hotspot listings their per-site execution counts.  Counts batch
+        # in a run-local dict and flush under one lock at exit.
+        profiling = PROFILE.enabled
+        heat: dict[tuple, float] = {}
+        paths: dict[str, tuple[str, ...]] = {}
+        if profiling:
+            from ..obs import loop_paths
+
+            paths = loop_paths(function)
+
+        def flush() -> None:
+            if heat:
+                PROFILE.record_many(
+                    (key, 0.0, 0.0, count) for key, count in heat.items()
+                )
 
         def read(operand) -> float:
             if isinstance(operand, Immediate):
@@ -113,11 +133,18 @@ class ValueInterpreter:
         block = function.entry
         while block is not None:
             next_label = None
-            for instr in block:
+            for index, instr in enumerate(block):
                 trace.executed_instructions += 1
                 if trace.executed_instructions > self.max_instructions:
                     trace.truncated = True
+                    flush()
                     return trace
+                if profiling:
+                    key = (
+                        function.name, paths.get(block.label, ()),
+                        block.label, index, instr.opcode, "",
+                    )
+                    heat[key] = heat.get(key, 0.0) + 1.0
                 kind = instr.kind
                 if kind is OpKind.ARITH:
                     semantics = OPCODE_SEMANTICS.get(instr.opcode)
@@ -156,6 +183,7 @@ class ValueInterpreter:
                         trace.stored_values.append(value)
                 elif kind is OpKind.RET:
                     trace.return_values = tuple(read(u) for u in instr.uses)
+                    flush()
                     return trace
                 elif kind is OpKind.JUMP:
                     next_label = instr.attrs["target"]
@@ -181,6 +209,7 @@ class ValueInterpreter:
             if next_label is None:
                 next_label = function.next_label(block)
             block = function.block(next_label) if next_label is not None else None
+        flush()
         return trace
 
 

@@ -105,6 +105,51 @@ def instruction_subgroup_violations(
     return len(subgroups) - 1
 
 
+def instruction_conflict_details(
+    instr: Instruction,
+    register_file: RegisterFile,
+    regclass: RegClass | None = FP,
+) -> list[tuple[str, int]]:
+    """Per-hazard ``(detail, events)`` pairs for the hotspot profiler.
+
+    Deliberately mirrors :func:`instruction_bank_conflicts` and
+    :func:`instruction_subgroup_violations` — the summed event counts are
+    always equal to those aggregates, so per-site profiles reconcile with
+    the program totals.  Detail strings name the hardware resource:
+    ``bank3($fp1,$fp9)`` for N-1 serialized reads of one bank,
+    ``align(sg0|sg2)`` for a misaligned subgroup set.
+    """
+    details: list[tuple[str, int]] = []
+    reads = [
+        r for r in instr.bankable_reads(regclass) if isinstance(r, PhysicalRegister)
+    ]
+    if len(reads) >= 2:
+        by_bank: dict[int, list[PhysicalRegister]] = {}
+        for reg in reads:
+            by_bank.setdefault(register_file.bank_of(reg), []).append(reg)
+        for bank in sorted(by_bank):
+            regs = by_bank[bank]
+            if len(regs) >= 2:
+                names = ",".join(f"${r.regclass.name}{r.index}" for r in regs)
+                details.append((f"bank{bank}({names})", len(regs) - 1))
+    if isinstance(register_file, BankSubgroupRegisterFile):
+        violations = instruction_subgroup_violations(instr, register_file, regclass)
+        if violations:
+            regs = [
+                r for r in instr.bankable_reads(regclass)
+                if isinstance(r, PhysicalRegister)
+            ]
+            regs += [
+                d for d in instr.reg_defs() if isinstance(d, PhysicalRegister)
+                and d.regclass.bankable
+                and (regclass is None or d.regclass == regclass)
+            ]
+            subgroups = sorted({register_file.subgroup_of(r) for r in regs})
+            detail = "align(" + "|".join(f"sg{s}" for s in subgroups) + ")"
+            details.append((detail, violations))
+    return details
+
+
 def analyze_static(
     function: Function,
     register_file: RegisterFile,

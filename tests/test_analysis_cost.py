@@ -98,3 +98,19 @@ class TestBlockFrequencies:
         freqs = block_frequencies(fn)
         assert freqs["entry"] == 1.0
         assert max(freqs.values()) == pytest.approx(15.0)
+
+
+class TestTotalPotentialCost:
+    """The scalar fast path must agree with the full model exactly."""
+
+    def test_matches_full_model_on_known_kernel(self):
+        from repro.analysis.cost import total_potential_cost
+
+        fn, *_ = kernel_with_known_costs()
+        assert total_potential_cost(fn) == ConflictCostModel.build(fn).total_cost()
+
+    def test_matches_full_model_on_nested_loops(self):
+        from repro.analysis.cost import total_potential_cost
+
+        fn = build_nested_loops((3, 5))
+        assert total_potential_cost(fn) == ConflictCostModel.build(fn).total_cost()

@@ -1,0 +1,62 @@
+"""Allocation output must not depend on PYTHONHASHSEED.
+
+The DSA idft kernel historically drifted run-to-run: SDG components are
+sets of :class:`VirtualRegister`, and the splitting pass picked
+equal-fanout sharing centers in set-iteration (= hash) order, so the
+inserted ``sdg_copy`` numbering — and with it bundling and cycle counts —
+varied with the interpreter's hash seed.  ``sharing_centers`` now pins
+both its iteration and its sort tie-break to register ids; this test
+locks that in by running the full bpc pipeline on idft under two
+different explicit hash seeds and asserting bit-identical output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SCRIPT = """
+import sys
+from repro.workloads.dsa_ops import idft_kernel
+from repro.prescount.pipeline import PipelineConfig, run_pipeline
+from repro.sim.machine import platform_dsa
+from repro.sim.dsa import DsaMachine
+from repro.sim.static_stats import analyze_static
+from repro.ir.printer import print_function
+
+rf = platform_dsa().file_for(0)
+pipe = run_pipeline(idft_kernel(points=8), PipelineConfig(rf, "bpc"))
+static = analyze_static(pipe.function, rf)
+report = DsaMachine(rf).run(pipe.function)
+print("conflicts", static.conflicts)
+print("copies", pipe.copies_inserted)
+print("cycles", round(report.cycles, 6))
+print(print_function(pipe.function))
+"""
+
+
+def _run_under_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_idft_output_identical_across_hash_seeds():
+    out_a = _run_under_hashseed("0")
+    out_b = _run_under_hashseed("1")
+    assert out_a == out_b
+    # Sanity: the run did real work (idft under bpc inserts split copies).
+    assert "copies" in out_a and "func @idft" in out_a

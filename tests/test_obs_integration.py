@@ -29,7 +29,7 @@ from .conftest import build_mac_kernel
 @pytest.fixture(autouse=True)
 def _restore_globals():
     yield
-    for layer in (obs.TRACER, obs.METRICS, obs.AUDIT):
+    for layer in (obs.TRACER, obs.METRICS, obs.AUDIT, obs.PROFILE):
         layer.enable(False)
         layer.reset()
 
@@ -53,12 +53,14 @@ class TestZeroOverheadDisabled:
         assert len(obs.TRACER) == 0
         assert not obs.METRICS.counters
         assert len(obs.AUDIT) == 0
+        assert len(obs.PROFILE) == 0
 
     def test_outputs_identical_with_and_without_observability(self):
         baseline = [allocate_and_render(m) for m in ("non", "bcr", "bpc")]
         obs.TRACER.enable()
         obs.METRICS.enable()
         obs.AUDIT.enable()
+        obs.PROFILE.enable()
         observed = [allocate_and_render(m) for m in ("non", "bcr", "bpc")]
         assert observed == baseline
         assert len(obs.TRACER) > 0  # it really was recording
@@ -66,7 +68,9 @@ class TestZeroOverheadDisabled:
     def test_snapshot_all_is_empty_when_disabled(self):
         assert not obs.any_enabled()
         snap = obs.snapshot_all()
-        assert snap == {"trace": None, "metrics": None, "audit": None}
+        assert snap == {
+            "trace": None, "metrics": None, "audit": None, "profile": None,
+        }
         obs.merge_all(snap)  # no-op, no error
 
 
@@ -75,13 +79,19 @@ class TestFlagsPlumbing:
         obs.TRACER.enable()
         obs.AUDIT.enable()
         flags = obs.enabled_flags()
-        assert flags == (True, False, True)
+        assert flags == (True, False, True, False)
         obs.TRACER.enable(False)
         obs.AUDIT.enable(False)
         obs.apply_flags(flags)
         assert obs.enabled_flags() == flags
         obs.apply_flags(None)  # tolerated
         assert obs.enabled_flags() == flags
+
+    def test_apply_flags_accepts_legacy_three_tuple(self):
+        # Pre-profiler snapshots carried (trace, metrics, audit); a worker
+        # receiving one must leave the profiler off rather than crash.
+        obs.apply_flags((True, True, False))
+        assert obs.enabled_flags() == (True, True, False, False)
 
 
 @pytest.mark.parallel
