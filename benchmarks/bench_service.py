@@ -1,0 +1,91 @@
+"""Service overhead: cold vs cached request latency.
+
+Measures the allocation service the way the obs benches measure their
+layers — identical work through two paths, results asserted identical:
+
+* **cold** — a request that misses the cache and executes the full
+  pipeline (inline workers, so no process-pool noise);
+* **cached** — the same request again, served from the content-addressed
+  cache.
+
+The headline numbers (cold latency, cached latency, speedup, and the
+service-layer overhead of a cold request over a bare pipeline run) are
+recorded in ``benchmarks/results/service_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.ir import print_function
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.service import AllocationService, ServiceConfig
+from repro.sim import analyze_static
+
+FILE_SPEC = {"registers": 32, "banks": 2}
+ROUNDS = 30
+
+
+def _kernels(ctx, count=8):
+    """A few SPECfp functions, as IR text (what a client would send)."""
+    functions = ctx.suite("SPECfp").functions()[:count]
+    assert functions, "SPECfp suite is empty at this scale"
+    return [(fn, print_function(fn)) for fn in functions]
+
+
+def _request(ir):
+    return {"ir": ir, "file": dict(FILE_SPEC), "method": "bpc"}
+
+
+def _serve_once(service, ir):
+    started = time.perf_counter()
+    job = service.submit(_request(ir))
+    if job.status == "queued":
+        service.process_once()
+    assert job.status == "done", job.error
+    return time.perf_counter() - started, job
+
+
+def test_service_overhead(ctx, record_text):
+    kernels = _kernels(ctx)
+    register_file = ctx.register_file("rv2", 2)
+
+    # Bare pipeline baseline: what the work costs without the service.
+    bare = []
+    for fn, _ in kernels:
+        started = time.perf_counter()
+        pipe = run_pipeline(fn, PipelineConfig(register_file, "bpc"))
+        analyze_static(pipe.function, register_file, am=pipe.analyses)
+        bare.append(time.perf_counter() - started)
+
+    cold, cached = [], []
+    artifacts = {}
+    for round_index in range(ROUNDS):
+        service = AllocationService(ServiceConfig(workers=0))
+        for _, ir in kernels:
+            seconds, job = _serve_once(service, ir)
+            cold.append(seconds)
+            previous = artifacts.setdefault(ir, job.artifact)
+            assert previous == job.artifact, "cold runs diverged"
+        for _, ir in kernels:
+            seconds, job = _serve_once(service, ir)
+            cached.append(seconds)
+            assert job.cache == "hit"
+            assert job.artifact == artifacts[ir], "cache hit not bit-identical"
+
+    cold_ms = statistics.median(cold) * 1000
+    cached_ms = statistics.median(cached) * 1000
+    bare_ms = statistics.median(bare) * 1000
+    overhead_pct = (cold_ms - bare_ms) / bare_ms * 100 if bare_ms else 0.0
+    lines = [
+        "service request latency (median over "
+        f"{ROUNDS} rounds x {len(kernels)} SPECfp kernels, workers=0):",
+        f"  bare pipeline            {bare_ms:9.3f} ms",
+        f"  cold request (miss)      {cold_ms:9.3f} ms   "
+        f"(+{overhead_pct:.1f}% service layer: parse, key, cache, queue)",
+        f"  cached request (hit)     {cached_ms:9.3f} ms   "
+        f"({cold_ms / cached_ms:.0f}x faster than cold)",
+    ]
+    record_text("service_overhead", "\n".join(lines))
+    assert cached_ms < cold_ms, "a cache hit should beat executing"

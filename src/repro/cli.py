@@ -16,6 +16,8 @@ Usage::
     python -m repro --profile - table VII        # conflict hotspot table
     python -m repro bench record                 # benchmark history record
     python -m repro bench diff OLD.json NEW.json # regression gate (CI)
+    python -m repro serve --port 8377            # allocation service
+    python -m repro request --deadline-ms 50     # client for `serve`
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -107,23 +109,29 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_allocate(args: argparse.Namespace) -> int:
-    """Allocate a demo kernel and print before/after plus statistics."""
-    from .banks import BankedRegisterFile
-    from .ir import IRBuilder, print_function
-    from .prescount import PipelineConfig, run_pipeline
-    from .sim import analyze_static
+def _demo_kernel(trip_count: int):
+    """The demo kernel `repro allocate` and `repro request` share."""
+    from .ir import IRBuilder
 
     b = IRBuilder("demo")
     xs = [b.const(float(i + 1)) for i in range(4)]
     acc = b.const(0.0)
-    with b.loop(trip_count=args.trip_count):
+    with b.loop(trip_count=trip_count):
         for i in range(len(xs) - 1):
             product = b.arith("fmul", xs[i], xs[i + 1])
             b.arith_into(acc, "fadd", acc, product)
     b.ret(acc)
-    fn = b.finish()
+    return b.finish()
 
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    """Allocate a demo kernel and print before/after plus statistics."""
+    from .banks import BankedRegisterFile
+    from .ir import print_function
+    from .prescount import PipelineConfig, run_pipeline
+    from .sim import analyze_static
+
+    fn = _demo_kernel(args.trip_count)
     register_file = BankedRegisterFile(args.registers, args.banks)
     result = run_pipeline(fn, PipelineConfig(register_file, args.method))
     stats = analyze_static(result.function, register_file)
@@ -143,6 +151,98 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
         f"; static bank conflicts: {stats.bank_conflicts}   "
         f"spills: {result.spill_count}   copies: {result.copies_inserted}"
     )
+    if args.out:
+        # Same schema (and content address) the service cache stores, so
+        # CLI output and service responses are byte-for-byte diffable.
+        from .service import artifact_bytes, build_artifact
+
+        artifact = build_artifact(
+            fn,
+            {"registers": args.registers, "banks": args.banks},
+            args.method,
+        )
+        with open(args.out, "wb") as fh:
+            fh.write(artifact_bytes(artifact))
+        print(f"; wrote artifact {artifact['key'][:12]}… to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the allocation service until interrupted."""
+    from .service import ServiceConfig, make_server, shutdown_server
+    from .service.server import ServiceHandler
+
+    config = ServiceConfig(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff_ms / 1000.0,
+        cache_dir=args.cache_dir,
+    )
+    if args.verbose:
+        ServiceHandler.verbose = True
+    server = make_server(args.host, args.port, config)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        shutdown_server(server)
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    """Submit one allocation request to a running service."""
+    import json
+
+    from .ir import print_function
+    from .service import ServiceError
+    from .service.client import ServiceClient
+
+    if args.ir == "-":
+        ir = sys.stdin.read()
+    elif args.ir:
+        with open(args.ir, encoding="utf-8") as fh:
+            ir = fh.read()
+    else:
+        ir = print_function(_demo_kernel(args.trip_count))
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        status = client.submit(
+            ir,
+            registers=args.registers,
+            banks=args.banks,
+            subgroups=args.subgroups,
+            method=args.method,
+            deadline_ms=args.deadline_ms,
+        )
+        status = client.wait(status["job_id"], timeout=args.timeout)
+        if status["status"] == "failed":
+            print(json.dumps(status, sort_keys=True))
+            return 1
+        data = client.result(status["job_id"])
+    except ServiceError as exc:
+        print(f"request failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(data)
+    artifact = json.loads(data)
+    summary = {
+        "job_id": status["job_id"],
+        "cache": status["cache"],
+        "requested_method": status["requested_method"],
+        "served_method": status["served_method"],
+        "degraded": status["degraded"],
+        "key": artifact["key"],
+        "stats": artifact["stats"],
+    }
+    print(json.dumps(summary, sort_keys=True))
+    if args.fail_on_degrade and status["degraded"]:
+        return 3
     return 0
 
 
@@ -260,7 +360,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_alloc.add_argument("--banks", type=int, default=2)
     p_alloc.add_argument("--registers", type=int, default=32)
     p_alloc.add_argument("--trip-count", type=int, default=16)
+    p_alloc.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the result artifact (canonical JSON, same "
+        "schema and content address the service cache stores)",
+    )
     p_alloc.set_defaults(func=_cmd_allocate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the allocation service (HTTP/JSON)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8377,
+        help="listen port (0 binds a free port; default 8377)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool workers per batch (0 = execute inline on the "
+        "dispatcher thread; default 0)",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=8,
+        help="max queued jobs drained into one dispatch batch",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries when a worker crashes or a job raises",
+    )
+    p_serve.add_argument(
+        "--retry-backoff-ms", type=float, default=50.0,
+        help="base backoff between retry rounds",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the artifact cache content-addressed under DIR "
+        "(default: memory only)",
+    )
+    p_serve.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_req = sub.add_parser(
+        "request", help="submit one request to a running service"
+    )
+    p_req.add_argument(
+        "--server", default="http://127.0.0.1:8377", metavar="URL"
+    )
+    p_req.add_argument(
+        "--ir", default=None, metavar="FILE",
+        help="IR text to allocate ('-' reads stdin; default: the demo "
+        "kernel `repro allocate` uses)",
+    )
+    p_req.add_argument("--method", choices=["non", "bcr", "bpc"], default="bpc")
+    p_req.add_argument("--banks", type=int, default=2)
+    p_req.add_argument("--registers", type=int, default=32)
+    p_req.add_argument("--subgroups", type=int, default=0)
+    p_req.add_argument("--trip-count", type=int, default=16)
+    p_req.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="deadline budget; an exhausted budget degrades down the "
+        "bpc→bcr→non ladder instead of timing out",
+    )
+    p_req.add_argument("--timeout", type=float, default=30.0)
+    p_req.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the artifact bytes verbatim",
+    )
+    p_req.add_argument(
+        "--fail-on-degrade", action="store_true",
+        help="exit 3 when the served tier is below the requested method",
+    )
+    p_req.set_defaults(func=_cmd_request)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark history: record runs, diff them"
@@ -331,7 +504,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         obs.PROFILE.enable()
     try:
-        return args.func(args)
+        from .experiments import PartialSuiteError
+
+        try:
+            return args.func(args)
+        except PartialSuiteError as exc:
+            # A worker crash no longer aborts the run silently: report
+            # what completed and exit non-zero.
+            print(exc.render(), file=sys.stderr)
+            return 1
     finally:
         if args.pass_stats:
             from .passes.instrument import GLOBAL

@@ -30,6 +30,8 @@ count.
 from __future__ import annotations
 
 import os
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -154,6 +156,137 @@ def run_program(
     return result
 
 
+@dataclass
+class TaskFailure:
+    """One payload that kept failing after every retry."""
+
+    index: int
+    label: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return f"{self.label or f'payload {self.index}'}: {self.error}"
+
+
+class PartialSuiteError(RuntimeError):
+    """A suite run lost programs to worker failures.
+
+    Carries the *partial* results (suite order preserved, failed
+    programs absent) plus one :class:`TaskFailure` per lost program, so
+    callers can report what did complete and exit non-zero instead of
+    dying on a bare ``BrokenProcessPool``.
+    """
+
+    def __init__(self, results: list, failures: list[TaskFailure]):
+        self.results = results
+        self.failures = failures
+        super().__init__(
+            f"{len(failures)} of {len(results) + len(failures)} programs "
+            "failed after retries"
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"suite run incomplete: {len(self.failures)} program(s) failed "
+            f"after retries, {len(self.results)} completed"
+        ]
+        for failure in self.failures:
+            first = failure.error.strip().splitlines()
+            lines.append(
+                f"  {failure.label or f'payload {failure.index}'} "
+                f"({failure.attempts} attempts): {first[-1] if first else '?'}"
+            )
+        return "\n".join(lines)
+
+
+def run_tasks(
+    fn,
+    payloads: list,
+    *,
+    jobs: int,
+    retries: int = 1,
+    backoff_s: float = 0.0,
+    labels: list[str] | None = None,
+) -> tuple[list, list[TaskFailure]]:
+    """Fan *payloads* over a process pool, surviving worker crashes.
+
+    ``pool.map`` turns one crashed worker (segfault, ``os._exit``, OOM
+    kill) into a :class:`BrokenProcessPool` that aborts everything.
+    This helper instead collects each payload's outcome individually:
+    a payload that raises — or whose pool dies under it — is retried
+    (``retries`` times, on a fresh pool, after ``backoff_s * attempt``
+    seconds), and innocent victims of a neighbour's crash are retried
+    with it.  Returns ``(results, failures)`` where ``results`` is
+    payload-ordered with ``None`` at failed indexes.
+
+    The experiment harness (:func:`run_suite`) and the allocation
+    service's batch executor (:mod:`repro.service.queue`) both run on
+    this.
+    """
+    results: list = [None] * len(payloads)
+    errors: list[str | None] = [None] * len(payloads)
+    attempts = [0] * len(payloads)
+    pending = list(range(len(payloads)))
+
+    def _format(exc: BaseException) -> str:
+        return "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt and backoff_s:
+            time.sleep(backoff_s * attempt)
+        still_failing: list[int] = []
+        if attempt == 0:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                futures = {}
+                for i in pending:
+                    try:
+                        futures[i] = pool.submit(fn, payloads[i])
+                    except Exception as exc:  # pool broken at submit
+                        attempts[i] += 1
+                        errors[i] = _format(exc)
+                        still_failing.append(i)
+                for i, future in futures.items():
+                    attempts[i] += 1
+                    try:
+                        results[i] = future.result()
+                        errors[i] = None
+                    except Exception as exc:
+                        errors[i] = _format(exc)
+                        still_failing.append(i)
+        else:
+            # Retry rounds isolate each payload in its own single-worker
+            # pool: a payload that keeps crashing its process can then
+            # only take itself down, never an innocent neighbour that
+            # shared the first round's pool with it.
+            for i in pending:
+                attempts[i] += 1
+                try:
+                    with ProcessPoolExecutor(max_workers=1) as pool:
+                        results[i] = pool.submit(fn, payloads[i]).result()
+                    errors[i] = None
+                except Exception as exc:
+                    errors[i] = _format(exc)
+                    still_failing.append(i)
+        pending = sorted(still_failing)
+    failures = [
+        TaskFailure(
+            index=i,
+            label=labels[i] if labels else "",
+            error=errors[i] or "unknown error",
+            attempts=attempts[i],
+        )
+        for i in pending
+    ]
+    return results, failures
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a job count: ``None`` falls back to the ``REPRO_JOBS``
     environment variable, then to serial execution."""
@@ -205,7 +338,11 @@ def run_suite(
     """Run every program of *suite* and return one result per program.
 
     ``jobs > 1`` distributes programs over a process pool; the result
-    list is ordered and valued identically to a serial run.
+    list is ordered and valued identically to a serial run.  A program
+    whose worker raises — or crashes the worker process outright — is
+    retried once on a fresh pool; if it still fails, the completed
+    programs are reported through :class:`PartialSuiteError` instead of
+    the whole suite dying on ``BrokenProcessPool``.
     """
     kwargs = dict(
         suite_name=suite.name,
@@ -225,15 +362,26 @@ def run_suite(
          obs.enabled_flags())
         for program in suite.programs
     ]
+    # Outcomes are collected per payload (suite order), so snapshots
+    # merge onto tracer tracks (and into metrics/audit) deterministically
+    # regardless of which worker finished first.
+    outcomes, failures = run_tasks(
+        _run_program_task,
+        payloads,
+        jobs=jobs,
+        retries=1,
+        labels=[program.name for program in suite.programs],
+    )
     results: list[ProgramResult] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        # pool.map preserves suite order, so snapshots merge onto tracer
-        # tracks (and into metrics/audit) deterministically regardless of
-        # which worker finished first.
-        for result, snapshot, obs_snapshot in pool.map(_run_program_task, payloads):
-            GLOBAL.merge(snapshot)
-            obs.merge_all(obs_snapshot, track=result.program)
-            results.append(result)
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        result, snapshot, obs_snapshot = outcome
+        GLOBAL.merge(snapshot)
+        obs.merge_all(obs_snapshot, track=result.program)
+        results.append(result)
+    if failures:
+        raise PartialSuiteError(results, failures)
     return results
 
 

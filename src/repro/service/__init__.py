@@ -1,0 +1,56 @@
+"""Allocation-as-a-service: serve repeated allocation requests.
+
+The first subsystem that makes the reproduction behave like a serving
+stack rather than a batch script (see ``docs/SERVICE.md``):
+
+* :mod:`.artifact` — the shared result-artifact schema and the
+  content-addressed :func:`~repro.service.artifact.cache_key`;
+* :mod:`.cache` — :class:`~repro.service.cache.AllocationCache`,
+  memory-LRU + optional on-disk content-addressed store;
+* :mod:`.degrade` — the ``bpc → bcr → non`` deadline ladder and the
+  EWMA :class:`~repro.service.degrade.TierCostModel`;
+* :mod:`.queue` — :class:`~repro.service.queue.AllocationService`:
+  submit/coalesce, batched dispatch, crash-tolerant execution;
+* :mod:`.server` / :mod:`.client` — the HTTP/JSON front-end behind
+  ``repro serve`` and its Python client.
+"""
+
+from __future__ import annotations
+
+from .artifact import (
+    FLAG_DEFAULTS,
+    SCHEMA_VERSION,
+    RequestError,
+    artifact_bytes,
+    build_artifact,
+    cache_key,
+    canonical_ir,
+)
+from .cache import AllocationCache
+from .client import ServiceClient, ServiceError
+from .degrade import LADDER, TierCostModel, ladder_from, select_tier
+from .queue import AllocationService, Job, ServiceConfig
+from .server import ServiceServer, make_server, shutdown_server
+
+__all__ = [
+    "AllocationCache",
+    "AllocationService",
+    "FLAG_DEFAULTS",
+    "Job",
+    "LADDER",
+    "RequestError",
+    "SCHEMA_VERSION",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "TierCostModel",
+    "artifact_bytes",
+    "build_artifact",
+    "cache_key",
+    "canonical_ir",
+    "ladder_from",
+    "make_server",
+    "select_tier",
+    "shutdown_server",
+]

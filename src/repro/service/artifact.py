@@ -1,0 +1,219 @@
+"""Result artifacts and content-addressed cache keys.
+
+The service and the CLI (``repro allocate --out``) share one artifact
+schema so their outputs are byte-for-byte diffable.  An artifact is the
+full outcome of one pipeline run — the allocated IR, the final
+vreg→physreg assignment, and every statistic the experiment harness
+measures — serialized as *canonical JSON* (sorted keys, fixed
+separators), which is what makes cache hits bit-identical to cold runs.
+
+The cache key is a SHA-256 over a canonical JSON encoding of everything
+that determines the result:
+
+* the *canonical* printed IR (the submitted text is parsed and
+  re-printed, so whitespace/comment differences cannot fork the key);
+* the register-file description (registers, banks, subgroups, class);
+* the method (``bpc`` / ``bcr`` / ``non``);
+* the pipeline flags, with defaults filled in (an empty flag dict and an
+  explicitly-spelled-default dict hash identically).
+
+Everything that does *not* change the result — deadlines, submission
+order, observability settings — stays out of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..banks.register_file import (
+    BankedRegisterFile,
+    BankSubgroupRegisterFile,
+    RegisterFile,
+)
+from ..ir.function import Function
+from ..ir.parser import parse_function
+from ..ir.printer import print_function
+from ..prescount.bank_assigner import DEFAULT_THRES_RATIO
+from ..prescount.pipeline import METHODS, PipelineConfig, run_pipeline
+from ..sim.static_stats import analyze_static
+
+#: Version of the artifact/key schema; bump on any content change.
+SCHEMA_VERSION = 1
+
+#: Pipeline knobs a request may override, with their defaults.  The
+#: subset is deliberately the deterministic, result-affecting knobs of
+#: :class:`~repro.prescount.pipeline.PipelineConfig`.
+FLAG_DEFAULTS: dict[str, Any] = {
+    "run_coalescing": True,
+    "run_scheduling": True,
+    "enable_live_range_split": True,
+    "strict_banks": None,
+    "thres_ratio": DEFAULT_THRES_RATIO,
+    "use_pressure_counting": True,
+    "cost_ordering": True,
+    "balance_free_registers": True,
+    "bundle_aware": False,
+}
+
+
+class RequestError(ValueError):
+    """A malformed allocation request (bad IR, method, file, or flags)."""
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: sorted keys, no insignificant whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_ir(text: str) -> str:
+    """Parse and re-print IR text, normalizing whitespace and comments."""
+    try:
+        return print_function(parse_function(text))
+    except Exception as exc:
+        raise RequestError(f"unparseable IR: {exc}") from exc
+
+
+def normalize_file_spec(spec: dict) -> dict:
+    """Validate and default a register-file description.
+
+    Accepted keys: ``registers`` (required), ``banks`` (default 2),
+    ``subgroups`` (default 0 = flat interleaved file; > 0 selects the
+    DSA's bank-subgroup design).
+    """
+    if not isinstance(spec, dict):
+        raise RequestError(f"file spec must be an object, got {type(spec).__name__}")
+    unknown = set(spec) - {"registers", "banks", "subgroups"}
+    if unknown:
+        raise RequestError(f"unknown file spec keys {sorted(unknown)}")
+    try:
+        registers = int(spec["registers"])
+    except KeyError:
+        raise RequestError("file spec needs 'registers'") from None
+    banks = int(spec.get("banks", 2))
+    subgroups = int(spec.get("subgroups", 0))
+    if registers < 1 or banks < 1 or subgroups < 0:
+        raise RequestError("file spec values must be positive")
+    return {"registers": registers, "banks": banks, "subgroups": subgroups}
+
+
+def build_register_file(spec: dict) -> RegisterFile:
+    """Materialize the register file a normalized spec describes."""
+    spec = normalize_file_spec(spec)
+    try:
+        if spec["subgroups"]:
+            return BankSubgroupRegisterFile(
+                spec["registers"], spec["banks"], spec["subgroups"]
+            )
+        return BankedRegisterFile(spec["registers"], spec["banks"])
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+
+
+def normalize_flags(flags: dict | None) -> dict:
+    """Fill flag defaults and reject unknown knobs."""
+    flags = dict(flags or {})
+    unknown = set(flags) - set(FLAG_DEFAULTS)
+    if unknown:
+        raise RequestError(f"unknown pipeline flags {sorted(unknown)}")
+    merged = dict(FLAG_DEFAULTS)
+    merged.update(flags)
+    return merged
+
+
+def check_method(method: str) -> str:
+    if method not in METHODS:
+        raise RequestError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    return method
+
+
+def cache_key(
+    ir: str,
+    file_spec: dict,
+    method: str,
+    flags: dict | None = None,
+    *,
+    canonical: bool = False,
+) -> str:
+    """Content address of one allocation request.
+
+    *ir* may be raw (un-canonical) text; it is normalized here unless
+    the caller asserts it already came out of the printer
+    (``canonical=True`` — the service's hot path, which canonicalizes
+    once at submit).  The key is stable across processes and Python
+    versions because it hashes canonical JSON, never ``repr`` or
+    hash-seed-dependent orderings.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "ir": ir if canonical else canonical_ir(ir),
+        "file": normalize_file_spec(file_spec),
+        "method": check_method(method),
+        "flags": normalize_flags(flags),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def build_artifact(
+    function: Function | str,
+    file_spec: dict,
+    method: str,
+    flags: dict | None = None,
+) -> dict:
+    """Run the pipeline and package the full result artifact.
+
+    This is the single execution path behind the service workers *and*
+    ``repro allocate --out`` — both produce the same schema, keyed by the
+    same content address.
+    """
+    flags = normalize_flags(flags)
+    file_spec = normalize_file_spec(file_spec)
+    method = check_method(method)
+    if isinstance(function, str):
+        try:
+            function = parse_function(function)
+        except Exception as exc:
+            raise RequestError(f"unparseable IR: {exc}") from exc
+    register_file = build_register_file(file_spec)
+    config_kwargs = {k: v for k, v in flags.items() if v != FLAG_DEFAULTS[k]}
+    config = PipelineConfig(register_file, method, **config_kwargs)
+    pipe = run_pipeline(function, config)
+    static = analyze_static(pipe.function, register_file, am=pipe.analyses)
+    assignment = {
+        f"%v{vreg.vid}": preg.index
+        for vreg, preg in pipe.allocation.assignment.items()
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        # print_function output is canonical by construction, so the key
+        # needn't round-trip it through the parser again.
+        "key": cache_key(
+            print_function(function), file_spec, method, flags, canonical=True
+        ),
+        "function": function.name,
+        "method": method,
+        "file": file_spec,
+        "flags": flags,
+        "ir": print_function(pipe.function),
+        "assignment": dict(sorted(assignment.items())),
+        "stats": {
+            "instructions": static.instructions,
+            "conflict_relevant": static.conflict_relevant,
+            "static_conflicts": static.conflicts,
+            "bank_conflicts": static.bank_conflicts,
+            "subgroup_violations": static.subgroup_violations,
+            "spills": pipe.spill_count,
+            "spill_instructions": pipe.allocation.spill_instructions,
+            "copies_inserted": pipe.copies_inserted,
+            "copies_removed": pipe.allocation.copies_removed,
+            "evictions": pipe.allocation.evictions,
+        },
+    }
+
+
+def artifact_bytes(artifact: dict) -> bytes:
+    """Canonical wire/storage form; equality here is bit-identity."""
+    return canonical_json(artifact).encode("utf-8")

@@ -1,0 +1,123 @@
+"""Content-addressed allocation cache.
+
+Keys are :func:`repro.service.artifact.cache_key` digests; values are
+the *canonical bytes* of a result artifact.  Storing bytes (not parsed
+dicts) is what lets a hit return a response bit-identical to the cold
+run that populated the entry.
+
+Two layers:
+
+* an in-memory LRU (``max_entries``), which every lookup goes through;
+* an optional on-disk layer (``cache_dir``) laid out content-addressed
+  as ``<dir>/<key[:2]>/<key>.json`` with atomic (write-temp-then-rename)
+  inserts, so a cache directory can be shared between server restarts —
+  or even between concurrent servers — without torn reads.
+
+The cache is thread-safe and emits hit/miss counters into
+:data:`repro.obs.METRICS` (no-ops while metrics are disabled).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+
+from ..obs import METRICS
+
+
+class AllocationCache:
+    """Thread-safe content-addressed store of artifact bytes."""
+
+    def __init__(self, cache_dir: str | None = None, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.cache_dir = cache_dir
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> bytes | None:
+        """Artifact bytes for *key*, or ``None`` on a miss."""
+        with self._lock:
+            data = self._entries.get(key)
+            if data is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                METRICS.inc("service.cache.hit")
+                return data
+        if self.cache_dir:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                data = None
+            if data is not None:
+                with self._lock:
+                    self._remember(key, data)
+                    self.hits += 1
+                METRICS.inc("service.cache.hit")
+                METRICS.inc("service.cache.disk_hit")
+                return data
+        with self._lock:
+            self.misses += 1
+        METRICS.inc("service.cache.miss")
+        return None
+
+    def put(self, key: str, data: bytes) -> None:
+        """Insert artifact bytes under *key* (idempotent: same key, same
+        content — a second insert is a no-op)."""
+        with self._lock:
+            self._remember(key, data)
+        if self.cache_dir:
+            path = self._path(key)
+            if not os.path.exists(path):
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(data)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        METRICS.inc("service.cache.insert")
+
+    def _remember(self, key: str, data: bytes) -> None:
+        self._entries[key] = data
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return bool(self.cache_dir) and os.path.exists(self._path(key))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,133 @@
+"""Small Python client for the allocation service.
+
+Stdlib-only (``urllib``).  Mirrors the server's endpoints with
+submit/poll/result calls plus a blocking :meth:`ServiceClient.allocate`
+convenience::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8377")
+    status = client.submit(ir_text, registers=32, banks=2, method="bpc")
+    status = client.wait(status["job_id"])
+    artifact = client.result_json(status["job_id"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """Transport failure or an error response from the service."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Thin HTTP/JSON client; one instance per server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, path: str, body: dict | None = None, raw: bool = False
+    ):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{path}: HTTP {exc.code}: {detail}", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{path}: {exc.reason}") from exc
+        return payload if raw else json.loads(payload)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/v1/stats")
+
+    def submit(
+        self,
+        ir: str,
+        *,
+        registers: int,
+        banks: int = 2,
+        subgroups: int = 0,
+        method: str = "bpc",
+        flags: dict | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Enqueue one allocation; returns the job status dict."""
+        body: dict = {
+            "ir": ir,
+            "file": {
+                "registers": registers,
+                "banks": banks,
+                "subgroups": subgroups,
+            },
+            "method": method,
+        }
+        if flags:
+            body["flags"] = flags
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self._request("/v1/submit", body)
+
+    def poll(self, job_id: str) -> dict:
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> bytes:
+        """The artifact's canonical bytes, verbatim from the cache."""
+        return self._request(f"/v1/jobs/{job_id}/result", raw=True)
+
+    def result_json(self, job_id: str) -> dict:
+        return json.loads(self.result(job_id))
+
+    def wait(
+        self, job_id: str, timeout: float = 30.0, interval: float = 0.02
+    ) -> dict:
+        """Poll until the job leaves the queue or *timeout* elapses."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.poll(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['status']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def allocate(self, ir: str, **kwargs) -> tuple[dict, dict]:
+        """submit + wait + result: ``(status, artifact)``."""
+        timeout = kwargs.pop("timeout", 30.0)
+        status = self.submit(ir, **kwargs)
+        status = self.wait(status["job_id"], timeout=timeout)
+        if status["status"] == "failed":
+            raise ServiceError(
+                f"job {status['job_id']} failed: {status.get('error')}"
+            )
+        return status, self.result_json(status["job_id"])

@@ -1,0 +1,436 @@
+"""The allocation service core: job lifecycle, batching, degradation.
+
+Request path (the inference-serving shape: cache → batch → execute →
+degrade):
+
+1. **submit** — the request is validated, content-addressed
+   (:func:`~repro.service.artifact.cache_key`), and probed against the
+   :class:`~repro.service.cache.AllocationCache`.  A hit resolves the
+   job immediately with the stored bytes.  A duplicate of an in-flight
+   request *coalesces* onto the existing job — concurrent identical
+   submissions execute the allocation exactly once.
+2. **batch** — a dispatcher drains queued jobs into batches of up to
+   ``batch_size`` and processes them in submission order.
+3. **degrade** — at dispatch each job's remaining deadline budget picks
+   the tier actually executed (:func:`~repro.service.degrade.select_tier`
+   down the ``bpc → bcr → non`` ladder); a degraded tier re-probes the
+   cache under its own key before any work is spent.
+4. **execute** — batches run inline (``workers=0``) or fan over the
+   experiment harness's crash-tolerant process-pool helper
+   (:func:`repro.experiments.harness.run_tasks`), which retries a
+   crashed worker with backoff instead of failing the batch.
+
+Every stage is instrumented through :mod:`repro.obs`: per-request spans,
+cache hit/miss + queue-depth + tier-served metrics, and an audit record
+for every degradation — all off by default, all free when off.  A small
+always-on :meth:`AllocationService.stats` counter set backs the server's
+``/v1/stats`` endpoint independently of the obs layers.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..experiments.harness import run_tasks
+from ..obs import AUDIT, METRICS, TRACER
+from .artifact import (
+    RequestError,
+    artifact_bytes,
+    build_artifact,
+    cache_key,
+    canonical_ir,
+    check_method,
+    normalize_file_spec,
+    normalize_flags,
+)
+from .cache import AllocationCache
+from .degrade import TierCostModel, select_tier
+
+
+def _execute_request(payload: tuple) -> dict:
+    """Process-pool worker: one allocation, plus its wall time."""
+    ir, file_spec, method, flags = payload
+    started = time.perf_counter()
+    artifact = build_artifact(ir, file_spec, method, flags)
+    return {"artifact": artifact, "seconds": time.perf_counter() - started}
+
+
+@dataclass
+class ServiceConfig:
+    """Ops knobs of one :class:`AllocationService` instance."""
+
+    #: Process-pool workers per batch; 0 executes inline on the
+    #: dispatcher thread (lowest latency for small kernels, and fully
+    #: deterministic — the CI smoke job and tests use it).
+    workers: int = 0
+    #: Max jobs drained into one dispatch batch.
+    batch_size: int = 8
+    #: Retries when a worker crashes or a job raises.
+    max_retries: int = 1
+    #: Base backoff between retry rounds (sleep = backoff * attempt).
+    retry_backoff_s: float = 0.05
+    #: Artifact cache directory (None = memory only).
+    cache_dir: str | None = None
+    #: In-memory cache capacity.
+    cache_entries: int = 4096
+
+
+@dataclass
+class Job:
+    """One allocation request moving through the service."""
+
+    job_id: str
+    key: str
+    ir: str
+    file_spec: dict
+    requested_method: str
+    flags: dict
+    deadline_s: float | None = None
+    status: str = "queued"  # queued | running | done | failed
+    cache: str = "miss"  # miss | hit | coalesced-onto (per-submit view)
+    served_method: str | None = None
+    degraded: bool = False
+    error: str | None = None
+    artifact: bytes | None = None
+    coalesced: int = 0
+    execution_s: float | None = None
+    submitted_mono: float = field(default_factory=time.monotonic)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def function_name(self) -> str:
+        head = self.ir.split("{", 1)[0]
+        return head.replace("func", "").strip().lstrip("@") or "?"
+
+    def remaining_s(self) -> float | None:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (time.monotonic() - self.submitted_mono)
+
+    def resolve(self, data: bytes, served: str, degraded: bool) -> None:
+        self.artifact = data
+        self.served_method = served
+        self.degraded = degraded
+        self.status = "done"
+        self._done.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.status = "failed"
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def describe(self) -> dict:
+        """Status view (everything but the artifact bytes)."""
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "status": self.status,
+            "cache": self.cache,
+            "function": self.function_name,
+            "requested_method": self.requested_method,
+            "served_method": self.served_method,
+            "degraded": self.degraded,
+            "coalesced": self.coalesced,
+            "error": self.error,
+            "execution_s": self.execution_s,
+        }
+
+
+class AllocationService:
+    """Cache + queue + batch executor behind ``repro serve``.
+
+    Thread-safe.  Call :meth:`start` to run the dispatcher on a
+    background thread, or drive it manually with :meth:`process_once`
+    (the tests do) for deterministic stepping.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.cache = AllocationCache(
+            self.config.cache_dir, self.config.cache_entries
+        )
+        self.cost_model = TierCostModel()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._queue: _queue.Queue = _queue.Queue()
+        # RLock: submit() creates jobs while already holding the lock.
+        self._lock = threading.RLock()
+        self._counter = 0
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self.counters = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "coalesced": 0,
+            "executed": 0,
+            "failed": 0,
+            "degraded": 0,
+            "tier_bpc": 0,
+            "tier_bcr": 0,
+            "tier_non": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stopping = True
+        self._queue.put(None)  # wake the dispatcher
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            self.process_once(block=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> Job:
+        """Validate, content-address, and enqueue one request.
+
+        The returned job's ``cache`` field is this *submission's*
+        disposition: ``hit`` (resolved from cache immediately),
+        ``coalesced-onto`` (attached to an identical in-flight job), or
+        ``miss`` (queued for execution).
+        """
+        if not isinstance(request, dict):
+            raise RequestError("request body must be a JSON object")
+        unknown = set(request) - {"ir", "file", "method", "flags", "deadline_ms"}
+        if unknown:
+            raise RequestError(f"unknown request keys {sorted(unknown)}")
+        ir = request.get("ir")
+        if not isinstance(ir, str) or not ir.strip():
+            raise RequestError("request needs non-empty 'ir' text")
+        ir = canonical_ir(ir)
+        file_spec = normalize_file_spec(request.get("file", {}))
+        method = check_method(request.get("method", "bpc"))
+        flags = normalize_flags(request.get("flags"))
+        deadline_ms = request.get("deadline_ms")
+        deadline_s = None if deadline_ms is None else float(deadline_ms) / 1000.0
+        key = cache_key(ir, file_spec, method, flags, canonical=True)
+
+        with self._lock:
+            self.counters["requests"] += 1
+        METRICS.inc("service.requests")
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
+            job.cache = "hit"
+            job.resolve(cached, method, degraded=False)
+            with self._lock:
+                self.counters["cache_hits"] += 1
+            return job
+
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.coalesced += 1
+                self.counters["coalesced"] += 1
+                METRICS.inc("service.coalesced")
+                return inflight
+            job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
+            self._inflight[key] = job
+            self.counters["cache_misses"] += 1
+        self._queue.put(job)
+        METRICS.set_gauge("service.queue.depth", self._queue.qsize())
+        return job
+
+    def _new_job(
+        self, key, ir, file_spec, method, flags, deadline_s
+    ) -> Job:
+        with self._lock:
+            self._counter += 1
+            job_id = f"j{self._counter:06d}"
+            job = Job(
+                job_id=job_id,
+                key=key,
+                ir=ir,
+                file_spec=file_spec,
+                requested_method=method,
+                flags=flags,
+                deadline_s=deadline_s,
+            )
+            self._jobs[job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        job.wait(timeout)
+        return job
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def process_once(self, block: bool = False, timeout: float | None = None) -> int:
+        """Drain and execute one batch; returns the number of jobs handled."""
+        batch: list[Job] = []
+        try:
+            first = self._queue.get(block=block, timeout=timeout)
+        except _queue.Empty:
+            return 0
+        if first is None:  # stop sentinel
+            return 0
+        batch.append(first)
+        while len(batch) < self.config.batch_size:
+            try:
+                job = self._queue.get_nowait()
+            except _queue.Empty:
+                break
+            if job is None:
+                self._queue.put(None)  # keep the sentinel for the loop
+                break
+            batch.append(job)
+        METRICS.set_gauge("service.queue.depth", self._queue.qsize())
+        self._process_batch(batch)
+        return len(batch)
+
+    def _process_batch(self, batch: list[Job]) -> None:
+        """Tier-select every job, serve late cache hits, execute the rest."""
+        to_execute: list[Job] = []
+        tiers: list[str] = []
+        with TRACER.span("service-batch", category="service", jobs=len(batch)):
+            for job in batch:
+                job.status = "running"
+                tier, degraded = select_tier(
+                    job.requested_method, job.remaining_s(), self.cost_model
+                )
+                if degraded:
+                    self._note_degradation(job, tier)
+                # A degraded tier has its own content address; an earlier
+                # run may already have produced exactly this artifact.
+                exec_key = (
+                    job.key
+                    if tier == job.requested_method
+                    else cache_key(
+                        job.ir, job.file_spec, tier, job.flags, canonical=True
+                    )
+                )
+                cached = self.cache.get(exec_key)
+                if cached is not None:
+                    self._finish(job, cached, tier, degraded)
+                    continue
+                to_execute.append(job)
+                tiers.append(tier)
+            if to_execute:
+                self._execute(to_execute, tiers)
+
+    def _execute(self, jobs: list[Job], tiers: list[str]) -> None:
+        payloads = [
+            (job.ir, job.file_spec, tier, job.flags)
+            for job, tier in zip(jobs, tiers)
+        ]
+        if self.config.workers <= 0:
+            outcomes: list[dict | None] = []
+            errors: dict[int, str] = {}
+            for i, payload in enumerate(payloads):
+                try:
+                    outcomes.append(_execute_request(payload))
+                except Exception as exc:
+                    outcomes.append(None)
+                    errors[i] = str(exc)
+        else:
+            outcomes, task_failures = run_tasks(
+                _execute_request,
+                payloads,
+                jobs=self.config.workers,
+                retries=self.config.max_retries,
+                backoff_s=self.config.retry_backoff_s,
+                labels=[job.job_id for job in jobs],
+            )
+            errors = {f.index: f.error for f in task_failures}
+        for i, (job, tier) in enumerate(zip(jobs, tiers)):
+            outcome = outcomes[i]
+            if outcome is None:
+                self._fail(job, errors.get(i, "execution failed"))
+                continue
+            artifact = outcome["artifact"]
+            seconds = outcome["seconds"]
+            job.execution_s = seconds
+            self.cost_model.observe(tier, seconds)
+            data = artifact_bytes(artifact)
+            self.cache.put(artifact["key"], data)
+            self._finish(job, data, tier, tier != job.requested_method)
+            with self._lock:
+                self.counters["executed"] += 1
+            METRICS.observe("service.execution_s", seconds)
+
+    # ------------------------------------------------------------------
+    def _finish(self, job: Job, data: bytes, tier: str, degraded: bool) -> None:
+        with TRACER.span(
+            "service-request",
+            category="service",
+            job=job.job_id,
+            function=job.function_name,
+            requested=job.requested_method,
+            served=tier,
+        ):
+            job.resolve(data, tier, degraded)
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            self.counters[f"tier_{tier}"] += 1
+            if degraded:
+                self.counters["degraded"] += 1
+        METRICS.inc(f"service.tier.{tier}")
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.fail(error)
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            self.counters["failed"] += 1
+        METRICS.inc("service.failed")
+
+    def _note_degradation(self, job: Job, tier: str) -> None:
+        remaining = job.remaining_s()
+        AUDIT.record(
+            function=job.function_name,
+            vreg="-",
+            step="service-degrade",
+            requested=job.requested_method,
+            served=tier,
+            remaining_ms=None if remaining is None else remaining * 1000.0,
+            job=job.job_id,
+        )
+        METRICS.inc("service.degraded")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "counters": counters,
+            "queue_depth": self._queue.qsize(),
+            "cache": self.cache.stats(),
+            "tiers": self.cost_model.snapshot(),
+            "config": {
+                "workers": self.config.workers,
+                "batch_size": self.config.batch_size,
+                "max_retries": self.config.max_retries,
+            },
+        }

@@ -1,0 +1,170 @@
+"""HTTP/JSON front-end for the allocation service (``repro serve``).
+
+Stdlib-only (``http.server``): a :class:`ThreadingHTTPServer` whose
+handlers call straight into one shared
+:class:`~repro.service.queue.AllocationService`.
+
+Endpoints (all JSON):
+
+========================  ====================================================
+``GET  /healthz``         liveness probe → ``{"ok": true}``
+``GET  /v1/stats``        counters, queue depth, cache stats, tier estimates
+``POST /v1/submit``       enqueue a request → ``{job_id, cache, status}``
+``GET  /v1/jobs/<id>``    job status (no artifact)
+``GET  /v1/jobs/<id>/result``  the stored artifact bytes, verbatim
+``POST /v1/allocate``     submit + wait (``?timeout_s=``) → status + artifact
+========================  ====================================================
+
+``/v1/jobs/<id>/result`` writes the cache's canonical bytes directly to
+the socket — a cache hit is bit-identical to the cold run that filled
+the entry, by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .artifact import RequestError
+from .queue import AllocationService, Job, ServiceConfig
+
+#: Default wait bound of the synchronous ``/v1/allocate`` endpoint.
+DEFAULT_SYNC_TIMEOUT_S = 30.0
+
+
+def _job_status(job: Job) -> dict:
+    return job.describe()
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the service lives on ``self.server.service``."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; the serve command flips this on with -v
+    verbose = False
+
+    def log_message(self, fmt, *args):  # noqa: D102 (stdlib signature)
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(body, status)
+
+    def _send_bytes(self, body: bytes, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("empty request body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+
+    @property
+    def service(self) -> AllocationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            self._send_json({"ok": True})
+        elif url.path == "/v1/stats":
+            self._send_json(self.service.stats())
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._get_job(parts[2], want_result=False)
+        elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            self._get_job(parts[2], want_result=True)
+        else:
+            self._send_json({"error": f"no such path {url.path!r}"}, 404)
+
+    def _get_job(self, job_id: str, want_result: bool) -> None:
+        job = self.service.get(job_id)
+        if job is None:
+            self._send_json({"error": f"unknown job {job_id!r}"}, 404)
+            return
+        if not want_result:
+            self._send_json(_job_status(job))
+            return
+        if job.status == "failed":
+            self._send_json(_job_status(job), 500)
+        elif job.status != "done":
+            self._send_json(_job_status(job), 202)
+        else:
+            self._send_bytes(job.artifact or b"{}")
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        try:
+            if url.path == "/v1/submit":
+                job = self.service.submit(self._read_body())
+                self._send_json(_job_status(job), 202 if job.status == "queued" else 200)
+            elif url.path == "/v1/allocate":
+                self._allocate_sync(url)
+            else:
+                self._send_json({"error": f"no such path {url.path!r}"}, 404)
+        except RequestError as exc:
+            self._send_json({"error": str(exc)}, 400)
+
+    def _allocate_sync(self, url) -> None:
+        query = parse_qs(url.query)
+        timeout = float(
+            query.get("timeout_s", [DEFAULT_SYNC_TIMEOUT_S])[0]
+        )
+        job = self.service.submit(self._read_body())
+        job.wait(timeout)
+        status = _job_status(job)
+        if job.status == "failed":
+            self._send_json(status, 500)
+        elif job.status != "done":
+            self._send_json(status, 202)
+        else:
+            status["artifact"] = json.loads(job.artifact)
+            self._send_json(status)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`AllocationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AllocationService):
+        super().__init__(address, ServiceHandler)
+        self.service = service
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServiceConfig | None = None,
+    service: AllocationService | None = None,
+) -> ServiceServer:
+    """Build (but do not run) a server; ``port=0`` binds a free port.
+
+    The dispatcher is started; callers own ``serve_forever`` /
+    ``shutdown`` plus :func:`shutdown_server` for the service side.
+    """
+    service = service or AllocationService(config)
+    service.start()
+    return ServiceServer((host, port), service)
+
+
+def shutdown_server(server: ServiceServer) -> None:
+    """Stop the HTTP loop and the service dispatcher."""
+    server.shutdown()
+    server.server_close()
+    server.service.stop()

@@ -1,0 +1,198 @@
+"""Harness robustness: worker crashes no longer abort whole suites.
+
+A crashed worker process used to surface as ``BrokenProcessPool`` and
+kill the entire run.  :func:`repro.experiments.harness.run_tasks` now
+captures per-payload failures, retries once on a fresh pool, and
+:func:`run_suite` reports partial results through
+:class:`PartialSuiteError` instead of dying.
+
+The crashing/flaky payloads use the filesystem as cross-process state so
+first attempts fail and retries succeed deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.banks import BankedRegisterFile
+from repro.experiments import PartialSuiteError, run_suite, run_tasks
+from repro.workloads.specfp import Suite, SuiteProgram
+
+from .conftest import build_mac_kernel
+
+# ----------------------------------------------------------------------
+# Module-level payload functions/classes: picklable for the pool.
+# ----------------------------------------------------------------------
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _raise_on_odd(payload):
+    if payload % 2:
+        raise ValueError(f"odd payload {payload}")
+    return payload
+
+
+def _crash_on_marker(payload):
+    value, marker = payload
+    if value == marker:
+        os._exit(13)  # hard crash: no exception, no cleanup
+    return value
+
+
+def _flaky_until_sentinel(payload):
+    value, sentinel = payload
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return value
+
+
+class _Module:
+    """Minimal stand-in for ``ir.Module`` with a functions list."""
+
+    def __init__(self, functions):
+        self.functions = functions
+
+
+class _ExplodingModule:
+    @property
+    def functions(self):
+        raise RuntimeError("corrupt program")
+
+
+class _ExitingModule:
+    @property
+    def functions(self):
+        os._exit(13)
+
+
+def _program(name, module=None):
+    return SuiteProgram(
+        name=name, category="kernel", module=module or _Module([build_mac_kernel()])
+    )
+
+
+# ----------------------------------------------------------------------
+# run_tasks
+# ----------------------------------------------------------------------
+def test_run_tasks_happy_path_preserves_order():
+    results, failures = run_tasks(_double, [3, 1, 2], jobs=2)
+    assert results == [6, 2, 4]
+    assert failures == []
+
+
+def test_run_tasks_captures_per_payload_exceptions():
+    results, failures = run_tasks(
+        _raise_on_odd, [0, 1, 2, 3], jobs=2, retries=1, labels=list("abcd")
+    )
+    assert results == [0, None, 2, None]
+    assert [f.index for f in failures] == [1, 3]
+    assert failures[0].label == "b"
+    assert failures[0].attempts == 2  # initial + one retry
+    assert "odd payload 1" in failures[0].error
+
+
+def test_run_tasks_survives_hard_worker_crash():
+    payloads = [(i, 2) for i in range(4)]
+    results, failures = run_tasks(
+        _crash_on_marker, payloads, jobs=2, retries=1
+    )
+    # The crasher fails after retries; every innocent payload completes.
+    assert [f.index for f in failures] == [2]
+    assert results == [0, 1, None, 3]
+
+
+def test_run_tasks_retry_recovers_flaky_payload(tmp_path):
+    sentinel = str(tmp_path / "attempted")
+    results, failures = run_tasks(
+        _flaky_until_sentinel, [(7, sentinel)], jobs=2, retries=1
+    )
+    assert failures == []
+    assert results == [7]
+
+
+def test_run_tasks_no_retries_reports_first_failure():
+    _, failures = run_tasks(_raise_on_odd, [1], jobs=2, retries=0)
+    assert failures[0].attempts == 1
+
+
+# ----------------------------------------------------------------------
+# run_suite
+# ----------------------------------------------------------------------
+def _suite(programs):
+    return Suite(name="robust", programs=programs)
+
+
+def test_run_suite_partial_results_on_persistent_failure():
+    suite = _suite(
+        [
+            _program("ok-one"),
+            _program("broken", _ExplodingModule()),
+            _program("ok-two"),
+        ]
+    )
+    register_file = BankedRegisterFile(32, 2)
+    with pytest.raises(PartialSuiteError) as excinfo:
+        run_suite(suite, register_file, "bpc", jobs=2)
+    err = excinfo.value
+    assert [r.program for r in err.results] == ["ok-one", "ok-two"]
+    assert [f.label for f in err.failures] == ["broken"]
+    assert err.failures[0].attempts == 2
+    assert "corrupt program" in err.failures[0].error
+    assert "broken" in err.render()
+
+
+def test_run_suite_survives_worker_process_death():
+    suite = _suite(
+        [
+            _program("ok-one"),
+            _program("fatal", _ExitingModule()),
+            _program("ok-two"),
+        ]
+    )
+    register_file = BankedRegisterFile(32, 2)
+    with pytest.raises(PartialSuiteError) as excinfo:
+        run_suite(suite, register_file, "non", jobs=2)
+    err = excinfo.value
+    # Innocent neighbours survive (possibly via the retry round).
+    assert [r.program for r in err.results] == ["ok-one", "ok-two"]
+    assert [f.label for f in err.failures] == ["fatal"]
+
+
+def test_run_suite_partial_matches_serial_values():
+    suite = _suite(
+        [_program("ok-one"), _program("broken", _ExplodingModule())]
+    )
+    register_file = BankedRegisterFile(32, 2)
+    with pytest.raises(PartialSuiteError) as excinfo:
+        run_suite(suite, register_file, "bpc", jobs=2)
+    partial = excinfo.value.results[0]
+    serial = run_suite(
+        _suite([_program("ok-one")]), register_file, "bpc", jobs=1
+    )[0]
+    assert partial == serial
+
+
+def test_cli_exits_nonzero_on_partial_suite(monkeypatch, capsys):
+    from repro import cli
+    from repro.experiments.harness import TaskFailure
+
+    def boom(args):
+        raise PartialSuiteError(
+            [], [TaskFailure(0, "prog-x", "RuntimeError: boom", 2)]
+        )
+
+    # build_parser() binds handlers from module globals at call time, so
+    # patching the global reroutes `repro all` through the failure path.
+    monkeypatch.setattr("repro.cli._cmd_all", boom)
+    rc = cli.main(["all"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "suite run incomplete" in err
+    assert "prog-x" in err

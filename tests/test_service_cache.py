@@ -1,0 +1,125 @@
+"""Cache correctness: key discrimination, bit-identical hits, layers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.banks import BankedRegisterFile
+from repro.ir import print_function
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.service import (
+    AllocationCache,
+    RequestError,
+    artifact_bytes,
+    build_artifact,
+    cache_key,
+    canonical_ir,
+)
+from repro.sim import analyze_static
+
+from .conftest import build_mac_kernel
+
+FILE = {"registers": 32, "banks": 2}
+
+
+@pytest.fixture
+def ir() -> str:
+    return print_function(build_mac_kernel())
+
+
+# ----------------------------------------------------------------------
+# Key definition
+# ----------------------------------------------------------------------
+def test_key_is_stable_and_whitespace_insensitive(ir):
+    key = cache_key(ir, FILE, "bpc")
+    assert key == cache_key(ir, FILE, "bpc")
+    ragged = "\n".join("  " + line + "   ; a comment" for line in ir.splitlines())
+    assert cache_key(ragged, FILE, "bpc") == key
+
+
+def test_key_changes_with_ir_config_method_flags(ir):
+    base = cache_key(ir, FILE, "bpc")
+    other_ir = print_function(build_mac_kernel(trip_count=32))
+    assert cache_key(other_ir, FILE, "bpc") != base
+    assert cache_key(ir, {"registers": 32, "banks": 4}, "bpc") != base
+    assert cache_key(ir, {"registers": 16, "banks": 2}, "bpc") != base
+    assert cache_key(ir, {"registers": 32, "banks": 2, "subgroups": 4}, "bpc") != base
+    assert cache_key(ir, FILE, "bcr") != base
+    assert cache_key(ir, FILE, "non") != base
+    assert cache_key(ir, FILE, "bpc", {"thres_ratio": 0.5}) != base
+
+
+def test_default_flags_hash_like_empty_flags(ir):
+    explicit = {"run_coalescing": True, "thres_ratio": 0.8}
+    assert cache_key(ir, FILE, "bpc", explicit) == cache_key(ir, FILE, "bpc")
+    assert cache_key(ir, FILE, "bpc", {}) == cache_key(ir, FILE, "bpc", None)
+
+
+def test_bad_requests_raise(ir):
+    with pytest.raises(RequestError):
+        cache_key("not ir at all", FILE, "bpc")
+    with pytest.raises(RequestError):
+        cache_key(ir, FILE, "fastest")
+    with pytest.raises(RequestError):
+        cache_key(ir, {"registers": 32, "lanes": 9}, "bpc")
+    with pytest.raises(RequestError):
+        cache_key(ir, FILE, "bpc", {"turbo": True})
+    with pytest.raises(RequestError):
+        canonical_ir("func @x {")
+
+
+# ----------------------------------------------------------------------
+# Artifact schema
+# ----------------------------------------------------------------------
+def test_artifact_matches_direct_pipeline_run(ir):
+    artifact = build_artifact(ir, FILE, "bpc")
+    register_file = BankedRegisterFile(32, 2)
+    pipe = run_pipeline(build_mac_kernel(), PipelineConfig(register_file, "bpc"))
+    static = analyze_static(pipe.function, register_file, am=pipe.analyses)
+    assert artifact["ir"] == print_function(pipe.function)
+    assert artifact["stats"]["spills"] == pipe.spill_count
+    assert artifact["stats"]["bank_conflicts"] == static.bank_conflicts
+    assert artifact["key"] == cache_key(ir, FILE, "bpc")
+    # Canonical bytes round-trip and are deterministic.
+    data = artifact_bytes(artifact)
+    assert json.loads(data) == artifact
+    assert artifact_bytes(build_artifact(ir, FILE, "bpc")) == data
+
+
+# ----------------------------------------------------------------------
+# Cache layers
+# ----------------------------------------------------------------------
+def test_hit_after_miss_is_bit_identical(ir):
+    cache = AllocationCache()
+    key = cache_key(ir, FILE, "bpc")
+    assert cache.get(key) is None
+    cold = artifact_bytes(build_artifact(ir, FILE, "bpc"))
+    cache.put(key, cold)
+    assert cache.get(key) == cold
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+
+def test_disk_layer_round_trips_and_survives_restart(tmp_path, ir):
+    key = cache_key(ir, FILE, "non")
+    data = artifact_bytes(build_artifact(ir, FILE, "non"))
+    cache = AllocationCache(cache_dir=str(tmp_path))
+    cache.put(key, data)
+    assert (tmp_path / key[:2] / f"{key}.json").read_bytes() == data
+    # A fresh instance over the same directory serves the same bytes.
+    reopened = AllocationCache(cache_dir=str(tmp_path))
+    assert reopened.get(key) == data
+    assert key in reopened
+
+
+def test_lru_eviction_keeps_most_recent():
+    cache = AllocationCache(max_entries=2)
+    cache.put("a" * 64, b"1")
+    cache.put("b" * 64, b"2")
+    assert cache.get("a" * 64) == b"1"  # refresh a
+    cache.put("c" * 64, b"3")  # evicts b
+    assert cache.get("b" * 64) is None
+    assert cache.get("a" * 64) == b"1"
+    assert cache.get("c" * 64) == b"3"
+    assert len(cache) == 2

@@ -1,0 +1,254 @@
+"""Job queue: coalescing, batching, degradation, crash-tolerant workers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.ir import print_function
+from repro.service import (
+    AllocationService,
+    RequestError,
+    ServiceConfig,
+    TierCostModel,
+    cache_key,
+    ladder_from,
+    select_tier,
+)
+
+from .conftest import build_mac_kernel
+
+
+def make_request(method="bpc", trip_count=16, **extra):
+    request = {
+        "ir": print_function(build_mac_kernel(trip_count=trip_count)),
+        "file": {"registers": 32, "banks": 2},
+        "method": method,
+    }
+    request.update(extra)
+    return request
+
+
+@pytest.fixture
+def service():
+    return AllocationService(ServiceConfig(workers=0))
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder
+# ----------------------------------------------------------------------
+def test_ladder():
+    assert ladder_from("bpc") == ("bpc", "bcr", "non")
+    assert ladder_from("bcr") == ("bcr", "non")
+    assert ladder_from("non") == ("non",)
+    with pytest.raises(ValueError):
+        ladder_from("best")
+
+
+def test_select_tier_walks_down_by_budget():
+    model = TierCostModel(priors={"bpc": 0.05, "bcr": 0.02, "non": 0.01})
+    assert select_tier("bpc", None, model) == ("bpc", False)
+    assert select_tier("bpc", 1.0, model) == ("bpc", False)
+    assert select_tier("bpc", 0.03, model) == ("bcr", True)
+    assert select_tier("bpc", 0.015, model) == ("non", True)
+    # Exhausted budget: straight to the bottom rung, never a timeout.
+    assert select_tier("bpc", 0.0, model) == ("non", True)
+    assert select_tier("bpc", -1.0, model) == ("non", True)
+    assert select_tier("non", -1.0, model) == ("non", False)
+
+
+def test_cost_model_ewma_converges():
+    model = TierCostModel(alpha=0.5, priors={"bpc": 1.0})
+    model.observe("bpc", 0.0)  # first observation replaces the prior
+    assert model.estimate("bpc") == 0.0
+    model.observe("bpc", 1.0)
+    assert model.estimate("bpc") == pytest.approx(0.5)
+    snap = model.snapshot()
+    assert snap["bpc"]["observations"] == 2
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_cold_run_then_hit_bit_identical(service):
+    job = service.submit(make_request())
+    assert (job.status, job.cache) == ("queued", "miss")
+    assert service.process_once() == 1
+    assert job.status == "done"
+    assert job.served_method == "bpc" and not job.degraded
+
+    again = service.submit(make_request())
+    assert (again.status, again.cache) == ("done", "hit")
+    assert again.artifact == job.artifact  # bit-identical bytes
+    assert json.loads(again.artifact)["key"] == job.key
+
+
+def test_coalescing_executes_exactly_once(service):
+    first = service.submit(make_request())
+    dupes = [service.submit(make_request()) for _ in range(4)]
+    assert all(d is first for d in dupes)
+    assert first.coalesced == 4
+    assert service.process_once() == 1  # one queued job, one execution
+    assert service.process_once() == 0  # nothing left
+    assert first.status == "done"
+    assert service.counters["executed"] == 1
+    assert service.counters["coalesced"] == 4
+
+
+def test_concurrent_duplicate_submissions_execute_once():
+    service = AllocationService(ServiceConfig(workers=0))
+    request = make_request()
+    jobs, errors = [], []
+
+    def submit():
+        try:
+            jobs.append(service.submit(request))
+        except Exception as exc:  # pragma: no cover - defensive
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    while service.process_once():
+        pass
+    assert all(job.status == "done" for job in jobs)
+    assert len({id(job) for job in jobs}) == 1  # all coalesced
+    assert service.counters["executed"] == 1
+    assert service.counters["requests"] == 8
+
+
+def test_batching_drains_in_submission_order(service):
+    jobs = [
+        service.submit(make_request(trip_count=8 + i)) for i in range(5)
+    ]
+    assert service.process_once() == 5  # one batch (batch_size=8)
+    assert [j.status for j in jobs] == ["done"] * 5
+    assert service.counters["executed"] == 5
+
+
+def test_batch_size_caps_one_dispatch():
+    service = AllocationService(ServiceConfig(workers=0, batch_size=2))
+    jobs = [service.submit(make_request(trip_count=8 + i)) for i in range(3)]
+    assert service.process_once() == 2
+    assert [j.status for j in jobs] == ["done", "done", "queued"]
+    assert service.process_once() == 1
+    assert jobs[2].status == "done"
+
+
+def test_deadline_exhausted_degrades_to_bottom_tier(service):
+    job = service.submit(make_request(deadline_ms=0))
+    service.process_once()
+    assert job.status == "done"
+    assert job.served_method == "non"
+    assert job.degraded
+    assert job.requested_method == "bpc"
+    assert service.counters["degraded"] == 1
+    assert service.counters["tier_non"] == 1
+    # The degraded artifact is cached under the *served* tier's key, so
+    # an explicit non request now hits.
+    non = service.submit(make_request(method="non"))
+    assert (non.status, non.cache) == ("done", "hit")
+    assert non.artifact == job.artifact
+    # ... while a fresh bpc request still executes the full tier.
+    full = service.submit(make_request())
+    service.process_once()
+    assert full.served_method == "bpc" and not full.degraded
+
+
+def test_degradation_emits_metrics_and_audit(service):
+    obs.METRICS.enable()
+    obs.AUDIT.enable()
+    obs.reset_all()
+    try:
+        service.submit(make_request(deadline_ms=0))
+        service.process_once()
+        snapshot = obs.METRICS.snapshot()
+        assert snapshot["counters"]["service.degraded"] == 1
+        assert snapshot["counters"]["service.tier.non"] == 1
+        records = [r for r in obs.AUDIT.records if r.step == "service-degrade"]
+        assert len(records) == 1
+        assert records[0].detail["requested"] == "bpc"
+        assert records[0].detail["served"] == "non"
+    finally:
+        obs.METRICS.enable(False)
+        obs.AUDIT.enable(False)
+        obs.reset_all()
+
+
+def test_cached_request_beats_deadline_at_full_tier(service):
+    service.submit(make_request())
+    service.process_once()
+    # Same content, hopeless deadline: the hit is free, so the full tier
+    # is served rather than degraded.
+    job = service.submit(make_request(deadline_ms=0))
+    assert (job.status, job.served_method, job.degraded) == ("done", "bpc", False)
+
+
+def test_invalid_requests_rejected(service):
+    with pytest.raises(RequestError):
+        service.submit({"ir": ""})
+    with pytest.raises(RequestError):
+        service.submit({"ir": "func @x { garbage }", "file": {"registers": 8}})
+    with pytest.raises(RequestError):
+        service.submit(make_request(method="fastest"))
+    with pytest.raises(RequestError):
+        service.submit({**make_request(), "mystery": 1})
+    assert service.counters["executed"] == 0
+
+
+def test_unallocatable_request_fails_job_not_service(service):
+    # 2 registers in 2 banks cannot hold the kernel's pressure; the job
+    # fails with a captured error and the service keeps serving.
+    job = service.submit(
+        {
+            "ir": make_request()["ir"],
+            "file": {"registers": 2, "banks": 2},
+            "method": "non",
+        }
+    )
+    service.process_once()
+    assert job.status == "failed"
+    assert job.error
+    assert service.counters["failed"] == 1
+    ok = service.submit(make_request())
+    service.process_once()
+    assert ok.status == "done"
+
+
+@pytest.mark.parallel
+def test_process_pool_execution_matches_inline():
+    inline = AllocationService(ServiceConfig(workers=0))
+    pooled = AllocationService(ServiceConfig(workers=2))
+    a = inline.submit(make_request())
+    inline.process_once()
+    b = pooled.submit(make_request())
+    pooled.process_once()
+    assert a.artifact == b.artifact
+    assert pooled.counters["executed"] == 1
+
+
+def test_dispatcher_thread_serves_in_background():
+    service = AllocationService(ServiceConfig(workers=0))
+    service.start()
+    try:
+        job = service.submit(make_request())
+        assert job.wait(timeout=30)
+        assert job.status == "done"
+    finally:
+        service.stop()
+
+
+def test_key_matches_artifact_key(service):
+    request = make_request()
+    job = service.submit(request)
+    service.process_once()
+    assert job.key == cache_key(
+        request["ir"], request["file"], request["method"]
+    )
+    assert json.loads(job.artifact)["key"] == job.key
