@@ -18,6 +18,8 @@ Usage::
     python -m repro bench diff OLD.json NEW.json # regression gate (CI)
     python -m repro serve --port 8377            # allocation service
     python -m repro request --deadline-ms 50     # client for `serve`
+    python -m repro verify ART.json --ir k.ir    # re-check an artifact
+    python -m repro --faults plan.json serve     # chaos-test the service
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -167,6 +169,29 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Independently re-check an allocation artifact file."""
+    from .resilience import AllocationVerifier
+
+    try:
+        with open(args.artifact, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        print(f"verify: cannot read {args.artifact!r}: {exc}", file=sys.stderr)
+        return 2
+    original_ir = None
+    if args.ir:
+        if args.ir == "-":
+            original_ir = sys.stdin.read()
+        else:
+            with open(args.ir, encoding="utf-8") as fh:
+                original_ir = fh.read()
+    verifier = AllocationVerifier("strict")
+    report = verifier.verify_bytes(data, original_ir=original_ir)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the allocation service until interrupted."""
     from .service import ServiceConfig, make_server, shutdown_server
@@ -178,6 +203,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff_s=args.retry_backoff_ms / 1000.0,
         cache_dir=args.cache_dir,
+        verify=args.verify,
+        job_retries=args.job_retries,
+        job_retention=args.retention,
+        max_queue_depth=args.max_queue_depth,
     )
     if args.verbose:
         ServiceHandler.verbose = True
@@ -209,7 +238,9 @@ def _cmd_request(args: argparse.Namespace) -> int:
     else:
         ir = print_function(_demo_kernel(args.trip_count))
 
-    client = ServiceClient(args.server, timeout=args.timeout)
+    client = ServiceClient(
+        args.server, timeout=args.timeout, retries=args.retries
+    )
     try:
         status = client.submit(
             ir,
@@ -333,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         "profile as JSON; '-' renders a top-N hotspot table to stderr, "
         "a .folded suffix writes flamegraph-compatible collapsed stacks",
     )
+    parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="arm a seeded fault-injection plan (chaos testing; see "
+        "docs/RESILIENCE.md). Also settable via the REPRO_FAULTS "
+        "environment variable",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="regenerate one table (I..VII)")
@@ -367,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_alloc.set_defaults(func=_cmd_allocate)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="independently re-check an allocation artifact "
+        "(canonical bytes, schema/key, structural, bank legality, "
+        "semantics)",
+    )
+    p_verify.add_argument("artifact", metavar="ARTIFACT.json")
+    p_verify.add_argument(
+        "--ir", default=None, metavar="FILE",
+        help="the originally submitted IR ('-' reads stdin); enables "
+        "the content-address recomputation and the interpreter-backed "
+        "semantic equivalence check",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
     p_serve = sub.add_parser(
         "serve", help="run the allocation service (HTTP/JSON)"
     )
@@ -398,6 +450,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: memory only)",
     )
     p_serve.add_argument(
+        "--verify", choices=["strict", "cached-only", "off"],
+        default="cached-only",
+        help="independent artifact verification: 'strict' re-checks "
+        "every artifact before it is cached or served, 'cached-only' "
+        "re-checks on-disk cache loads (default), 'off' disables",
+    )
+    p_serve.add_argument(
+        "--job-retries", type=int, default=2,
+        help="whole-job retry budget before a failing job dead-letters "
+        "(default 2)",
+    )
+    p_serve.add_argument(
+        "--retention", type=int, default=1024, metavar="N",
+        help="finished jobs kept pollable before oldest-first eviction "
+        "(default 1024)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth", type=int, default=1024,
+        help="queue depth at which submits are shed with 503 + "
+        "Retry-After (default 1024)",
+    )
+    p_serve.add_argument(
         "-v", "--verbose", action="store_true",
         help="log every HTTP request to stderr",
     )
@@ -425,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bpc→bcr→non ladder instead of timing out",
     )
     p_req.add_argument("--timeout", type=float, default=30.0)
+    p_req.add_argument(
+        "--retries", type=int, default=2,
+        help="client retries on transient failures (timeouts, "
+        "connection errors, 429/503 shed responses; default 2)",
+    )
     p_req.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the artifact bytes verbatim",
@@ -503,6 +582,13 @@ def main(argv: list[str] | None = None) -> int:
         obs.AUDIT.enable()
     if args.profile:
         obs.PROFILE.enable()
+    if args.faults:
+        from .resilience import FAULTS, load_plan
+
+        FAULTS.arm(load_plan(args.faults))
+        # Exported so process-pool workers re-arm the same plan on
+        # their side of the fork/spawn.
+        os.environ["REPRO_FAULTS"] = args.faults
     try:
         from .experiments import PartialSuiteError
 

@@ -215,9 +215,10 @@ def run_tasks(
     kill) into a :class:`BrokenProcessPool` that aborts everything.
     This helper instead collects each payload's outcome individually:
     a payload that raises — or whose pool dies under it — is retried
-    (``retries`` times, on a fresh pool, after ``backoff_s * attempt``
-    seconds), and innocent victims of a neighbour's crash are retried
-    with it.  Returns ``(results, failures)`` where ``results`` is
+    (``retries`` times, on a fresh pool, after an exponential
+    ``backoff_s * 2**(attempt-1)`` seconds, capped at 2 s), and
+    innocent victims of a neighbour's crash are retried with it.
+    Returns ``(results, failures)`` where ``results`` is
     payload-ordered with ``None`` at failed indexes.
 
     The experiment harness (:func:`run_suite`) and the allocation
@@ -237,8 +238,10 @@ def run_tasks(
     for attempt in range(retries + 1):
         if not pending:
             break
-        if attempt and backoff_s:
-            time.sleep(backoff_s * attempt)
+        if attempt:
+            obs.METRICS.inc("harness.task_retries", len(pending))
+            if backoff_s:
+                time.sleep(min(backoff_s * (2 ** (attempt - 1)), 2.0))
         still_failing: list[int] = []
         if attempt == 0:
             with ProcessPoolExecutor(

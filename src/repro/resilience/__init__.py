@@ -1,0 +1,54 @@
+"""Resilience layer: deterministic fault injection + artifact verification.
+
+Two halves (see ``docs/RESILIENCE.md``):
+
+* :mod:`.faults` — a seeded, JSON-loadable fault schedule
+  (:class:`~repro.resilience.faults.FaultPlan`) and the process-wide
+  :data:`~repro.resilience.faults.FAULTS` injector the hardened service
+  paths consult.  Armed via ``repro --faults PLAN.json`` or the
+  ``REPRO_FAULTS`` environment variable; a plain ``enabled`` attribute
+  keeps the disarmed cost at one attribute read per site.
+* :mod:`.verifier` — the independent
+  :class:`~repro.resilience.verifier.AllocationVerifier`: canonical-byte
+  integrity, schema/key, structural allocation checks, bank/subgroup
+  legality with stats recomputation, and an interpreter-backed semantic
+  spot-check, in ``strict`` / ``cached-only`` / ``off`` modes.
+
+Together they back the chaos invariant the test suite asserts:
+**fail-stop or correct** — under any seeded fault schedule, every
+successful response carries a verifier-clean artifact bit-identical to
+the fault-free run, and every fault is visible in metrics/stats, never
+as silent corruption.
+"""
+
+from __future__ import annotations
+
+from .faults import (
+    FAULTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultPoint,
+    InjectedFault,
+    load_plan,
+)
+from .verifier import (
+    VERIFY_MODES,
+    AllocationVerifier,
+    ArtifactVerificationError,
+    VerificationReport,
+)
+
+__all__ = [
+    "AllocationVerifier",
+    "ArtifactVerificationError",
+    "FAULTS",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPoint",
+    "InjectedFault",
+    "VERIFY_MODES",
+    "VerificationReport",
+    "load_plan",
+]

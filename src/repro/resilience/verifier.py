@@ -1,0 +1,298 @@
+"""Independent verification of served allocation artifacts.
+
+RL4ReAl's lesson for learned allocators applies to *served* allocators
+too: an artifact must not be trusted just because the pipeline (or a
+cache entry claiming to be the pipeline's output) produced it.  The
+:class:`AllocationVerifier` re-checks an artifact from scratch — using
+only the artifact bytes plus, when available, the request's original IR
+— before the service caches or serves it:
+
+1. **Canonical-bytes integrity** — the bytes parse as JSON and re-encode
+   to exactly themselves under the canonical encoding (any smuggled
+   whitespace, reordering, or trailing garbage fails here);
+2. **Schema & key** — required fields present, schema version known, and
+   the embedded content address equals the key the request hashed to
+   (a swapped or mislabeled cache entry fails here);
+3. **Structural allocation checks** — the allocated IR parses, passes
+   the IR verifier, and passes :func:`repro.alloc.verify.verify_allocation`:
+   no virtual registers of the allocated class survive, every physical
+   register is written before it is read on every path (the structural
+   form of "no register reuse across overlapping live ranges"), and
+   spill slots are stored before reloaded;
+4. **Bank/subgroup legality** — every physical register in the IR and
+   the assignment map exists in the register file the artifact names,
+   and the statistics block matches a from-scratch
+   :func:`~repro.sim.static_stats.analyze_static` recomputation
+   (instructions, static/bank conflicts, subgroup violations);
+5. **Semantic spot-check** — with the original IR in hand, the existing
+   value interpreter executes both functions and the observables must
+   match (:func:`repro.sim.exec.observably_equivalent`); this is what
+   catches a live value clobbered by an overlapping reuse that is
+   structurally well-formed.
+
+Modes (:data:`VERIFY_MODES`):
+
+* ``strict`` — verify every artifact before it is cached *and* before
+  every serve (cache hits included);
+* ``cached-only`` — verify only artifacts read back from the on-disk
+  cache (entries this process computed, verified, and kept in memory
+  are trusted); the default, because disk is where corruption lives;
+* ``off`` — never verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..alloc.verify import verify_allocation
+from ..ir.parser import parse_function
+from ..ir.types import FP, PhysicalRegister, RegClass
+from ..ir.verifier import VerificationError as IRVerificationError
+from ..ir.verifier import verify_function
+from ..sim.exec import ExecutionError, observably_equivalent
+from ..sim.static_stats import analyze_static
+
+__all__ = [
+    "AllocationVerifier",
+    "ArtifactVerificationError",
+    "VERIFY_MODES",
+    "VerificationReport",
+]
+
+#: Verifier operating modes, strictest first.
+VERIFY_MODES = ("strict", "cached-only", "off")
+
+#: Artifact fields every schema-1 artifact must carry.
+REQUIRED_FIELDS = (
+    "schema", "key", "function", "method", "file", "flags", "ir",
+    "assignment", "stats",
+)
+
+#: Statistics the verifier recomputes and compares bit-for-bit.
+RECHECKED_STATS = (
+    "instructions", "conflict_relevant", "static_conflicts",
+    "bank_conflicts", "subgroup_violations",
+)
+
+
+class ArtifactVerificationError(RuntimeError):
+    """An artifact failed verification; carries the findings."""
+
+    def __init__(self, findings: list[str]):
+        self.findings = list(findings)
+        super().__init__("; ".join(findings) or "artifact verification failed")
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification: which checks ran, what they found."""
+
+    checks: list[str] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines = [f"verification: {status} ({', '.join(self.checks)})"]
+        lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+class AllocationVerifier:
+    """Re-checks artifacts independently of the pipeline that made them."""
+
+    def __init__(self, mode: str = "cached-only", *, regclass: RegClass = FP):
+        if mode not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+            )
+        self.mode = mode
+        self.regclass = regclass
+
+    # ------------------------------------------------------------------
+    def should_verify(self, source: str) -> bool:
+        """Whether *source* (``computed`` | ``memory`` | ``disk``) gets
+        verified under the configured mode."""
+        if self.mode == "off":
+            return False
+        if self.mode == "strict":
+            return True
+        return source == "disk"
+
+    # ------------------------------------------------------------------
+    def verify_bytes(
+        self,
+        data: bytes,
+        *,
+        expected_key: str | None = None,
+        original_ir: str | None = None,
+    ) -> VerificationReport:
+        """Verify serialized artifact bytes (never raises; see report)."""
+        import json
+
+        # Imported here (not at module top) to keep the service ↔
+        # resilience import graph acyclic.
+        from ..service.artifact import artifact_bytes
+
+        report = VerificationReport()
+        report.checks.append("canonical-bytes")
+        try:
+            artifact = json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            report.findings.append(f"artifact bytes are not valid JSON: {exc}")
+            return report
+        if not isinstance(artifact, dict):
+            report.findings.append("artifact is not a JSON object")
+            return report
+        if artifact_bytes(artifact) != data:
+            report.findings.append(
+                "artifact bytes are not in canonical form (reordered keys, "
+                "whitespace, or trailing data)"
+            )
+            return report
+        self._verify_dict(
+            artifact, report,
+            expected_key=expected_key, original_ir=original_ir,
+        )
+        return report
+
+    def verify_artifact(
+        self,
+        artifact: dict,
+        *,
+        expected_key: str | None = None,
+        original_ir: str | None = None,
+    ) -> VerificationReport:
+        """Verify a parsed artifact dict (never raises; see report)."""
+        report = VerificationReport()
+        self._verify_dict(
+            artifact, report,
+            expected_key=expected_key, original_ir=original_ir,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _verify_dict(
+        self,
+        artifact: dict,
+        report: VerificationReport,
+        *,
+        expected_key: str | None,
+        original_ir: str | None,
+    ) -> None:
+        from ..service.artifact import (
+            SCHEMA_VERSION,
+            build_register_file,
+            cache_key,
+        )
+
+        findings = report.findings
+
+        # -- schema & key ---------------------------------------------
+        report.checks.append("schema")
+        missing = [k for k in REQUIRED_FIELDS if k not in artifact]
+        if missing:
+            findings.append(f"artifact is missing fields {missing}")
+            return
+        if artifact["schema"] != SCHEMA_VERSION:
+            findings.append(
+                f"unknown artifact schema {artifact['schema']!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+            return
+        if expected_key is not None and artifact["key"] != expected_key:
+            findings.append(
+                f"artifact key {artifact['key'][:12]}… does not match the "
+                f"request's content address {expected_key[:12]}… "
+                "(wrong or mislabeled entry)"
+            )
+        if original_ir is not None:
+            recomputed = cache_key(
+                original_ir, artifact["file"], artifact["method"],
+                artifact["flags"],
+            )
+            if recomputed != artifact["key"]:
+                findings.append(
+                    "artifact key does not hash from the submitted IR, "
+                    "file, method, and flags"
+                )
+
+        # -- structural -----------------------------------------------
+        report.checks.append("structural")
+        try:
+            allocated = parse_function(artifact["ir"])
+        except Exception as exc:
+            findings.append(f"allocated IR does not parse: {exc}")
+            return
+        try:
+            verify_function(allocated)
+        except IRVerificationError as exc:
+            findings.append(f"allocated IR fails the IR verifier: {exc}")
+        findings.extend(
+            verify_allocation(
+                allocated, self.regclass, raise_on_failure=False
+            )
+        )
+
+        # -- bank/subgroup legality -----------------------------------
+        report.checks.append("legality")
+        try:
+            register_file = build_register_file(artifact["file"])
+        except Exception as exc:
+            findings.append(f"artifact file spec is invalid: {exc}")
+            return
+        limit = register_file.num_registers
+        for vreg, index in sorted(artifact["assignment"].items()):
+            if not isinstance(index, int) or not 0 <= index < limit:
+                findings.append(
+                    f"assignment {vreg} -> {index!r} is outside the "
+                    f"{limit}-register file"
+                )
+        for block in allocated.blocks:
+            for instr in block:
+                for reg in instr.regs():
+                    if (
+                        isinstance(reg, PhysicalRegister)
+                        and reg.regclass == self.regclass
+                        and not 0 <= reg.index < limit
+                    ):
+                        findings.append(
+                            f"{block.label}: {reg!r} is outside the "
+                            f"{limit}-register file"
+                        )
+        static = analyze_static(allocated, register_file, self.regclass)
+        recomputed_stats = {
+            "instructions": static.instructions,
+            "conflict_relevant": static.conflict_relevant,
+            "static_conflicts": static.conflicts,
+            "bank_conflicts": static.bank_conflicts,
+            "subgroup_violations": static.subgroup_violations,
+        }
+        for name in RECHECKED_STATS:
+            claimed = artifact["stats"].get(name)
+            if claimed != recomputed_stats[name]:
+                findings.append(
+                    f"stats.{name} claims {claimed!r} but recomputes to "
+                    f"{recomputed_stats[name]!r}"
+                )
+
+        # -- semantic spot-check --------------------------------------
+        if original_ir is not None:
+            report.checks.append("semantic")
+            try:
+                original = parse_function(original_ir)
+            except Exception as exc:
+                findings.append(f"original IR does not parse: {exc}")
+                return
+            try:
+                if not observably_equivalent(original, allocated):
+                    findings.append(
+                        "allocated function is not observably equivalent "
+                        "to the submitted IR (wrong values under the "
+                        "reference interpreter)"
+                    )
+            except ExecutionError as exc:
+                findings.append(f"semantic check could not run: {exc}")

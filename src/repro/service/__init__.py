@@ -27,14 +27,15 @@ from .artifact import (
     canonical_ir,
 )
 from .cache import AllocationCache
-from .client import ServiceClient, ServiceError
+from .client import CircuitOpenError, ServiceClient, ServiceError
 from .degrade import LADDER, TierCostModel, ladder_from, select_tier
-from .queue import AllocationService, Job, ServiceConfig
+from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
 from .server import ServiceServer, make_server, shutdown_server
 
 __all__ = [
     "AllocationCache",
     "AllocationService",
+    "CircuitOpenError",
     "FLAG_DEFAULTS",
     "Job",
     "LADDER",
@@ -43,6 +44,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceOverloadError",
     "ServiceServer",
     "TierCostModel",
     "artifact_bytes",

@@ -10,14 +10,43 @@ convenience::
     status = client.submit(ir_text, registers=32, banks=2, method="bpc")
     status = client.wait(status["job_id"])
     artifact = client.result_json(status["job_id"])
+
+Resilience (see ``docs/RESILIENCE.md``):
+
+* every call carries a socket timeout (no hung-forever requests);
+* transient failures — connection errors, timeouts, ``429``/``503``
+  shed responses — are retried up to ``retries`` times with exponential
+  backoff plus deterministic jitter, honoring the server's
+  ``Retry-After`` when present.  Retrying a submit is safe: requests
+  are content-addressed and coalesced server-side, so a duplicate
+  submission attaches to the same job instead of redoing work;
+* a **circuit breaker** trips OPEN after ``breaker_threshold``
+  consecutive transport failures and fails fast (no network I/O) until
+  ``breaker_cooldown_s`` elapses, then HALF-OPEN admits one trial call;
+* the ``client.request`` fault site (:mod:`repro.resilience.faults`)
+  can inject timeouts and connection resets ahead of the socket for
+  chaos testing.
+
+Non-transient HTTP errors (``400`` bad request, ``404``, a ``500`` job
+failure) are never retried — they would fail identically every time.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
 import time
 import urllib.error
 import urllib.request
+
+from ..resilience.faults import FAULTS, InjectedFault
+
+#: HTTP statuses worth retrying: the server shed load, not failed us.
+RETRYABLE_STATUSES = (429, 503)
+
+#: Upper bound on any single backoff sleep (seconds).
+MAX_BACKOFF_S = 5.0
 
 
 class ServiceError(RuntimeError):
@@ -28,17 +57,74 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; no request was attempted."""
+
+
+class _CircuitBreaker:
+    """CLOSED → OPEN after N consecutive failures → HALF_OPEN after a
+    cooldown admits one trial → CLOSED on success, OPEN on failure."""
+
+    def __init__(self, threshold: int, cooldown_s: float):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.failures = 0
+        self.opened_mono: float | None = None
+
+    @property
+    def state(self) -> str:
+        if self.opened_mono is None:
+            return "closed"
+        if time.monotonic() - self.opened_mono >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        return self.state != "open"
+
+    def record(self, ok: bool) -> None:
+        if ok:
+            self.failures = 0
+            self.opened_mono = None
+            return
+        self.failures += 1
+        if self.failures >= self.threshold or self.state == "half-open":
+            self.opened_mono = time.monotonic()
+
+
 class ServiceClient:
     """Thin HTTP/JSON client; one instance per server base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
+        jitter_seed: int = 0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.breaker = _CircuitBreaker(breaker_threshold, breaker_cooldown_s)
+        # Seeded jitter keeps chaos runs reproducible end to end.
+        self._rng = random.Random(jitter_seed)
 
     # ------------------------------------------------------------------
-    def _request(
+    def _request_once(
         self, path: str, body: dict | None = None, raw: bool = False
     ):
+        if FAULTS.enabled:
+            point = FAULTS.fire("client.request", label=path)
+            if point is not None:
+                if point.mode == "timeout":
+                    raise socket.timeout("injected client timeout")
+                if point.mode == "connreset":
+                    raise ConnectionResetError("injected connection reset")
         url = f"{self.base_url}{path}"
         data = None
         headers = {}
@@ -46,21 +132,68 @@ class ServiceClient:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         req = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                payload = resp.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")
-            try:
-                detail = json.loads(detail).get("error", detail)
-            except (json.JSONDecodeError, AttributeError):
-                pass
-            raise ServiceError(
-                f"{path}: HTTP {exc.code}: {detail}", status=exc.code
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"{path}: {exc.reason}") from exc
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            payload = resp.read()
         return payload if raw else json.loads(payload)
+
+    def _request(
+        self, path: str, body: dict | None = None, raw: bool = False
+    ):
+        if not self.breaker.allow():
+            raise CircuitOpenError(
+                f"{path}: circuit breaker open after "
+                f"{self.breaker.failures} consecutive failures"
+            )
+        last_error: ServiceError | None = None
+        for attempt in range(self.retries + 1):
+            retry_after: float | None = None
+            try:
+                result = self._request_once(path, body, raw)
+                self.breaker.record(ok=True)
+                return result
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except (json.JSONDecodeError, AttributeError):
+                    pass
+                error = ServiceError(
+                    f"{path}: HTTP {exc.code}: {detail}", status=exc.code
+                )
+                if exc.code not in RETRYABLE_STATUSES:
+                    # A definitive answer from the server: the breaker
+                    # stays closed (transport works) and we do not retry.
+                    self.breaker.record(ok=True)
+                    raise error from exc
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                last_error = error
+            except (
+                urllib.error.URLError,
+                socket.timeout,
+                ConnectionError,
+                InjectedFault,
+            ) as exc:
+                reason = getattr(exc, "reason", exc)
+                last_error = ServiceError(f"{path}: {reason}")
+                self.breaker.record(ok=False)
+                if not self.breaker.allow():
+                    break
+            if attempt < self.retries:
+                time.sleep(self._backoff(attempt, retry_after))
+        raise last_error  # type: ignore[misc]
+
+    def _backoff(self, attempt: int, retry_after: float | None) -> float:
+        """Exponential backoff with jitter, deferring to ``Retry-After``."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), MAX_BACKOFF_S)
+        base = self.backoff_s * (2 ** attempt)
+        # Full jitter on the top half: [base/2, base].
+        return min(base * (0.5 + self._rng.random() / 2.0), MAX_BACKOFF_S)
 
     # ------------------------------------------------------------------
     def health(self) -> dict:

@@ -20,15 +20,39 @@ degrade):
    (:func:`repro.experiments.harness.run_tasks`), which retries a
    crashed worker with backoff instead of failing the batch.
 
+Resilience (PR 5, see ``docs/RESILIENCE.md``):
+
+* every artifact passes the independent
+  :class:`~repro.resilience.verifier.AllocationVerifier` per the
+  configured mode before it is cached or served; a cache entry that
+  fails is **quarantined and recomputed**, a fresh computation that
+  fails is treated as a job failure — *fail-stop or correct*, never
+  silent corruption;
+* a failing job gets bounded retries with exponential backoff
+  (``job_retries`` × ``job_backoff_s``); when the budget is exhausted
+  the job lands in a bounded **dead-letter record** surfaced through
+  :meth:`AllocationService.stats`;
+* finished jobs are retained under a bounded policy
+  (``job_retention`` max entries / optional ``job_ttl_s``) instead of
+  forever, with evictions counted;
+* a full queue sheds load: :meth:`AllocationService.submit` raises
+  :class:`ServiceOverloadError`, which the HTTP layer turns into
+  ``503`` + ``Retry-After``;
+* seeded fault points (:mod:`repro.resilience.faults`) cover worker
+  death/stall/error and duplicate dispatch; duplicate deliveries are
+  absorbed idempotently.
+
 Every stage is instrumented through :mod:`repro.obs`: per-request spans,
-cache hit/miss + queue-depth + tier-served metrics, and an audit record
-for every degradation — all off by default, all free when off.  A small
-always-on :meth:`AllocationService.stats` counter set backs the server's
+cache hit/miss + queue-depth + tier-served metrics, and audit records
+for degradations, quarantines, verification failures, and dead-letter
+drops — all off by default, all free when off.  A small always-on
+:meth:`AllocationService.stats` counter set backs the server's
 ``/v1/stats`` endpoint independently of the obs layers.
 """
 
 from __future__ import annotations
 
+import os
 import queue as _queue
 import threading
 import time
@@ -36,6 +60,7 @@ from dataclasses import dataclass, field
 
 from ..experiments.harness import run_tasks
 from ..obs import AUDIT, METRICS, TRACER
+from ..resilience import AllocationVerifier, FAULTS, InjectedFault
 from .artifact import (
     RequestError,
     artifact_bytes,
@@ -50,9 +75,37 @@ from .cache import AllocationCache
 from .degrade import TierCostModel, select_tier
 
 
+class ServiceOverloadError(RuntimeError):
+    """The queue is full; the request was shed, not enqueued."""
+
+    def __init__(self, depth: int, limit: int, retry_after_s: float = 1.0):
+        super().__init__(
+            f"queue depth {depth} at limit {limit}; request shed"
+        )
+        self.retry_after_s = retry_after_s
+
+
 def _execute_request(payload: tuple) -> dict:
-    """Process-pool worker: one allocation, plus its wall time."""
+    """Process-pool worker: one allocation, plus its wall time.
+
+    Carries the ``queue.execute`` fault point so chaos schedules can
+    kill (``death``), stall (``stall``), or fail (``error``) the worker
+    — inline or in a pool (workers re-arm from ``REPRO_FAULTS``).
+    """
     ir, file_spec, method, flags = payload
+    if FAULTS.enabled:
+        point = FAULTS.fire("queue.execute", label=method)
+        if point is not None:
+            if point.mode == "death":
+                import multiprocessing
+
+                if multiprocessing.parent_process() is not None:
+                    os._exit(17)  # real worker death, not an exception
+                raise InjectedFault(point.site, point.mode)
+            if point.mode == "stall":
+                time.sleep(float(point.detail.get("stall_s", 0.05)))
+            elif point.mode == "error":
+                raise InjectedFault(point.site, point.mode)
     started = time.perf_counter()
     artifact = build_artifact(ir, file_spec, method, flags)
     return {"artifact": artifact, "seconds": time.perf_counter() - started}
@@ -68,7 +121,8 @@ class ServiceConfig:
     workers: int = 0
     #: Max jobs drained into one dispatch batch.
     batch_size: int = 8
-    #: Retries when a worker crashes or a job raises.
+    #: Retries when a worker crashes or a job raises (within one
+    #: dispatch, via the harness's crash-tolerant pool).
     max_retries: int = 1
     #: Base backoff between retry rounds (sleep = backoff * attempt).
     retry_backoff_s: float = 0.05
@@ -76,6 +130,28 @@ class ServiceConfig:
     cache_dir: str | None = None
     #: In-memory cache capacity.
     cache_entries: int = 4096
+    #: Verifier mode: ``strict`` | ``cached-only`` | ``off``
+    #: (see :mod:`repro.resilience.verifier`).
+    verify: str = "cached-only"
+    #: Whole-job retry budget: a job whose execution fails (exception,
+    #: worker death, verification failure) is requeued up to this many
+    #: times before it dead-letters.
+    job_retries: int = 2
+    #: Exponential per-job backoff: ``job_backoff_s * 2**(attempt-1)``
+    #: seconds before a requeue (capped at 1 s).
+    job_backoff_s: float = 0.02
+    #: Finished (done/failed) jobs retained for polling; older ones are
+    #: evicted oldest-first.
+    job_retention: int = 1024
+    #: Optional TTL for finished jobs (seconds); ``None`` = count-only.
+    job_ttl_s: float | None = None
+    #: Dead-letter records kept (oldest dropped beyond this).
+    dead_letter_limit: int = 64
+    #: Queue depth at which :meth:`AllocationService.submit` sheds load.
+    max_queue_depth: int = 1024
+    #: Simultaneous HTTP handlers allowed before the server sheds with
+    #: ``429`` (enforced by :class:`repro.service.server.ServiceServer`).
+    max_concurrent_requests: int = 32
 
 
 @dataclass
@@ -96,14 +172,20 @@ class Job:
     error: str | None = None
     artifact: bytes | None = None
     coalesced: int = 0
+    attempts: int = 0
     execution_s: float | None = None
     submitted_mono: float = field(default_factory=time.monotonic)
+    finished_mono: float | None = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
     def function_name(self) -> str:
         head = self.ir.split("{", 1)[0]
         return head.replace("func", "").strip().lstrip("@") or "?"
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
 
     def remaining_s(self) -> float | None:
         if self.deadline_s is None:
@@ -115,11 +197,13 @@ class Job:
         self.served_method = served
         self.degraded = degraded
         self.status = "done"
+        self.finished_mono = time.monotonic()
         self._done.set()
 
     def fail(self, error: str) -> None:
         self.error = error
         self.status = "failed"
+        self.finished_mono = time.monotonic()
         self._done.set()
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -137,6 +221,7 @@ class Job:
             "served_method": self.served_method,
             "degraded": self.degraded,
             "coalesced": self.coalesced,
+            "attempts": self.attempts,
             "error": self.error,
             "execution_s": self.execution_s,
         }
@@ -155,13 +240,16 @@ class AllocationService:
         self.cache = AllocationCache(
             self.config.cache_dir, self.config.cache_entries
         )
+        self.verifier = AllocationVerifier(self.config.verify)
         self.cost_model = TierCostModel()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
         self._queue: _queue.Queue = _queue.Queue()
+        self.dead_letter: list[dict] = []
         # RLock: submit() creates jobs while already holding the lock.
         self._lock = threading.RLock()
         self._counter = 0
+        self._finished_jobs = 0
         self._thread: threading.Thread | None = None
         self._stopping = False
         self.counters = {
@@ -175,6 +263,13 @@ class AllocationService:
             "tier_bpc": 0,
             "tier_bcr": 0,
             "tier_non": 0,
+            "verified": 0,
+            "verify_failed": 0,
+            "retried": 0,
+            "dead_lettered": 0,
+            "jobs_evicted": 0,
+            "shed": 0,
+            "duplicate_deliveries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -203,6 +298,39 @@ class AllocationService:
             self.process_once(block=True)
 
     # ------------------------------------------------------------------
+    # Verified cache access
+    # ------------------------------------------------------------------
+    def _cache_lookup(self, key: str, original_ir: str) -> bytes | None:
+        """Cache probe with verification per the configured mode.
+
+        An entry that fails verification is quarantined and reported as
+        a miss, so the caller recomputes — the self-healing path.
+        """
+        found = self.cache.get_entry(key)
+        if found is None:
+            return None
+        data, source = found
+        if not self.verifier.should_verify(source):
+            return data
+        report = self.verifier.verify_bytes(
+            data, expected_key=key, original_ir=original_ir
+        )
+        with self._lock:
+            self.counters["verified"] += 1
+        if report.ok:
+            return data
+        self.cache.quarantine(key)
+        with self._lock:
+            self.counters["verify_failed"] += 1
+        METRICS.inc("service.verify_failed")
+        AUDIT.record(
+            function="-", vreg="-", step="cache-quarantine",
+            key=key[:12], source=source,
+            findings=report.findings[:3],
+        )
+        return None
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(self, request: dict) -> Job:
@@ -211,7 +339,8 @@ class AllocationService:
         The returned job's ``cache`` field is this *submission's*
         disposition: ``hit`` (resolved from cache immediately),
         ``coalesced-onto`` (attached to an identical in-flight job), or
-        ``miss`` (queued for execution).
+        ``miss`` (queued for execution).  Raises
+        :class:`ServiceOverloadError` when the queue is at capacity.
         """
         if not isinstance(request, dict):
             raise RequestError("request body must be a JSON object")
@@ -233,13 +362,15 @@ class AllocationService:
             self.counters["requests"] += 1
         METRICS.inc("service.requests")
 
-        cached = self.cache.get(key)
+        cached = self._cache_lookup(key, ir)
         if cached is not None:
             job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
             job.cache = "hit"
             job.resolve(cached, method, degraded=False)
             with self._lock:
                 self.counters["cache_hits"] += 1
+                self._finished_jobs += 1
+            self._evict_finished()
             return job
 
         with self._lock:
@@ -249,11 +380,17 @@ class AllocationService:
                 self.counters["coalesced"] += 1
                 METRICS.inc("service.coalesced")
                 return inflight
+            depth = self._queue.qsize()
+            if depth >= self.config.max_queue_depth:
+                self.counters["shed"] += 1
+                METRICS.inc("service.shed")
+                raise ServiceOverloadError(depth, self.config.max_queue_depth)
             job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
             self._inflight[key] = job
             self.counters["cache_misses"] += 1
         self._queue.put(job)
         METRICS.set_gauge("service.queue.depth", self._queue.qsize())
+        self._evict_finished()
         return job
 
     def _new_job(
@@ -286,6 +423,49 @@ class AllocationService:
         return job
 
     # ------------------------------------------------------------------
+    # Bounded retention
+    # ------------------------------------------------------------------
+    def _evict_finished(self) -> None:
+        """Drop the oldest finished jobs beyond the retention policy.
+
+        ``job_retention`` bounds how many done/failed jobs stay pollable;
+        ``job_ttl_s`` (when set) additionally expires finished jobs by
+        age.  Queued/running jobs are never evicted.
+        """
+        config = self.config
+        with self._lock:
+            if (
+                self._finished_jobs <= config.job_retention
+                and config.job_ttl_s is None
+            ):
+                return
+            now = time.monotonic()
+            finished = [
+                job_id for job_id, job in self._jobs.items() if job.finished
+            ]
+            evict: list[str] = []
+            overflow = len(finished) - config.job_retention
+            if overflow > 0:
+                evict.extend(finished[:overflow])
+            if config.job_ttl_s is not None:
+                evict.extend(
+                    job_id
+                    for job_id in finished[max(overflow, 0):]
+                    if now - (self._jobs[job_id].finished_mono or now)
+                    > config.job_ttl_s
+                )
+            for job_id in evict:
+                job = self._jobs.pop(job_id)
+                # Defensive: a finished job must never linger in the
+                # coalescing map; drop it if a bug ever put it there.
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self.counters["jobs_evicted"] += 1
+            self._finished_jobs -= len(evict)
+            if evict:
+                METRICS.inc("service.jobs_evicted", len(evict))
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def process_once(self, block: bool = False, timeout: float | None = None) -> int:
@@ -307,6 +487,12 @@ class AllocationService:
                 self._queue.put(None)  # keep the sentinel for the loop
                 break
             batch.append(job)
+        if FAULTS.enabled and batch:
+            # Duplicate delivery: the same job appears twice in one
+            # batch; the second resolution must be absorbed, not served.
+            point = FAULTS.fire("queue.dispatch", label=batch[0].job_id)
+            if point is not None and point.mode == "duplicate":
+                batch.append(batch[0])
         METRICS.set_gauge("service.queue.depth", self._queue.qsize())
         self._process_batch(batch)
         return len(batch)
@@ -315,8 +501,17 @@ class AllocationService:
         """Tier-select every job, serve late cache hits, execute the rest."""
         to_execute: list[Job] = []
         tiers: list[str] = []
+        seen: set[str] = set()
         with TRACER.span("service-batch", category="service", jobs=len(batch)):
             for job in batch:
+                if job.finished or job.job_id in seen:
+                    # Duplicate delivery — already resolved, or a second
+                    # copy in this very batch.  Absorb it.
+                    with self._lock:
+                        self.counters["duplicate_deliveries"] += 1
+                    METRICS.inc("service.duplicate_deliveries")
+                    continue
+                seen.add(job.job_id)
                 job.status = "running"
                 tier, degraded = select_tier(
                     job.requested_method, job.remaining_s(), self.cost_model
@@ -332,7 +527,7 @@ class AllocationService:
                         job.ir, job.file_spec, tier, job.flags, canonical=True
                     )
                 )
-                cached = self.cache.get(exec_key)
+                cached = self._cache_lookup(exec_key, job.ir)
                 if cached is not None:
                     self._finish(job, cached, tier, degraded)
                     continue
@@ -346,15 +541,23 @@ class AllocationService:
             (job.ir, job.file_spec, tier, job.flags)
             for job, tier in zip(jobs, tiers)
         ]
+        for job in jobs:
+            job.attempts += 1
         if self.config.workers <= 0:
             outcomes: list[dict | None] = []
-            errors: dict[int, str] = {}
+            errors: dict[int, tuple[str, bool]] = {}
             for i, payload in enumerate(payloads):
                 try:
                     outcomes.append(_execute_request(payload))
                 except Exception as exc:
                     outcomes.append(None)
-                    errors[i] = str(exc)
+                    # Injected faults and I/O errors are transient —
+                    # worth a retry.  Anything else (bad IR, infeasible
+                    # register file) fails identically every attempt.
+                    transient = isinstance(
+                        exc, (InjectedFault, OSError, TimeoutError)
+                    )
+                    errors[i] = (str(exc), transient)
         else:
             outcomes, task_failures = run_tasks(
                 _execute_request,
@@ -364,17 +567,52 @@ class AllocationService:
                 backoff_s=self.config.retry_backoff_s,
                 labels=[job.job_id for job in jobs],
             )
-            errors = {f.index: f.error for f in task_failures}
+            # Pool failures arrive as strings; crashed workers and
+            # injected faults are the transient ones.
+            errors = {
+                f.index: (
+                    f.error,
+                    "crash" in f.error or "injected fault" in f.error,
+                )
+                for f in task_failures
+            }
         for i, (job, tier) in enumerate(zip(jobs, tiers)):
             outcome = outcomes[i]
             if outcome is None:
-                self._fail(job, errors.get(i, "execution failed"))
+                error, transient = errors.get(i, ("execution failed", True))
+                self._handle_failure(job, error, retryable=transient)
                 continue
             artifact = outcome["artifact"]
             seconds = outcome["seconds"]
+            data = artifact_bytes(artifact)
+            if self.verifier.should_verify("computed"):
+                report = self.verifier.verify_bytes(
+                    data,
+                    expected_key=artifact["key"],
+                    original_ir=job.ir if tier == job.requested_method else None,
+                )
+                with self._lock:
+                    self.counters["verified"] += 1
+                if not report.ok:
+                    # Fail-stop: a computed artifact that fails its own
+                    # verification is never cached or served.
+                    with self._lock:
+                        self.counters["verify_failed"] += 1
+                    METRICS.inc("service.verify_failed")
+                    AUDIT.record(
+                        function=job.function_name, vreg="-",
+                        step="verify-fail", job=job.job_id,
+                        findings=report.findings[:3],
+                    )
+                    self._handle_failure(
+                        job,
+                        "artifact failed verification: "
+                        + "; ".join(report.findings[:3]),
+                        retryable=True,  # recompute is the healing path
+                    )
+                    continue
             job.execution_s = seconds
             self.cost_model.observe(tier, seconds)
-            data = artifact_bytes(artifact)
             self.cache.put(artifact["key"], data)
             self._finish(job, data, tier, tier != job.requested_method)
             with self._lock:
@@ -382,7 +620,50 @@ class AllocationService:
             METRICS.observe("service.execution_s", seconds)
 
     # ------------------------------------------------------------------
+    # Failure path: bounded retries, then the dead-letter record
+    # ------------------------------------------------------------------
+    def _handle_failure(
+        self, job: Job, error: str, *, retryable: bool = True
+    ) -> None:
+        if retryable and job.attempts <= self.config.job_retries:
+            backoff = min(
+                self.config.job_backoff_s * (2 ** (job.attempts - 1)), 1.0
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            with self._lock:
+                self.counters["retried"] += 1
+            METRICS.inc("service.retried")
+            job.status = "queued"
+            job.error = error  # last error kept visible while retrying
+            self._queue.put(job)
+            return
+        with self._lock:
+            self.counters["dead_lettered"] += 1
+            record = {
+                "job_id": job.job_id,
+                "key": job.key,
+                "function": job.function_name,
+                "requested_method": job.requested_method,
+                "attempts": job.attempts,
+                "error": error,
+            }
+            self.dead_letter.append(record)
+            del self.dead_letter[: -self.config.dead_letter_limit]
+        METRICS.inc("service.dead_lettered")
+        AUDIT.record(
+            function=job.function_name, vreg="-", step="dead-letter",
+            job=job.job_id, attempts=job.attempts, error=error[:200],
+        )
+        self._fail(job, error)
+
+    # ------------------------------------------------------------------
     def _finish(self, job: Job, data: bytes, tier: str, degraded: bool) -> None:
+        if job.finished:
+            with self._lock:
+                self.counters["duplicate_deliveries"] += 1
+            METRICS.inc("service.duplicate_deliveries")
+            return
         with TRACER.span(
             "service-request",
             category="service",
@@ -394,17 +675,23 @@ class AllocationService:
             job.resolve(data, tier, degraded)
         with self._lock:
             self._inflight.pop(job.key, None)
+            self._finished_jobs += 1
             self.counters[f"tier_{tier}"] += 1
             if degraded:
                 self.counters["degraded"] += 1
         METRICS.inc(f"service.tier.{tier}")
+        self._evict_finished()
 
     def _fail(self, job: Job, error: str) -> None:
+        if job.finished:
+            return
         job.fail(error)
         with self._lock:
             self._inflight.pop(job.key, None)
+            self._finished_jobs += 1
             self.counters["failed"] += 1
         METRICS.inc("service.failed")
+        self._evict_finished()
 
     def _note_degradation(self, job: Job, tier: str) -> None:
         remaining = job.remaining_s()
@@ -423,14 +710,24 @@ class AllocationService:
     def stats(self) -> dict:
         with self._lock:
             counters = dict(self.counters)
-        return {
+            dead_letter = list(self.dead_letter)
+        stats = {
             "counters": counters,
             "queue_depth": self._queue.qsize(),
             "cache": self.cache.stats(),
             "tiers": self.cost_model.snapshot(),
+            "dead_letter": dead_letter,
             "config": {
                 "workers": self.config.workers,
                 "batch_size": self.config.batch_size,
                 "max_retries": self.config.max_retries,
+                "verify": self.config.verify,
+                "job_retries": self.config.job_retries,
+                "job_retention": self.config.job_retention,
+                "max_queue_depth": self.config.max_queue_depth,
             },
         }
+        faults = FAULTS.stats()
+        if faults is not None:
+            stats["faults"] = faults
+        return stats

@@ -8,7 +8,8 @@ Endpoints (all JSON):
 
 ========================  ====================================================
 ``GET  /healthz``         liveness probe → ``{"ok": true}``
-``GET  /v1/stats``        counters, queue depth, cache stats, tier estimates
+``GET  /v1/stats``        counters, queue depth, cache stats, tier estimates,
+                          dead-letter record, fault-plan accounting
 ``POST /v1/submit``       enqueue a request → ``{job_id, cache, status}``
 ``GET  /v1/jobs/<id>``    job status (no artifact)
 ``GET  /v1/jobs/<id>/result``  the stored artifact bytes, verbatim
@@ -18,19 +19,40 @@ Endpoints (all JSON):
 ``/v1/jobs/<id>/result`` writes the cache's canonical bytes directly to
 the socket — a cache hit is bit-identical to the cold run that filled
 the entry, by construction.
+
+Overload behavior (see ``docs/RESILIENCE.md``):
+
+* a full service queue sheds the submit with **503** + ``Retry-After``
+  (:class:`~repro.service.queue.ServiceOverloadError`);
+* more than ``max_concurrent_requests`` simultaneous handlers sheds
+  with **429** + ``Retry-After`` before any work is done;
+* the synchronous ``/v1/allocate`` wait is capped at
+  :data:`MAX_SYNC_TIMEOUT_S` regardless of the client's ``timeout_s``,
+  so a stuck client cannot pin a handler thread forever — an unfinished
+  job comes back as ``202`` with ``Retry-After`` and remains pollable.
+
+The ``server.request`` fault site (:mod:`repro.resilience.faults`) can
+turn any request into an injected ``5xx`` (``error``), a stall
+(``delay``), or a dropped connection (``reset``) for chaos testing.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..resilience.faults import FAULTS
 from .artifact import RequestError
-from .queue import AllocationService, Job, ServiceConfig
+from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
 
 #: Default wait bound of the synchronous ``/v1/allocate`` endpoint.
 DEFAULT_SYNC_TIMEOUT_S = 30.0
+
+#: Hard cap on the synchronous wait — the server-side request deadline.
+MAX_SYNC_TIMEOUT_S = 120.0
 
 
 def _job_status(job: Job) -> dict:
@@ -51,14 +73,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        retry_after_s: float | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._send_bytes(body, status)
+        self._send_bytes(body, status, retry_after_s=retry_after_s)
 
-    def _send_bytes(self, body: bytes, status: int = 200) -> None:
+    def _send_bytes(
+        self,
+        body: bytes,
+        status: int = 200,
+        retry_after_s: float | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After is integral seconds; round up so 0.5s ≠ "now".
+            self.send_header("Retry-After", str(max(1, int(retry_after_s + 0.999))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -77,7 +112,49 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
+    # Guard rail every request passes through: fault injection first,
+    # then the concurrent-handler limit.
+    # ------------------------------------------------------------------
+    def _guarded(self, handler) -> None:
+        if FAULTS.enabled:
+            point = FAULTS.fire("server.request", label=self.path)
+            if point is not None:
+                if point.mode == "reset":
+                    # Drop the connection with no response at all — the
+                    # client sees a reset / empty reply.
+                    self.close_connection = True
+                    try:
+                        self.connection.close()
+                    except OSError:
+                        pass
+                    return
+                if point.mode == "delay":
+                    time.sleep(float(point.detail.get("delay_s", 0.05)))
+                elif point.mode == "error":
+                    status = int(point.detail.get("status", 500))
+                    self._send_json(
+                        {"error": "injected server fault", "injected": True},
+                        status,
+                    )
+                    return
+        slots = self.server.request_slots  # type: ignore[attr-defined]
+        if not slots.acquire(blocking=False):
+            self._send_json(
+                {"error": "too many concurrent requests"},
+                429,
+                retry_after_s=1.0,
+            )
+            return
+        try:
+            handler()
+        finally:
+            slots.release()
+
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._guarded(self._do_get)
+
+    def _do_get(self) -> None:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         if url.path == "/healthz":
@@ -102,12 +179,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if job.status == "failed":
             self._send_json(_job_status(job), 500)
         elif job.status != "done":
-            self._send_json(_job_status(job), 202)
+            self._send_json(_job_status(job), 202, retry_after_s=1.0)
         else:
             self._send_bytes(job.artifact or b"{}")
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._guarded(self._do_post)
+
+    def _do_post(self) -> None:
         url = urlparse(self.path)
         try:
             if url.path == "/v1/submit":
@@ -119,19 +199,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json({"error": f"no such path {url.path!r}"}, 404)
         except RequestError as exc:
             self._send_json({"error": str(exc)}, 400)
+        except ServiceOverloadError as exc:
+            self._send_json(
+                {"error": str(exc)}, 503, retry_after_s=exc.retry_after_s
+            )
 
     def _allocate_sync(self, url) -> None:
         query = parse_qs(url.query)
         timeout = float(
             query.get("timeout_s", [DEFAULT_SYNC_TIMEOUT_S])[0]
         )
+        timeout = min(max(timeout, 0.0), MAX_SYNC_TIMEOUT_S)
         job = self.service.submit(self._read_body())
         job.wait(timeout)
         status = _job_status(job)
         if job.status == "failed":
             self._send_json(status, 500)
         elif job.status != "done":
-            self._send_json(status, 202)
+            self._send_json(status, 202, retry_after_s=1.0)
         else:
             status["artifact"] = json.loads(job.artifact)
             self._send_json(status)
@@ -145,6 +230,9 @@ class ServiceServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], service: AllocationService):
         super().__init__(address, ServiceHandler)
         self.service = service
+        self.request_slots = threading.BoundedSemaphore(
+            max(1, service.config.max_concurrent_requests)
+        )
 
 
 def make_server(

@@ -1,0 +1,141 @@
+"""Independent artifact verification: every tamper class is caught."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ir import print_function
+from repro.resilience import AllocationVerifier
+from repro.service import artifact_bytes, build_artifact, cache_key
+
+from .conftest import build_mac_kernel
+
+FILE = {"registers": 32, "banks": 2}
+IR = print_function(build_mac_kernel())
+
+
+@pytest.fixture(scope="module")
+def artifact() -> dict:
+    return build_artifact(IR, FILE, "bpc")
+
+
+@pytest.fixture(scope="module")
+def data(artifact) -> bytes:
+    return artifact_bytes(artifact)
+
+
+def _tampered(artifact: dict, **overrides) -> bytes:
+    mutated = json.loads(json.dumps(artifact))
+    for dotted, value in overrides.items():
+        target = mutated
+        *path, leaf = dotted.split("__")
+        for part in path:
+            target = target[part]
+        target[leaf] = value
+    return artifact_bytes(mutated)
+
+
+# ----------------------------------------------------------------------
+# Modes
+# ----------------------------------------------------------------------
+def test_mode_gating():
+    strict = AllocationVerifier("strict")
+    cached = AllocationVerifier("cached-only")
+    off = AllocationVerifier("off")
+    for source in ("computed", "memory", "disk"):
+        assert strict.should_verify(source)
+        assert not off.should_verify(source)
+    assert cached.should_verify("disk")
+    assert not cached.should_verify("memory")
+    assert not cached.should_verify("computed")
+    with pytest.raises(ValueError):
+        AllocationVerifier("paranoid")
+
+
+# ----------------------------------------------------------------------
+# Clean artifacts pass every check
+# ----------------------------------------------------------------------
+def test_clean_artifact_passes_with_and_without_original_ir(data):
+    verifier = AllocationVerifier("strict")
+    key = cache_key(IR, FILE, "bpc")
+    report = verifier.verify_bytes(data, expected_key=key, original_ir=IR)
+    assert report.ok, report.render()
+    assert "semantic" in report.checks
+    report = verifier.verify_bytes(data)
+    assert report.ok
+    assert "semantic" not in report.checks
+
+
+# ----------------------------------------------------------------------
+# Tamper classes
+# ----------------------------------------------------------------------
+def test_non_canonical_bytes_rejected(data):
+    verifier = AllocationVerifier("strict")
+    pretty = json.dumps(json.loads(data), indent=2).encode()
+    assert not verifier.verify_bytes(pretty).ok
+    assert not verifier.verify_bytes(data + b"\n").ok
+    assert not verifier.verify_bytes(b"\x00garbage\xff").ok
+    assert not verifier.verify_bytes(b'["not", "an", "object"]').ok
+
+
+def test_wrong_key_and_schema_rejected(artifact, data):
+    verifier = AllocationVerifier("strict")
+    report = verifier.verify_bytes(data, expected_key="0" * 64)
+    assert any("content address" in f for f in report.findings)
+    report = verifier.verify_bytes(_tampered(artifact, schema=99))
+    assert any("schema" in f for f in report.findings)
+    report = verifier.verify_bytes(_tampered(artifact, key="f" * 64),
+                                   original_ir=IR)
+    assert not report.ok
+
+
+def test_tampered_stats_rejected(artifact):
+    verifier = AllocationVerifier("strict")
+    claimed = artifact["stats"]["bank_conflicts"]
+    report = verifier.verify_bytes(
+        _tampered(artifact, stats__bank_conflicts=claimed + 5)
+    )
+    assert any("stats.bank_conflicts" in f for f in report.findings)
+
+
+def test_out_of_file_assignment_rejected(artifact):
+    verifier = AllocationVerifier("strict")
+    report = verifier.verify_bytes(_tampered(artifact, assignment__extra=512))
+    assert any("outside the" in f for f in report.findings)
+
+
+def test_corrupted_ir_rejected(artifact):
+    verifier = AllocationVerifier("strict")
+    broken = _tampered(artifact, ir=artifact["ir"].replace("ret", "retx", 1))
+    report = verifier.verify_bytes(broken)
+    # Depending on how far the mangled text gets, either the parser or
+    # the IR verifier rejects it — never silence.
+    assert not report.ok
+
+
+def test_semantically_wrong_allocation_rejected(artifact):
+    # Swap an operand: structurally fine, observably different.
+    mutated_ir = artifact["ir"].replace("fadd", "fsub", 1)
+    mutated = _tampered(artifact, ir=mutated_ir)
+    verifier = AllocationVerifier("strict")
+    report = verifier.verify_bytes(mutated, original_ir=IR)
+    assert not report.ok
+
+
+def test_missing_fields_rejected(artifact):
+    verifier = AllocationVerifier("strict")
+    partial = {k: v for k, v in artifact.items() if k != "assignment"}
+    report = verifier.verify_artifact(partial)
+    assert any("missing fields" in f for f in report.findings)
+
+
+def test_report_render_mentions_findings(artifact):
+    verifier = AllocationVerifier("strict")
+    report = verifier.verify_bytes(
+        _tampered(artifact, stats__instructions=0)
+    )
+    rendered = report.render()
+    assert "finding" in rendered
+    assert "stats.instructions" in rendered

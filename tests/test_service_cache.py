@@ -17,6 +17,7 @@ from repro.service import (
     cache_key,
     canonical_ir,
 )
+from repro.service.cache import DISK_FORMAT, _unframe
 from repro.sim import analyze_static
 
 from .conftest import build_mac_kernel
@@ -98,7 +99,13 @@ def test_hit_after_miss_is_bit_identical(ir):
     cold = artifact_bytes(build_artifact(ir, FILE, "bpc"))
     cache.put(key, cold)
     assert cache.get(key) == cold
-    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+    assert cache.stats() == {
+        "entries": 1,
+        "hits": 1,
+        "misses": 1,
+        "quarantined": 0,
+        "disk_write_errors": 0,
+    }
 
 
 def test_disk_layer_round_trips_and_survives_restart(tmp_path, ir):
@@ -106,7 +113,11 @@ def test_disk_layer_round_trips_and_survives_restart(tmp_path, ir):
     data = artifact_bytes(build_artifact(ir, FILE, "non"))
     cache = AllocationCache(cache_dir=str(tmp_path))
     cache.put(key, data)
-    assert (tmp_path / key[:2] / f"{key}.json").read_bytes() == data
+    # On disk the payload sits behind a checksummed header frame.
+    raw = (tmp_path / key[:2] / f"{key}.json").read_bytes()
+    assert raw.startswith(DISK_FORMAT + b" ")
+    assert raw.endswith(data)
+    assert _unframe(raw) == data
     # A fresh instance over the same directory serves the same bytes.
     reopened = AllocationCache(cache_dir=str(tmp_path))
     assert reopened.get(key) == data

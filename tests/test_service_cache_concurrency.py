@@ -1,0 +1,155 @@
+"""On-disk cache under concurrency and partial writes.
+
+The disk layer is shared state: multiple server processes may insert
+the same content-addressed entry at once, and a crashed writer can
+leave a torn file behind.  The invariants:
+
+* racing writers never produce a torn *visible* entry (atomic rename);
+* a reader that does meet a torn/truncated file never returns malformed
+  bytes — the checksum frame rejects it and the entry is quarantined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+
+import pytest
+
+from repro.service.cache import AllocationCache, DISK_FORMAT, _frame, _unframe
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _writer_proc(args) -> bool:
+    cache_dir, key, payload = args
+    cache = AllocationCache(cache_dir=cache_dir)
+    cache.put(key, payload)
+    return cache.get(key) == payload
+
+
+# ----------------------------------------------------------------------
+# Frame primitives
+# ----------------------------------------------------------------------
+def test_frame_round_trip_and_rejections():
+    payload = b'{"k":1}'
+    framed = _frame(payload)
+    assert framed.startswith(DISK_FORMAT + b" ")
+    assert _unframe(framed) == payload
+    # Every torn prefix of a framed entry is rejected, never misread.
+    for cut in range(len(framed)):
+        assert _unframe(framed[:cut]) is None
+    # A flipped payload bit breaks the digest.
+    corrupt = bytearray(framed)
+    corrupt[-1] ^= 1
+    assert _unframe(bytes(corrupt)) is None
+    # Legacy/foreign files (no header) are rejected.
+    assert _unframe(payload) is None
+    assert _unframe(b"") is None
+
+
+# ----------------------------------------------------------------------
+# Racing processes
+# ----------------------------------------------------------------------
+@pytest.mark.parallel
+def test_racing_processes_same_key_converge(tmp_path):
+    cache_dir = str(tmp_path)
+    key = _key("shared")
+    payload = b'{"artifact": "' + b"x" * 4096 + b'"}'
+    with multiprocessing.Pool(4) as pool:
+        outcomes = pool.map(
+            _writer_proc, [(cache_dir, key, payload)] * 8
+        )
+    assert all(outcomes)
+    reader = AllocationCache(cache_dir=cache_dir)
+    assert reader.get(key) == payload
+    assert reader.stats()["quarantined"] == 0
+
+
+@pytest.mark.parallel
+def test_racing_processes_distinct_keys_all_land(tmp_path):
+    cache_dir = str(tmp_path)
+    jobs = [
+        (cache_dir, _key(f"k{i}"), b'{"i": ' + str(i).encode() + b"}")
+        for i in range(16)
+    ]
+    with multiprocessing.Pool(4) as pool:
+        outcomes = pool.map(_writer_proc, jobs)
+    assert all(outcomes)
+    reader = AllocationCache(cache_dir=cache_dir)
+    for _, key, payload in jobs:
+        assert reader.get(key) == payload
+
+
+# ----------------------------------------------------------------------
+# Torn files on disk
+# ----------------------------------------------------------------------
+def test_truncated_entry_never_returns_malformed_bytes(tmp_path):
+    cache_dir = str(tmp_path)
+    key = _key("torn")
+    payload = b'{"assignment": {"v0": 0}}'
+    writer = AllocationCache(cache_dir=cache_dir)
+    writer.put(key, payload)
+    path = os.path.join(cache_dir, key[:2], f"{key}.json")
+    framed = open(path, "rb").read()
+
+    # Simulate a crash mid-write at every possible torn length.
+    for cut in (0, 1, len(DISK_FORMAT), len(framed) // 2, len(framed) - 1):
+        with open(path, "wb") as fh:
+            fh.write(framed[:cut])
+        reader = AllocationCache(cache_dir=cache_dir)
+        assert reader.get(key) is None  # never malformed bytes
+        assert reader.stats()["quarantined"] == 1
+        assert not os.path.exists(path)  # moved aside
+        quarantined = path[: -len(".json")] + ".quarantined"
+        assert os.path.exists(quarantined)
+        os.unlink(quarantined)
+        # Restore for the next cut.
+        with open(path, "wb") as fh:
+            fh.write(framed)
+
+    # The intact entry still reads cleanly afterwards.
+    assert AllocationCache(cache_dir=cache_dir).get(key) == payload
+
+
+def test_tmp_droppings_are_ignored(tmp_path):
+    cache_dir = str(tmp_path)
+    key = _key("clean")
+    cache = AllocationCache(cache_dir=cache_dir)
+    cache.put(key, b'{"ok": true}')
+    # A crashed writer's temp file next to the entry changes nothing.
+    shard = os.path.join(cache_dir, key[:2])
+    with open(os.path.join(shard, "zzz.tmp"), "wb") as fh:
+        fh.write(b"\x00partial")
+    reader = AllocationCache(cache_dir=cache_dir)
+    assert reader.get(key) == b'{"ok": true}'
+    assert reader.stats()["quarantined"] == 0
+
+
+def test_concurrent_threads_one_cache_instance(tmp_path):
+    import threading
+
+    cache = AllocationCache(cache_dir=str(tmp_path), max_entries=64)
+    errors: list[Exception] = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for i in range(50):
+                key = _key(f"{worker}:{i % 8}")
+                payload = b'{"w": ' + str(i % 8).encode() + b"}"
+                cache.put(key, payload)
+                got = cache.get(key)
+                assert got == payload
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert cache.stats()["quarantined"] == 0
