@@ -15,16 +15,31 @@ recorded in ``benchmarks/results/service_overhead.txt``.
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 
-from repro.ir import print_function
+from repro.ir import IRBuilder, print_function, print_module
+from repro.ir.function import Module
 from repro.prescount import PipelineConfig, run_pipeline
-from repro.service import AllocationService, ServiceConfig
+from repro.service import (
+    AllocationService,
+    IncrementalAllocator,
+    ServiceConfig,
+    artifact_bytes,
+    build_artifact,
+    build_module_artifact,
+)
 from repro.sim import analyze_static
 
 FILE_SPEC = {"registers": 32, "banks": 2}
 ROUNDS = 30
+
+#: Flat-core acceptance gates (see docs/PERFORMANCE.md): the perf-smoke
+#: CI job fails the build when the large-kernel speedup drops below
+#: these, or when any backend's artifact bytes diverge.
+NUMPY_SPEEDUP_GATE = 3.0
+PYTHON_SPEEDUP_GATE = 2.0
 
 
 def _kernels(ctx, count=8):
@@ -89,3 +104,141 @@ def test_service_overhead(ctx, record_text):
     ]
     record_text("service_overhead", "\n".join(lines))
     assert cached_ms < cold_ms, "a cache hit should beat executing"
+
+
+# ----------------------------------------------------------------------
+# Flat-core speedup: REPRO_FAST backends vs the object path, plus the
+# incremental module path.  Byte identity is asserted on every pair.
+# ----------------------------------------------------------------------
+
+def _loop_kernel(name: str, body_ops: int, trip_count: int = 64):
+    """Deterministic single-loop kernel with ``2*body_ops`` arith ops."""
+    b = IRBuilder(name)
+    xs = [b.const(float(i + 1)) for i in range(8)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=trip_count):
+        vals = list(xs)
+        for i in range(body_ops):
+            value = b.arith("fmul", vals[i % len(vals)], vals[(i + 3) % len(vals)])
+            vals.append(value)
+            if len(vals) > 24:
+                vals.pop(0)
+            b.arith_into(acc, "fadd", acc, value)
+    b.ret(acc)
+    return b.finish()
+
+
+def _forced(mode: str):
+    import contextlib
+
+    @contextlib.contextmanager
+    def _inner():
+        previous = os.environ.get("REPRO_FAST")
+        os.environ["REPRO_FAST"] = mode
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_FAST", None)
+            else:
+                os.environ["REPRO_FAST"] = previous
+
+    return _inner()
+
+
+def _timed_artifact(mode: str, ir: str, rounds: int = 3):
+    """(best wall seconds, artifact bytes) for one bare request."""
+    with _forced(mode):
+        best, data = None, None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            artifact = build_artifact(ir, FILE_SPEC, "bpc")
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+            data = artifact_bytes(artifact)
+        return best, data
+
+
+def test_flat_speedup(record_text):
+    """Bare single-request latency: object path vs flat backends.
+
+    The flat core targets large kernels — mask/CSR costs amortize with
+    instruction count — so the headline gate runs a ~2000-instruction
+    loop kernel; a ~600-instruction kernel is recorded for context.
+    """
+    try:
+        import numpy  # noqa: F401
+
+        modes = ("python", "numpy")
+    except ImportError:  # pragma: no cover - numpy is baked in
+        modes = ("python",)
+
+    report = []
+    gated = {}
+    for label, body_ops in (("medium", 300), ("large", 1000)):
+        ir = print_function(_loop_kernel(f"flat_{label}", body_ops))
+        bare_s, bare_bytes = _timed_artifact("off", ir)
+        row = [f"  {label} kernel ({2 * body_ops + 10} instrs):",
+               f"    object path (REPRO_FAST=off) {bare_s * 1000:9.1f} ms"]
+        for mode in modes:
+            flat_s, flat_bytes = _timed_artifact(mode, ir)
+            assert flat_bytes == bare_bytes, (
+                f"REPRO_FAST={mode} diverged from the object path "
+                f"on the {label} kernel"
+            )
+            speedup = bare_s / flat_s
+            row.append(
+                f"    REPRO_FAST={mode:<6}            "
+                f"{flat_s * 1000:9.1f} ms   ({speedup:.2f}x, bit-identical)"
+            )
+            if label == "large":
+                gated[mode] = speedup
+        report.extend(row)
+
+    # Incremental module path: warm rebuild with 1 of 4 changed vs a
+    # cold from-scratch build of the same changed module.
+    def _module(changed: bool) -> str:
+        module = Module("flat_bench_mod")
+        for i in range(4):
+            trips = 32 if (i == 0 and changed) else 64
+            module.add(_loop_kernel(f"fn{i}", 300, trip_count=trips))
+        return print_module(module)
+
+    with _forced(modes[-1]):
+        allocator = IncrementalAllocator()
+        allocator.allocate(_module(False), FILE_SPEC, "bpc")
+        executed_before = allocator.counters["functions_executed"]
+        started = time.perf_counter()
+        warm = allocator.allocate(_module(True), FILE_SPEC, "bpc")
+        warm_s = time.perf_counter() - started
+        executed = allocator.counters["functions_executed"] - executed_before
+        started = time.perf_counter()
+        scratch = build_module_artifact(_module(True), FILE_SPEC, "bpc")
+        scratch_s = time.perf_counter() - started
+    assert artifact_bytes(warm) == artifact_bytes(scratch), (
+        "incremental rebuild is not bit-identical to from-scratch"
+    )
+    assert executed == 1, f"expected 1 re-executed function, got {executed}"
+    report.extend([
+        "  incremental module (4 fns, 1 changed, "
+        f"REPRO_FAST={modes[-1]}):",
+        f"    from-scratch build            {scratch_s * 1000:9.1f} ms",
+        f"    incremental rebuild           {warm_s * 1000:9.1f} ms   "
+        f"({scratch_s / warm_s:.2f}x, bit-identical, "
+        f"{4 - executed} of 4 reused)",
+    ])
+    record_text(
+        "flat_speedup",
+        "flat-core bare single-request speedup (best of 3):\n"
+        + "\n".join(report),
+    )
+    assert warm_s < scratch_s, "incremental rebuild should beat scratch"
+    assert gated["python"] >= PYTHON_SPEEDUP_GATE, (
+        f"pure-python flat speedup {gated['python']:.2f}x "
+        f"< gate {PYTHON_SPEEDUP_GATE}x"
+    )
+    if "numpy" in gated:
+        assert gated["numpy"] >= NUMPY_SPEEDUP_GATE, (
+            f"numpy flat speedup {gated['numpy']:.2f}x "
+            f"< gate {NUMPY_SPEEDUP_GATE}x"
+        )

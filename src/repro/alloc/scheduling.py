@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from ..ir.block import BasicBlock
 from ..ir.function import Function
 from ..ir.instruction import OpKind
-from ..ir.types import Register
 
 
 @dataclass
@@ -46,13 +45,23 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
     earlier phase left valid intervals behind; reorders invalidate all but
     the CFG-level analyses, leaving the cache consistent on return.
     """
+    from ..ir.flat import enabled as flat_enabled
     from ..obs import METRICS, TRACER
-    from ..passes import CFG_ONLY, AnalysisManager, LiveIntervalsAnalysis
+    from ..passes import (
+        CFG_ONLY,
+        AnalysisManager,
+        FlatIRAnalysis,
+        LiveIntervalsAnalysis,
+    )
 
     if am is None:
         am = AnalysisManager(function)
 
     before_pressure = am.get(LiveIntervalsAnalysis).max_pressure()
+    # One lowering serves every block: ``ordinal_of`` is keyed by
+    # instruction identity, so reordering earlier blocks does not
+    # invalidate the CSR rows the later blocks read.
+    flat = am.get(FlatIRAnalysis) if flat_enabled() else None
     original_orders = [list(block.instructions) for block in function.blocks]
 
     result = SchedulingResult()
@@ -60,7 +69,7 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
         "list-schedule", category="stage", function=function.name
     ):
         for block in function.blocks:
-            moved = _schedule_block(block)
+            moved = _schedule_block(block, flat)
             result.blocks_scheduled += 1
             result.instructions_moved += moved
 
@@ -79,11 +88,37 @@ def schedule_function(function: Function, am=None) -> SchedulingResult:
     return result
 
 
-def _schedule_block(block: BasicBlock) -> int:
+def _schedule_block(block: BasicBlock, flat=None) -> int:
     body = [i for i in block.instructions if not i.is_terminator]
     terminator = block.terminator
     if len(body) < 2:
         return 0
+
+    # Per-index operand views: interned rid slices from the flat CSR when
+    # available, register tuples otherwise.  Interning preserves operand
+    # equality (equal registers share a rid), and the algorithm below only
+    # compares operands for equality, so both views schedule identically.
+    if flat is not None:
+        ordinal_of = flat.ordinal_of
+        use_start, use_ids = flat.use_start, flat.use_ids
+        def_start, def_ids = flat.def_start, flat.def_ids
+        kinds = flat.kinds
+        mem_kinds = (OpKind.LOAD, OpKind.STORE, OpKind.CALL)
+        uses_list = []
+        defs_list = []
+        is_mem = []
+        for instr in body:
+            o = ordinal_of[id(instr)]
+            uses_list.append(use_ids[use_start[o]: use_start[o + 1]])
+            defs_list.append(def_ids[def_start[o]: def_start[o + 1]])
+            is_mem.append(kinds[o] in mem_kinds)
+    else:
+        uses_list = [instr.reg_uses() for instr in body]
+        defs_list = [instr.reg_defs() for instr in body]
+        is_mem = [
+            instr.kind in (OpKind.LOAD, OpKind.STORE, OpKind.CALL)
+            for instr in body
+        ]
 
     preds: dict[int, set[int]] = {i: set() for i in range(len(body))}
     succs: dict[int, set[int]] = {i: set() for i in range(len(body))}
@@ -93,53 +128,57 @@ def _schedule_block(block: BasicBlock) -> int:
             preds[later].add(earlier)
             succs[earlier].add(later)
 
-    last_def: dict[Register, int] = {}
-    last_uses: dict[Register, list[int]] = {}
+    last_def: dict = {}
+    last_uses: dict = {}
     last_mem: int | None = None
-    for i, instr in enumerate(body):
-        for use in instr.reg_uses():
+    for i in range(len(body)):
+        for use in uses_list[i]:
             if use in last_def:
                 add_dep(last_def[use], i)  # true dependency
             last_uses.setdefault(use, []).append(i)
-        for dst in instr.reg_defs():
+        for dst in defs_list[i]:
             if dst in last_def:
                 add_dep(last_def[dst], i)  # output dependency
             for user in last_uses.get(dst, ()):
                 add_dep(user, i)  # anti dependency
             last_def[dst] = i
             last_uses[dst] = []
-        if instr.kind in (OpKind.LOAD, OpKind.STORE, OpKind.CALL):
+        if is_mem[i]:
             if last_mem is not None:
                 add_dep(last_mem, i)  # conservative memory order
             last_mem = i
 
     # Kill counts: a use kills a value if no later instruction in the block
     # uses it (approximation: count last-use positions).
-    final_use: dict[Register, int] = {}
-    for i, instr in enumerate(body):
-        for use in instr.reg_uses():
+    final_use: dict = {}
+    for i in range(len(body)):
+        for use in uses_list[i]:
             final_use[use] = i
 
     def priority(i: int) -> tuple:
-        instr = body[i]
-        kills = sum(1 for u in instr.reg_uses() if final_use.get(u) == i)
-        grows = len(instr.reg_defs())
+        kills = sum(1 for u in uses_list[i] if final_use.get(u) == i)
+        grows = len(defs_list[i])
         # Prefer: more kills, fewer new values, then original order.
         return (-(kills - grows), i)
 
     ready = sorted((i for i in range(len(body)) if not preds[i]), key=priority)
+    in_ready = set(ready)
+    placed: set[int] = set()
     order: list[int] = []
     pending = {i: set(p) for i, p in preds.items()}
     while ready:
         current = ready.pop(0)
+        in_ready.discard(current)
+        placed.add(current)
         order.append(current)
         freshly_ready = []
         for succ in succs[current]:
             pending[succ].discard(current)
-            if not pending[succ] and succ not in order and succ not in ready:
+            if not pending[succ] and succ not in placed and succ not in in_ready:
                 freshly_ready.append(succ)
         if freshly_ready:
             ready.extend(freshly_ready)
+            in_ready.update(freshly_ready)
             ready.sort(key=priority)
 
     if len(order) != len(body):

@@ -52,10 +52,16 @@ class ConflictGraph:
         function: Function,
         cost_model: ConflictCostModel | None = None,
         regclass: RegClass | None = None,
+        flat=None,
     ) -> "ConflictGraph":
         if cost_model is None:
-            cost_model = ConflictCostModel.build(function, regclass=regclass)
+            cost_model = ConflictCostModel.build(
+                function, regclass=regclass, flat=flat
+            )
         graph = cls(regclass)
+        if flat is not None:
+            graph._build_flat(flat, cost_model)
+            return graph
         for _, instr in function.instructions():
             if not instr.is_conflict_relevant(regclass):
                 continue
@@ -76,6 +82,72 @@ class ConflictGraph:
                 graph.edge_cost[key] = graph.edge_cost.get(key, 0.0) + cost
                 graph.edge_instrs.setdefault(key, []).append(instr)
         return graph
+
+    def _build_flat(self, flat, cost_model: ConflictCostModel) -> None:
+        """Rid-space version of :meth:`build`'s instruction walk.
+
+        Accumulates adjacency/edge costs over interned ids (one tuple
+        hash per edge instead of a frozen-dataclass hash per operand) and
+        raises to the object-keyed dicts once, preserving the object
+        walk's insertion order and float accumulation order exactly.
+        """
+        from ..ir.instruction import OpKind
+
+        ordinal_cost = getattr(cost_model, "_ordinal_cost", None)
+        if getattr(cost_model, "_flat", None) is not flat:
+            ordinal_cost = None
+        kinds = flat.kinds
+        instrs = flat.instrs
+        reg_virtual = flat.reg_virtual
+        arith = OpKind.ARITH
+        adj: dict[int, set[int]] = {}
+        edge_cost: dict[tuple[int, int], float] = {}
+        edge_instrs: dict[tuple[int, int], list] = {}
+        node_seen: set[int] = set()
+        node_order: list[int] = []
+        for i in range(len(instrs)):
+            if kinds[i] is not arith:
+                continue
+            bank = flat.bank_reads(i, self.regclass)
+            if len(bank) < 2:
+                continue
+            reads = [rid for rid in bank if reg_virtual[rid]]
+            if len(reads) < 2:
+                continue
+            cost = (
+                ordinal_cost[i]
+                if ordinal_cost is not None
+                else cost_model.cost_of_instruction(instrs[i])
+            )
+            for rid in reads:
+                if rid not in node_seen:
+                    node_seen.add(rid)
+                    node_order.append(rid)
+                    adj[rid] = set()
+            for x in range(len(reads) - 1):
+                a = reads[x]
+                for y in range(x + 1, len(reads)):
+                    b = reads[y]
+                    key = (a, b) if a < b else (b, a)
+                    adj[a].add(b)
+                    adj[b].add(a)
+                    edge_cost[key] = edge_cost.get(key, 0.0) + cost
+                    edge_instrs.setdefault(key, []).append(instrs[i])
+        regs = flat.regs
+        self.adjacency = {
+            regs[r]: {regs[n] for n in adj[r]} for r in node_order
+        }
+        self.node_cost = {
+            regs[r]: cost_model.cost_of_register(regs[r]) for r in node_order
+        }
+        self.edge_cost = {
+            frozenset((regs[a], regs[b])): c
+            for (a, b), c in edge_cost.items()
+        }
+        self.edge_instrs = {
+            frozenset((regs[a], regs[b])): lst
+            for (a, b), lst in edge_instrs.items()
+        }
 
     # ------------------------------------------------------------------
     # Queries

@@ -49,12 +49,81 @@ class ConflictCostModel:
         loop_info: LoopInfo | None = None,
         regclass: RegClass | None = None,
         conflict_relevant_only: bool = True,
+        flat=None,
     ) -> "ConflictCostModel":
         if loop_info is None:
             loop_info = LoopInfo.build(function)
         model = cls(function, loop_info, regclass, conflict_relevant_only)
-        model._compute()
+        if flat is not None:
+            model._compute_flat(flat)
+        else:
+            model._compute()
         return model
+
+    def _compute_flat(self, flat) -> None:
+        """Rid-array version of :meth:`_compute`.
+
+        Per-register float accumulation follows the identical instruction
+        walk order, so sums are bit-identical; the raised dicts are keyed
+        in the same first-touch order as the object walk.
+        """
+        from ..ir.instruction import OpKind
+
+        nregs = flat.num_regs
+        access = [0.0] * nregs
+        access_order: list[int] = []
+        access_seen = [False] * nregs
+        reg_cost = [0.0] * nregs
+        cost_order: list[int] = []
+        cost_seen = [False] * nregs
+        ordinal_cost = [0.0] * len(flat.instrs)
+        use_start, use_ids = flat.use_start, flat.use_ids
+        def_start, def_ids = flat.def_start, flat.def_ids
+        kinds = flat.kinds
+        instrs = flat.instrs
+        instr_cost = self._instr_cost
+        arith = OpKind.ARITH
+        block_frequency = self.loop_info.block_frequency
+        for b, (bstart, bend) in enumerate(flat.block_bounds):
+            freq = block_frequency(flat.block_labels[b])
+            for i in range(bstart, bend):
+                instr_cost[id(instrs[i])] = freq
+                ordinal_cost[i] = freq
+                u0, u1 = use_start[i], use_start[i + 1]
+                d0, d1 = def_start[i], def_start[i + 1]
+                for j in range(u0, u1):
+                    rid = use_ids[j]
+                    if not access_seen[rid]:
+                        access_seen[rid] = True
+                        access_order.append(rid)
+                    access[rid] += freq
+                for j in range(d0, d1):
+                    rid = def_ids[j]
+                    if not access_seen[rid]:
+                        access_seen[rid] = True
+                        access_order.append(rid)
+                    access[rid] += freq
+                bank = flat.bank_reads(i, self.regclass)
+                relevant = kinds[i] is arith and len(bank) >= 2
+                if self.conflict_relevant_only:
+                    if not relevant:
+                        continue
+                    targets = bank
+                else:
+                    targets = [use_ids[j] for j in range(u0, u1)]
+                    targets += [def_ids[j] for j in range(d0, d1)]
+                for rid in targets:
+                    if not cost_seen[rid]:
+                        cost_seen[rid] = True
+                        cost_order.append(rid)
+                    reg_cost[rid] += freq
+        regs = flat.regs
+        self._access_cost = {regs[r]: access[r] for r in access_order}
+        self._reg_cost = {regs[r]: reg_cost[r] for r in cost_order}
+        # Let the conflict-graph build (sharing this flat) index Eq. 1
+        # costs by ordinal instead of hashing instruction ids.
+        self._flat = flat
+        self._ordinal_cost = ordinal_cost
 
     def _compute(self) -> None:
         for block in self.function.blocks:

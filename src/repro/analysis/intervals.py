@@ -61,6 +61,10 @@ class LiveInterval:
     use_slots: list[int] = field(default_factory=list)
     def_slots: list[int] = field(default_factory=list)
     weight: float = 0.0
+    #: Lazy coverage bitmask (bit *s* set iff slot *s* is covered); the
+    #: flat core's O(1) overlap currency.  Excluded from equality so two
+    #: value-equal intervals stay equal whether or not the cache is warm.
+    _mask: int | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,6 +86,22 @@ class LiveInterval:
             start = min(start, self.segments[lo].start)
             end = max(end, self.segments[hi - 1].end)
         self.segments[lo:hi] = [Segment(start, end)]
+        self._mask = None
+
+    # ------------------------------------------------------------------
+    # Coverage bitmask
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        """Coverage bitmask: ``mask_a & mask_b != 0`` iff the intervals
+        overlap — exactly :meth:`overlaps`, in one big-int AND."""
+        m = self._mask
+        if m is None:
+            m = 0
+            for seg in self.segments:
+                m |= (1 << seg.end) - (1 << seg.start)
+            self._mask = m
+        return m
 
     # ------------------------------------------------------------------
     # Queries
@@ -162,15 +182,27 @@ class LiveIntervals:
         cfg: CFG | None = None,
         slots: SlotIndexes | None = None,
         liveness: Liveness | None = None,
+        flat=None,
     ) -> "LiveIntervals":
+        """Build all intervals.
+
+        When *flat* (a :class:`~repro.ir.flat.FlatFunction`) is given,
+        the walk runs on interned rid arrays and constructs each
+        interval's canonical segment list in one shot — the result is
+        value-identical to the object-graph walk (same canonical merged
+        segments, same sorted use/def slots).
+        """
         if cfg is None:
             cfg = CFG.build(function)
         if slots is None:
             slots = SlotIndexes.build(function)
         if liveness is None:
-            liveness = Liveness.build(function, cfg)
+            liveness = Liveness.build(function, cfg, flat=flat)
         analysis = cls(function, slots, liveness)
-        analysis._compute()
+        if flat is not None:
+            analysis._compute_flat(flat)
+        else:
+            analysis._compute()
         return analysis
 
     def _interval(self, reg: Register) -> LiveInterval:
@@ -212,6 +244,96 @@ class LiveIntervals:
         for interval in self.intervals.values():
             interval.use_slots.sort()
             interval.def_slots.sort()
+
+    def _compute_flat(self, flat) -> None:
+        """The same backward walk as :meth:`_compute`, on rid arrays.
+
+        Raw ``(start, end)`` pairs are collected per rid and canonicalized
+        once (sort + touching merge) — the result equals the incremental
+        :meth:`LiveInterval.add_segment` insertion order-independently,
+        because both produce the maximal union of touching ranges.  The
+        interval dict is keyed in deterministic first-touch walk order;
+        downstream passes are provably order-independent (the object walk
+        seeds from frozensets, whose iteration order is hash-seed
+        dependent, yet outputs are seed-stable).
+        """
+        liveness = self.liveness
+        live_out_masks = getattr(liveness, "_live_out_masks", None)
+        if live_out_masks is None or getattr(liveness, "_flat", None) is not flat:
+            reg_ids = flat.reg_ids
+            live_out_masks = []
+            for label in flat.block_labels:
+                m = 0
+                for reg in liveness.live_out[label]:
+                    m |= 1 << reg_ids[reg]
+                live_out_masks.append(m)
+        nregs = flat.num_regs
+        seg_lists: list[list | None] = [None] * nregs
+        use_lists: list[list | None] = [None] * nregs
+        def_lists: list[list | None] = [None] * nregs
+        order: list[int] = []
+        use_start, use_ids = flat.use_start, flat.use_ids
+        def_start, def_ids = flat.def_start, flat.def_ids
+
+        def touch(rid: int) -> list:
+            segs = seg_lists[rid]
+            if segs is None:
+                segs = seg_lists[rid] = []
+                use_lists[rid] = []
+                def_lists[rid] = []
+                order.append(rid)
+            return segs
+
+        for b, (bstart, bend) in enumerate(flat.block_bounds):
+            if bstart == bend:
+                continue  # empty block
+            block_start = 2 * bstart
+            block_end = 2 * bend
+            live_end: dict[int, int] = {}
+            m = live_out_masks[b]
+            while m:
+                low = m & -m
+                live_end[low.bit_length() - 1] = block_end
+                m &= m - 1
+            for i in range(bend - 1, bstart - 1, -1):
+                read = 2 * i
+                write = read + 1
+                for j in range(def_start[i], def_start[i + 1]):
+                    rid = def_ids[j]
+                    segs = touch(rid)
+                    def_lists[rid].append(write)
+                    end = live_end.pop(rid, None)
+                    segs.append((write, write + 1 if end is None else end))
+                for j in range(use_start[i], use_start[i + 1]):
+                    rid = use_ids[j]
+                    touch(rid)
+                    use_lists[rid].append(read)
+                    if rid not in live_end:
+                        live_end[rid] = read + 1
+            for rid, end in live_end.items():
+                touch(rid).append((block_start, end))
+
+        intervals = self.intervals
+        regs = flat.regs
+        for rid in order:
+            raw = seg_lists[rid]
+            raw.sort()
+            merged: list[Segment] = []
+            cur_s, cur_e = raw[0]
+            for s, e in raw[1:]:
+                if s <= cur_e:
+                    if e > cur_e:
+                        cur_e = e
+                else:
+                    merged.append(Segment(cur_s, cur_e))
+                    cur_s, cur_e = s, e
+            merged.append(Segment(cur_s, cur_e))
+            uses = use_lists[rid]
+            uses.sort()
+            defs = def_lists[rid]
+            defs.sort()
+            reg = regs[rid]
+            intervals[reg] = LiveInterval(reg, merged, uses, defs)
 
     # ------------------------------------------------------------------
     def of(self, reg: Register) -> LiveInterval:

@@ -32,13 +32,37 @@ class Liveness:
     kill: dict[str, frozenset[Register]] = field(default_factory=dict)
 
     @classmethod
-    def build(cls, function: Function, cfg: CFG | None = None) -> "Liveness":
+    def build(
+        cls, function: Function, cfg: CFG | None = None, flat=None
+    ) -> "Liveness":
+        """Build liveness; with *flat* the dataflow solve runs over rid
+        bitmasks (same fixpoint, raised to the frozenset API at the end)."""
         if cfg is None:
             cfg = CFG.build(function)
         analysis = cls(function, cfg)
-        analysis._compute_gen_kill()
-        analysis._solve()
+        if flat is not None:
+            analysis._compute_flat(flat)
+        else:
+            analysis._compute_gen_kill()
+            analysis._solve()
         return analysis
+
+    def _compute_flat(self, flat) -> None:
+        from ..ir.flat import iter_bits
+
+        gen_m, kill_m, in_m, out_m = flat.liveness_masks()
+        regs = flat.regs
+        for b, label in enumerate(flat.block_labels):
+            self.gen[label] = frozenset(regs[r] for r in iter_bits(gen_m[b]))
+            self.kill[label] = frozenset(regs[r] for r in iter_bits(kill_m[b]))
+            self.live_in[label] = frozenset(regs[r] for r in iter_bits(in_m[b]))
+            self.live_out[label] = frozenset(
+                regs[r] for r in iter_bits(out_m[b])
+            )
+        # Stash the masks for the interval build's raising shim.
+        self._flat = flat
+        self._live_in_masks = in_m
+        self._live_out_masks = out_m
 
     def _compute_gen_kill(self) -> None:
         for block in self.function.blocks:

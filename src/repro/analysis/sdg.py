@@ -35,8 +35,16 @@ class SameDisplacementGraph:
     )
 
     @classmethod
-    def build(cls, function: Function, regclass: RegClass | None = None) -> "SameDisplacementGraph":
+    def build(
+        cls,
+        function: Function,
+        regclass: RegClass | None = None,
+        flat=None,
+    ) -> "SameDisplacementGraph":
         graph = cls(regclass)
+        if flat is not None:
+            graph._build_flat(flat)
+            return graph
         for _, instr in function.instructions():
             if not cls.needs_alignment(instr, regclass):
                 continue
@@ -56,6 +64,41 @@ class SameDisplacementGraph:
                 for dst in outputs:
                     graph.add_edge(src, dst, instr)
         return graph
+
+    def _build_flat(self, flat) -> None:
+        """Flat-array scan: same nodes/edges in the same insertion order,
+        without re-deriving operand tuples per instruction."""
+        arith = OpKind.ARITH
+        kinds = flat.kinds
+        regs = flat.regs
+        reg_virtual = flat.reg_virtual
+        def_start, def_ids = flat.def_start, flat.def_ids
+        regclass = self.regclass
+        for i in range(len(flat.instrs)):
+            if kinds[i] is not arith:
+                continue
+            d0, d1 = def_start[i], def_start[i + 1]
+            vdefs = [
+                def_ids[j] for j in range(d0, d1) if reg_virtual[def_ids[j]]
+            ]
+            if not vdefs:
+                continue
+            bank = flat.bank_reads(i, regclass)
+            if not bank:
+                continue
+            inputs = [rid for rid in bank if reg_virtual[rid]]
+            outputs = [
+                rid for rid in vdefs
+                if regs[rid].regclass.bankable
+                and (regclass is None or regs[rid].regclass == regclass)
+            ]
+            instr = flat.instrs[i]
+            for dst in outputs:
+                self._add_node(regs[dst])
+            for src in inputs:
+                self._add_node(regs[src])
+                for dst in outputs:
+                    self.add_edge(regs[src], regs[dst], instr)
 
     @staticmethod
     def needs_alignment(instr: Instruction, regclass: RegClass | None = None) -> bool:

@@ -127,12 +127,14 @@ def _demo_kernel(trip_count: int):
 
 
 def _cmd_allocate(args: argparse.Namespace) -> int:
-    """Allocate a demo kernel and print before/after plus statistics."""
+    """Allocate a demo kernel (or ``--ir`` text) and print statistics."""
     from .banks import BankedRegisterFile
     from .ir import print_function
     from .prescount import PipelineConfig, run_pipeline
     from .sim import analyze_static
 
+    if args.ir:
+        return _allocate_ir(args)
     fn = _demo_kernel(args.trip_count)
     register_file = BankedRegisterFile(args.registers, args.banks)
     result = run_pipeline(fn, PipelineConfig(register_file, args.method))
@@ -169,6 +171,80 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _allocate_ir(args: argparse.Namespace) -> int:
+    """``repro allocate --ir FILE``: allocate submitted IR text.
+
+    Multi-function text takes the module path; with ``--incremental``
+    fragments are reused from the store (``--store DIR`` persists it
+    across invocations), so re-allocating a module where K of N
+    functions changed re-runs only those K.
+    """
+    import json
+
+    from .service import (
+        IncrementalAllocator,
+        RequestError,
+        artifact_bytes,
+        build_artifact,
+        build_module_artifact,
+        is_module_text,
+    )
+
+    if args.ir == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.ir, encoding="utf-8") as fh:
+            text = fh.read()
+    spec = {"registers": args.registers, "banks": args.banks}
+    counters = None
+    try:
+        if is_module_text(text):
+            if args.incremental:
+                allocator = IncrementalAllocator(args.store)
+                artifact = allocator.allocate(text, spec, args.method)
+                counters = allocator.counters
+            else:
+                artifact = build_module_artifact(text, spec, args.method)
+        else:
+            artifact = build_artifact(text, spec, args.method)
+    except RequestError as exc:
+        print(f"allocate: {exc}", file=sys.stderr)
+        return 2
+    data = artifact_bytes(artifact)
+    summary = {
+        "key": artifact["key"],
+        "method": artifact["method"],
+        "stats": artifact["stats"],
+    }
+    if "functions" in artifact:
+        summary["functions"] = len(artifact["functions"])
+    if counters is not None:
+        summary["incremental"] = dict(counters)
+    print(json.dumps(summary, sort_keys=True))
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(data)
+        print(f"; wrote artifact {artifact['key'][:12]}… to {args.out}")
+    return 0
+
+
+def _cmd_selfcheck() -> int:
+    """Run the flat-vs-object bit-identity self-check; 0 iff identical."""
+    from .selfcheck import SelfCheckError, run_selfcheck
+
+    try:
+        summary = run_selfcheck()
+    except SelfCheckError as exc:
+        print(f"selfcheck: FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"selfcheck: ok (flat mode {summary['mode']}, methods "
+        f"{', '.join(summary['methods'])})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Independently re-check an allocation artifact file."""
     from .resilience import AllocationVerifier
@@ -194,8 +270,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the allocation service until interrupted."""
+    from .selfcheck import SelfCheckError, run_selfcheck
     from .service import ServiceConfig, make_server, shutdown_server
     from .service.server import ServiceHandler
+
+    # Boot-time self-check: never serve from a flat path that diverges
+    # from the object-graph baseline.
+    try:
+        summary = run_selfcheck()
+    except SelfCheckError as exc:
+        print(f"selfcheck failed; refusing to serve: {exc}", file=sys.stderr)
+        return 1
+    print(f"selfcheck ok (flat mode {summary['mode']})", flush=True)
 
     config = ServiceConfig(
         workers=args.workers,
@@ -365,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
         "a .folded suffix writes flamegraph-compatible collapsed stacks",
     )
     parser.add_argument(
+        "--selfcheck", action="store_true",
+        help="allocate a canned kernel with the flat core on and off and "
+        "hard-fail unless the artifacts are byte-identical; runs before "
+        "the subcommand (bare `repro --selfcheck` runs it alone)",
+    )
+    parser.add_argument(
         "--faults", metavar="PLAN.json", default=None,
         help="arm a seeded fault-injection plan (chaos testing; see "
         "docs/RESILIENCE.md). Also settable via the REPRO_FAULTS "
@@ -401,6 +493,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="FILE",
         help="also write the result artifact (canonical JSON, same "
         "schema and content address the service cache stores)",
+    )
+    p_alloc.add_argument(
+        "--ir", default=None, metavar="FILE",
+        help="allocate this IR text instead of the demo kernel ('-' "
+        "reads stdin); multi-function text builds a module artifact",
+    )
+    p_alloc.add_argument(
+        "--incremental", action="store_true",
+        help="module IR only: reuse per-function fragments from the "
+        "store, re-running the pipeline only for changed functions",
+    )
+    p_alloc.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist the fragment store under DIR so --incremental "
+        "reuse works across invocations (default: in-memory, one run)",
     )
     p_alloc.set_defaults(func=_cmd_allocate)
 
@@ -568,8 +675,18 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from . import obs
 
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv == ["--selfcheck"]:
+        # Bare `repro --selfcheck`: run the check without a subcommand.
+        return _cmd_selfcheck()
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.selfcheck:
+        code = _cmd_selfcheck()
+        if code:
+            return code
     if args.pass_stats:
         from .passes.instrument import GLOBAL
 

@@ -65,6 +65,93 @@ class RecordError(ValueError):
     """A history record is unreadable or not comparable."""
 
 
+def _latency_kernel(name: str = "latency_probe", trip_count: int = 64):
+    """Deterministic ~250-instruction loop kernel for latency probes."""
+    from ..ir import IRBuilder
+
+    builder = IRBuilder(name)
+    xs = [builder.const(float(i + 1)) for i in range(8)]
+    acc = builder.const(0.0)
+    with builder.loop(trip_count=trip_count):
+        vals = list(xs)
+        for i in range(120):
+            value = builder.arith(
+                "fmul", vals[i % len(vals)], vals[(i + 3) % len(vals)]
+            )
+            vals.append(value)
+            if len(vals) > 24:
+                vals.pop(0)
+            builder.arith_into(acc, "fadd", acc, value)
+    builder.ret(acc)
+    return builder.finish()
+
+
+def _timed_under(mode: str, fn, rounds: int) -> float:
+    """Best-of-*rounds* wall time of ``fn()`` with ``REPRO_FAST`` forced."""
+    previous = os.environ.get("REPRO_FAST")
+    os.environ["REPRO_FAST"] = mode
+    try:
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FAST", None)
+        else:
+            os.environ["REPRO_FAST"] = previous
+
+
+def measure_wall_latency(rounds: int = 3) -> dict:
+    """Single-request wall latency in ms: ``bare`` (object path), ``flat``
+    (resolved ``REPRO_FAST`` backend), and ``incremental`` (warm module
+    rebuild with one of four functions changed).
+
+    Informational only — timing is machine-dependent, so
+    :func:`diff_records` reports latency movement but never gates on it.
+    """
+    from ..ir import print_function, print_module
+    from ..ir.flat import fast_mode
+    from ..ir.function import Module
+    from ..service.artifact import build_artifact
+    from ..service.incremental import IncrementalAllocator
+
+    spec = {"registers": 32, "banks": 4}
+    ir = print_function(_latency_kernel())
+    bare = _timed_under("off", lambda: build_artifact(ir, spec, "bpc"), rounds)
+    mode = fast_mode()
+    flat_mode = mode if mode != "off" else "python"
+    flat = _timed_under(
+        flat_mode, lambda: build_artifact(ir, spec, "bpc"), rounds
+    )
+
+    def _module(changed: bool) -> str:
+        module = Module("latency_probe_mod")
+        for i in range(4):
+            # A different trip count changes only probe0.
+            trips = 32 if (i == 0 and changed) else 64
+            module.add(_latency_kernel(f"probe{i}", trip_count=trips))
+        return print_module(module)
+
+    allocator = IncrementalAllocator()
+    allocator.allocate(_module(False), spec, "bpc")
+    incremental = _timed_under(
+        flat_mode,
+        lambda: allocator.allocate(_module(True), spec, "bpc"),
+        1,
+    )
+    return {
+        "flat_mode": flat_mode,
+        "bare_ms": round(bare * 1000.0, 3),
+        "flat_ms": round(flat * 1000.0, 3),
+        "incremental_ms": round(incremental * 1000.0, 3),
+        "flat_speedup": round(bare / flat, 3) if flat else None,
+    }
+
+
 def _config_fingerprint(ctx: ExperimentContext) -> dict:
     return {
         "spec_scale": ctx.spec_scale,
@@ -74,11 +161,15 @@ def _config_fingerprint(ctx: ExperimentContext) -> dict:
     }
 
 
-def collect_record(ctx: ExperimentContext, label: str = "") -> dict:
+def collect_record(
+    ctx: ExperimentContext, label: str = "", *, measure_latency: bool = True
+) -> dict:
     """Run the canonical matrix and return one history record (a dict).
 
     Results are memoized on *ctx*, so collecting after regenerating
-    tables from the same context costs nothing extra.
+    tables from the same context costs nothing extra.  ``measure_latency``
+    adds the ``latency`` block (bare/flat/incremental wall ms); disable it
+    for timing-free unit runs.
     """
     start = time.monotonic()
     programs: dict[str, dict] = {}
@@ -106,6 +197,7 @@ def collect_record(ctx: ExperimentContext, label: str = "") -> dict:
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "config": _config_fingerprint(ctx),
         "wall_seconds": round(time.monotonic() - start, 3),
+        "latency": measure_wall_latency() if measure_latency else None,
         "programs": programs,
         "totals": totals,
     }
@@ -183,6 +275,9 @@ class DiffReport:
     structural: list[str] = field(default_factory=list)
     regressions: list[Delta] = field(default_factory=list)
     improvements: list[Delta] = field(default_factory=list)
+    #: Wall-latency movement (bare/flat/incremental ms).  Informational:
+    #: timing is machine-dependent, so it never affects the exit code.
+    latency_notes: list[str] = field(default_factory=list)
     compared: int = 0
 
     @property
@@ -218,6 +313,9 @@ class DiffReport:
         if self.structural:
             lines.append(f"  structural changes: {len(self.structural)}")
             lines.extend(f"    {s}" for s in self.structural)
+        if self.latency_notes:
+            lines.append("  wall latency (informational, never gates):")
+            lines.extend(f"    {s}" for s in self.latency_notes)
         lines.append(
             "  RESULT: "
             + ("REGRESSION" if self.has_regressions else "ok")
@@ -286,4 +384,13 @@ def diff_records(
                 )
     report.regressions.sort(key=lambda d: (-abs(d.pct), d.key, d.metric))
     report.improvements.sort(key=lambda d: (-abs(d.pct), d.key, d.metric))
+    old_latency = old.get("latency") or {}
+    new_latency = new.get("latency") or {}
+    for name in ("bare_ms", "flat_ms", "incremental_ms", "flat_speedup"):
+        old_value, new_value = old_latency.get(name), new_latency.get(name)
+        if old_value is None or new_value is None:
+            continue
+        report.latency_notes.append(
+            f"{name}: {old_value:g} -> {new_value:g}"
+        )
     return report

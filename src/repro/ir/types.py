@@ -56,6 +56,15 @@ class VirtualRegister:
     vid: int
     regclass: RegClass = FP
 
+    def __post_init__(self):
+        # Registers are dict keys on every hot path (liveness sets, RCG
+        # adjacency, bank maps); caching the tuple hash once here keeps
+        # the *value* identical while skipping the per-lookup recompute.
+        object.__setattr__(self, "_hash", hash((self.vid, self.regclass)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @property
     def name(self) -> str:
         return f"%v{self.vid}"
@@ -74,6 +83,12 @@ class PhysicalRegister:
 
     index: int
     regclass: RegClass = FP
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash((self.index, self.regclass)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def name(self) -> str:

@@ -19,6 +19,7 @@ from .analysis_manager import (
     CFGAnalysis,
     ConflictCostAnalysis,
     ConflictGraphAnalysis,
+    FlatIRAnalysis,
     InterferenceAnalysis,
     LiveIntervalsAnalysis,
     LivenessAnalysis,
@@ -40,6 +41,7 @@ __all__ = [
     "CFG_ONLY",
     "ConflictCostAnalysis",
     "ConflictGraphAnalysis",
+    "FlatIRAnalysis",
     "FunctionPassManager",
     "GLOBAL",
     "InstrumentationRegistry",

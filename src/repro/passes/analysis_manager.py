@@ -28,6 +28,8 @@ from ..analysis.liveness import Liveness
 from ..analysis.sdg import SameDisplacementGraph
 from ..analysis.slots import SlotIndexes
 from ..ir.cfg import CFG
+from ..ir.flat import FlatFunction
+from ..ir.flat import enabled as _flat_enabled
 from ..ir.function import Function
 from ..ir.loops import LoopInfo
 from ..obs import TRACER
@@ -83,6 +85,29 @@ class CFGAnalysis(Analysis):
         return CFG.build(function)
 
 
+class FlatIRAnalysis(Analysis):
+    """Flat-array lowering (:class:`repro.ir.flat.FlatFunction`).
+
+    The snapshot goes stale on any operand rewrite or instruction
+    insertion, so it is deliberately *not* in :data:`CFG_ONLY`: every
+    transform invalidation drops it alongside the analyses derived from
+    it.
+    """
+
+    @classmethod
+    def run(cls, function: Function, am: "AnalysisManager") -> FlatFunction:
+        return FlatFunction(function)
+
+
+def _flat_for(am: "AnalysisManager") -> FlatFunction | None:
+    """The shared flat lowering when ``REPRO_FAST`` is active, else None.
+
+    Analyses receive this as their ``flat=`` argument; passing None keeps
+    them on the original object-graph implementation.
+    """
+    return am.get(FlatIRAnalysis) if _flat_enabled() else None
+
+
 class SlotIndexesAnalysis(Analysis):
     """Linear instruction numbering (:class:`repro.analysis.slots.SlotIndexes`)."""
 
@@ -94,11 +119,11 @@ class SlotIndexesAnalysis(Analysis):
 class LivenessAnalysis(Analysis):
     """Block-level live-in/out sets (:class:`repro.analysis.liveness.Liveness`)."""
 
-    depends = (CFGAnalysis,)
+    depends = (CFGAnalysis, FlatIRAnalysis)
 
     @classmethod
     def run(cls, function: Function, am: "AnalysisManager") -> Liveness:
-        return Liveness.build(function, am.get(CFGAnalysis))
+        return Liveness.build(function, am.get(CFGAnalysis), flat=_flat_for(am))
 
 
 class LoopInfoAnalysis(Analysis):
@@ -114,7 +139,7 @@ class LoopInfoAnalysis(Analysis):
 class LiveIntervalsAnalysis(Analysis):
     """Per-register live intervals (:class:`repro.analysis.intervals.LiveIntervals`)."""
 
-    depends = (CFGAnalysis, SlotIndexesAnalysis, LivenessAnalysis)
+    depends = (CFGAnalysis, SlotIndexesAnalysis, LivenessAnalysis, FlatIRAnalysis)
 
     @classmethod
     def run(cls, function: Function, am: "AnalysisManager") -> LiveIntervals:
@@ -123,13 +148,14 @@ class LiveIntervalsAnalysis(Analysis):
             am.get(CFGAnalysis),
             am.get(SlotIndexesAnalysis),
             am.get(LivenessAnalysis),
+            flat=_flat_for(am),
         )
 
 
 class ConflictCostAnalysis(Analysis):
     """Eq. 1/2 conflict cost model (:class:`repro.analysis.cost.ConflictCostModel`)."""
 
-    depends = (LoopInfoAnalysis,)
+    depends = (LoopInfoAnalysis, FlatIRAnalysis)
 
     @classmethod
     def run(
@@ -144,20 +170,21 @@ class ConflictCostAnalysis(Analysis):
             am.get(LoopInfoAnalysis),
             regclass=regclass,
             conflict_relevant_only=conflict_relevant_only,
+            flat=_flat_for(am),
         )
 
 
 class ConflictGraphAnalysis(Analysis):
     """The RCG (:class:`repro.analysis.conflict_graph.ConflictGraph`)."""
 
-    depends = (ConflictCostAnalysis,)
+    depends = (ConflictCostAnalysis, FlatIRAnalysis)
 
     @classmethod
     def run(
         cls, function: Function, am: "AnalysisManager", regclass=None
     ) -> ConflictGraph:
         cost_model = am.get(ConflictCostAnalysis, regclass=regclass)
-        return ConflictGraph.build(function, cost_model, regclass)
+        return ConflictGraph.build(function, cost_model, regclass, flat=_flat_for(am))
 
 
 class InterferenceAnalysis(Analysis):
@@ -177,11 +204,13 @@ class InterferenceAnalysis(Analysis):
 class SDGAnalysis(Analysis):
     """Same Displacement Graph (:class:`repro.analysis.sdg.SameDisplacementGraph`)."""
 
+    depends = (FlatIRAnalysis,)
+
     @classmethod
     def run(
         cls, function: Function, am: "AnalysisManager", regclass=None
     ) -> SameDisplacementGraph:
-        return SameDisplacementGraph.build(function, regclass)
+        return SameDisplacementGraph.build(function, regclass, flat=_flat_for(am))
 
 
 CFG_ONLY = frozenset({CFGAnalysis, LoopInfoAnalysis})
@@ -189,6 +218,7 @@ CFG_ONLY = frozenset({CFGAnalysis, LoopInfoAnalysis})
 #: Every built-in analysis, for registries and documentation.
 ALL_ANALYSES: tuple[type[Analysis], ...] = (
     CFGAnalysis,
+    FlatIRAnalysis,
     SlotIndexesAnalysis,
     LivenessAnalysis,
     LoopInfoAnalysis,

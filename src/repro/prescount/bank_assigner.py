@@ -28,6 +28,7 @@ bank of their parent.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -98,51 +99,56 @@ class PresCountBankAssigner:
                 return (rcg.cost(node), rcg.degree(node), -node.vid)
             return (rcg.degree(node), rcg.cost(node), -node.vid)
 
-        while unprocessed:
-            seed = max(unprocessed, key=priority)
-            worklist: set[VirtualRegister] = {seed}
-            while worklist:
-                node = max(worklist, key=priority)
-                worklist.discard(node)
-                unprocessed.discard(node)
-                interval = intervals.of(node)
-                neighbor_colors = {
-                    assignment.banks[nb]
-                    for nb in rcg.neighbors(node)
-                    if nb in assignment.banks
-                }
-                avail = [c for c in range(num_banks) if c not in neighbor_colors]
-                if avail:
-                    path = PATH_CONFLICT_FREE
-                    ordered = self._prescount_prioritize(
-                        avail, interval, tracker, node=node, rcg=rcg, assignment=assignment
+        from ..ir.flat import enabled as flat_enabled
+
+        if flat_enabled() and unprocessed:
+            # The (cost, degree, -vid) key never changes while coloring,
+            # so the two `max` scans of the object loop (O(n) per colored
+            # node) collapse to one upfront sort for seeds plus a heap
+            # for the worklist.  A node enters the worklist at most once
+            # — once colored it leaves `unprocessed` for good — so heap
+            # membership mirrors the worklist set exactly and each pop
+            # IS the maximum: same ordering, no lazy deletion.  `-vid`
+            # makes the key a total order, so the selection sequence (and
+            # every downstream byte) is identical to the object loop.
+            prio = {node: priority(node) for node in unprocessed}
+            seed_order = sorted(unprocessed, key=prio.__getitem__, reverse=True)
+            seed_pos = 0
+            while unprocessed:
+                while seed_order[seed_pos] not in unprocessed:
+                    seed_pos += 1
+                seed = seed_order[seed_pos]
+                worklist: set[VirtualRegister] = {seed}
+                pk = prio[seed]
+                heap = [(-pk[0], -pk[1], -pk[2], seed)]
+                while worklist:
+                    node = heapq.heappop(heap)[3]
+                    worklist.discard(node)
+                    unprocessed.discard(node)
+                    self._color_node(
+                        function, node, rcg, intervals, assignment,
+                        tracker, reg_pressure, thres, num_banks,
                     )
-                else:
-                    assignment.uncolorable.add(node)
-                    METRICS.inc("prescount.uncolorable")
-                    all_colors = list(range(num_banks))
-                    if reg_pressure > thres:
-                        path = PATH_THRESHOLD_FALLBACK
-                        ordered = self._prescount_prioritize(
-                            all_colors, interval, tracker,
-                            node=node, rcg=rcg, assignment=assignment,
-                        )
-                    else:
-                        path = PATH_NEIGHBOUR_COST
-                        ordered = self._neighbour_cost_prioritize(
-                            all_colors, node, rcg, assignment
-                        )
-                color = ordered[0]
-                if AUDIT.enabled:
-                    self._audit_decision(
-                        function, node, path, ordered, interval,
-                        tracker, rcg, assignment, reg_pressure, thres,
+                    for neighbor in rcg.neighbors(node):
+                        if neighbor in unprocessed and neighbor not in worklist:
+                            worklist.add(neighbor)
+                            pk = prio[neighbor]
+                            heapq.heappush(heap, (-pk[0], -pk[1], -pk[2], neighbor))
+        else:
+            while unprocessed:
+                seed = max(unprocessed, key=priority)
+                worklist = {seed}
+                while worklist:
+                    node = max(worklist, key=priority)
+                    worklist.discard(node)
+                    unprocessed.discard(node)
+                    self._color_node(
+                        function, node, rcg, intervals, assignment,
+                        tracker, reg_pressure, thres, num_banks,
                     )
-                assignment.assign(node, color)
-                tracker.assign(color, interval)
-                for neighbor in rcg.neighbors(node):
-                    if neighbor in unprocessed:
-                        worklist.add(neighbor)
+                    for neighbor in rcg.neighbors(node):
+                        if neighbor in unprocessed:
+                            worklist.add(neighbor)
 
         if self.balance_free_registers:
             with TRACER.span(
@@ -162,6 +168,56 @@ class PresCountBankAssigner:
                     f"prescount.bank_pressure.bank{bank}", tracker.pressure(bank)
                 )
         return assignment
+
+    # ------------------------------------------------------------------
+    def _color_node(
+        self,
+        function: Function,
+        node: VirtualRegister,
+        rcg: ConflictGraph,
+        intervals: LiveIntervals,
+        assignment: BankAssignment,
+        tracker: BankPressureTracker,
+        reg_pressure: int,
+        thres: float,
+        num_banks: int,
+    ) -> None:
+        """Color one work-list node (the body of Algorithm 1's loop)."""
+        interval = intervals.of(node)
+        neighbor_colors = {
+            assignment.banks[nb]
+            for nb in rcg.neighbors(node)
+            if nb in assignment.banks
+        }
+        avail = [c for c in range(num_banks) if c not in neighbor_colors]
+        if avail:
+            path = PATH_CONFLICT_FREE
+            ordered = self._prescount_prioritize(
+                avail, interval, tracker, node=node, rcg=rcg, assignment=assignment
+            )
+        else:
+            assignment.uncolorable.add(node)
+            METRICS.inc("prescount.uncolorable")
+            all_colors = list(range(num_banks))
+            if reg_pressure > thres:
+                path = PATH_THRESHOLD_FALLBACK
+                ordered = self._prescount_prioritize(
+                    all_colors, interval, tracker,
+                    node=node, rcg=rcg, assignment=assignment,
+                )
+            else:
+                path = PATH_NEIGHBOUR_COST
+                ordered = self._neighbour_cost_prioritize(
+                    all_colors, node, rcg, assignment
+                )
+        color = ordered[0]
+        if AUDIT.enabled:
+            self._audit_decision(
+                function, node, path, ordered, interval,
+                tracker, rcg, assignment, reg_pressure, thres,
+            )
+        assignment.assign(node, color)
+        tracker.assign(color, interval)
 
     # ------------------------------------------------------------------
     def _audit_decision(
@@ -352,6 +408,19 @@ class PresCountPolicy:
             for b in range(register_file.num_banks)
         ]
         self._all = register_file.registers()
+        # Candidate order is a pure function of the bank, so with the
+        # flat core active the per-bank lists are built once here instead
+        # of per `order` call (the allocator copies what it receives).
+        from ..ir.flat import enabled as flat_enabled
+
+        self._fast = flat_enabled()
+        self._ordered_by_bank: list[list[PhysicalRegister]] | None = None
+        if self._fast and not self.strict:
+            self._ordered_by_bank = [
+                list(self._by_bank[b])
+                + [r for r in self._all if register_file.bank_of(r) != b]
+                for b in range(register_file.num_banks)
+            ]
 
     def setup(self, allocator) -> None:
         pass
@@ -365,6 +434,8 @@ class PresCountPolicy:
         preferred = self._by_bank[bank]
         if self.strict:
             return preferred
+        if self._ordered_by_bank is not None:
+            return self._ordered_by_bank[bank]
         rest = [r for r in self._all if self.register_file.bank_of(r) != bank]
         return list(preferred) + rest
 

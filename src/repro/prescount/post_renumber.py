@@ -114,9 +114,20 @@ def _renumber_once(
     """One renumbering sweep (see :func:`renumber_banks`)."""
     from ..passes import LiveIntervalsAnalysis, SlotIndexesAnalysis
 
+    from ..ir.flat import enabled as flat_enabled
+
     result = PostRenumberResult()
     slots = am.get(SlotIndexesAnalysis)
     live = am.get(LiveIntervalsAnalysis)
+    # With the flat core active every candidate-vs-victim range check is
+    # one bitmask AND (the lazy interval masks stay correct across the
+    # in-place `occupied()` bookkeeping: add_segment invalidates them).
+    fast = flat_enabled()
+
+    def overlaps(a: LiveInterval, b: LiveInterval) -> bool:
+        if fast:
+            return bool(a.mask & b.mask)
+        return a.overlaps(b)
 
     def interval_of(reg: PhysicalRegister) -> LiveInterval | None:
         return live.intervals.get(reg)
@@ -202,8 +213,8 @@ def _renumber_once(
                             # Would fix this site but conflict at another.
                             continue
                         cand_interval = interval_of(candidate)
-                        if cand_interval is None or not cand_interval.overlaps(
-                            victim_interval
+                        if cand_interval is None or not overlaps(
+                            cand_interval, victim_interval
                         ):
                             # Path-compress: entries already pointing at
                             # the victim must follow it to the candidate,
@@ -234,7 +245,7 @@ def _renumber_once(
                     cand_interval = interval_of(candidate)
                     probe = LiveInterval(candidate)
                     probe.add_segment(max(0, slot - 1), slot + 1)
-                    if cand_interval is None or not cand_interval.overlaps(probe):
+                    if cand_interval is None or not overlaps(cand_interval, probe):
                         pending.setdefault(id(instr), []).append(
                             ins.copy(candidate, victim, post_copy=True)
                         )

@@ -186,6 +186,13 @@ class DsaPresCountPolicy:
             for b in range(register_file.num_banks)
             for d in range(register_file.num_subgroups)
         }
+        # Lazy per-(bank, displacement) candidate lists: the order is a
+        # pure function of the pair, so with the flat core active each is
+        # assembled once instead of on every `order` call.
+        from ..ir.flat import enabled as flat_enabled
+
+        self._fast = flat_enabled()
+        self._ordered: dict[tuple[int, int], list[PhysicalRegister]] = {}
 
     def setup(self, allocator) -> None:
         pass
@@ -197,10 +204,17 @@ class DsaPresCountPolicy:
         if bank is None:
             return self._all
         displ = self.subgroups.displacement_for(vreg, interval)
+        if self._fast:
+            cached = self._ordered.get((bank, displ))
+            if cached is not None:
+                return cached
         hints = self._conforming[(bank, displ)]
         same_bank = [r for r in self._by_bank[bank] if r not in hints]
         rest = [r for r in self._all if self.register_file.bank_of(r) != bank]
-        return list(hints) + same_bank + rest
+        ordered = list(hints) + same_bank + rest
+        if self._fast:
+            self._ordered[(bank, displ)] = ordered
+        return ordered
 
     def on_assign(self, vreg: VirtualRegister, preg: PhysicalRegister) -> None:
         pass

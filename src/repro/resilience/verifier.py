@@ -68,6 +68,12 @@ REQUIRED_FIELDS = (
     "assignment", "stats",
 )
 
+#: Fields every spliced module artifact must carry.
+MODULE_REQUIRED_FIELDS = (
+    "schema", "kind", "key", "module", "method", "file", "flags",
+    "functions", "stats",
+)
+
 #: Statistics the verifier recomputes and compares bit-for-bit.
 RECHECKED_STATS = (
     "instructions", "conflict_relevant", "static_conflicts",
@@ -191,6 +197,10 @@ class AllocationVerifier:
 
         findings = report.findings
 
+        if artifact.get("kind") == "module":
+            self._verify_module(artifact, report, expected_key=expected_key)
+            return
+
         # -- schema & key ---------------------------------------------
         report.checks.append("schema")
         missing = [k for k in REQUIRED_FIELDS if k not in artifact]
@@ -296,3 +306,62 @@ class AllocationVerifier:
                     )
             except ExecutionError as exc:
                 findings.append(f"semantic check could not run: {exc}")
+
+    # ------------------------------------------------------------------
+    def _verify_module(
+        self,
+        artifact: dict,
+        report: VerificationReport,
+        *,
+        expected_key: str | None,
+    ) -> None:
+        """Verify a spliced module artifact: schema, key, every fragment.
+
+        Each fragment is an ordinary function artifact and goes through
+        the full per-function check battery; the module-level stats must
+        be the exact sum of the fragments' (a bad splice fails here).
+        """
+        from ..service.artifact import SCHEMA_VERSION
+
+        findings = report.findings
+        report.checks.append("module-schema")
+        missing = [k for k in MODULE_REQUIRED_FIELDS if k not in artifact]
+        if missing:
+            findings.append(f"module artifact is missing fields {missing}")
+            return
+        if artifact["schema"] != SCHEMA_VERSION:
+            findings.append(
+                f"unknown artifact schema {artifact['schema']!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+            return
+        if expected_key is not None and artifact["key"] != expected_key:
+            findings.append(
+                f"module key {artifact['key'][:12]}… does not match the "
+                f"request's content address {expected_key[:12]}…"
+            )
+        fragments = artifact["functions"]
+        if not isinstance(fragments, list) or not fragments:
+            findings.append("module artifact carries no function fragments")
+            return
+        report.checks.append("fragments")
+        summed: dict = {}
+        for i, fragment in enumerate(fragments):
+            if not isinstance(fragment, dict):
+                findings.append(f"functions[{i}] is not an artifact object")
+                continue
+            sub = VerificationReport()
+            self._verify_dict(
+                fragment, sub, expected_key=None, original_ir=None
+            )
+            findings.extend(
+                f"functions[{i}] ({fragment.get('function', '?')}): {f}"
+                for f in sub.findings
+            )
+            for name, value in (fragment.get("stats") or {}).items():
+                summed[name] = summed.get(name, 0) + value
+        if artifact["stats"] != summed:
+            findings.append(
+                "module stats are not the sum of the fragment stats "
+                "(bad splice)"
+            )

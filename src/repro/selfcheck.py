@@ -1,0 +1,86 @@
+"""Startup self-check: prove the flat core is bit-identical, right now.
+
+The flat-array hot path (:mod:`repro.ir.flat`) is only acceptable if it
+is invisible in the outputs.  ``repro --selfcheck`` (and ``repro
+serve``, at startup) allocates one canned kernel twice per method — once
+with ``REPRO_FAST=off`` (the original object-graph implementations) and
+once under the currently resolved mode — and compares the full result
+*artifact bytes* (allocated IR, assignment, every statistic).  Any
+difference raises :class:`SelfCheckError`; a service must hard-fail at
+boot rather than serve silently diverging allocations.
+
+When ``REPRO_FAST`` resolves to ``off`` the check still runs, comparing
+against the pure-python flat backend, so it never degenerates into
+comparing a path with itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .ir.flat import fast_mode
+
+#: Methods covered by one self-check run.
+SELFCHECK_METHODS = ("non", "bcr", "bpc")
+
+#: Register file the canned kernel is allocated against.
+SELFCHECK_FILE = {"registers": 16, "banks": 2}
+
+
+class SelfCheckError(RuntimeError):
+    """The flat path diverged from the object path on the canned kernel."""
+
+
+def _canned_kernel():
+    """A small loop kernel exercising copies, spilling pressure, and
+    repeated operands (the shapes the flat CSR must get exactly right)."""
+    from .ir import IRBuilder
+
+    b = IRBuilder("selfcheck")
+    xs = [b.const(float(i + 1)) for i in range(6)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=16):
+        for i in range(len(xs) - 1):
+            product = b.arith("fmul", xs[i], xs[i + 1])
+            b.arith_into(acc, "fadd", acc, product)
+        square = b.arith("fmul", acc, acc)
+        b.arith_into(acc, "fadd", acc, square)
+    b.ret(acc)
+    return b.finish()
+
+
+def _artifact_under(mode: str, ir: str, method: str) -> bytes:
+    """Artifact bytes for the canned kernel with ``REPRO_FAST`` forced."""
+    from .service.artifact import artifact_bytes, build_artifact
+
+    previous = os.environ.get("REPRO_FAST")
+    os.environ["REPRO_FAST"] = mode
+    try:
+        return artifact_bytes(build_artifact(ir, SELFCHECK_FILE, method))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FAST", None)
+        else:
+            os.environ["REPRO_FAST"] = previous
+
+
+def run_selfcheck(methods=SELFCHECK_METHODS) -> dict:
+    """Allocate the canned kernel both ways; raise on any byte diff.
+
+    Returns a small summary dict (``mode``, ``methods``) on success.
+    """
+    from .ir import print_function
+
+    mode = fast_mode()
+    flat_mode = mode if mode != "off" else "python"
+    ir = print_function(_canned_kernel())
+    for method in methods:
+        baseline = _artifact_under("off", ir, method)
+        fast = _artifact_under(flat_mode, ir, method)
+        if baseline != fast:
+            raise SelfCheckError(
+                f"flat path (REPRO_FAST={flat_mode}) diverged from the "
+                f"object path on method {method!r}: artifact bytes differ "
+                f"({len(baseline)} vs {len(fast)} bytes)"
+            )
+    return {"mode": flat_mode, "methods": tuple(methods), "ok": True}

@@ -23,12 +23,16 @@ from .artifact import (
     RequestError,
     artifact_bytes,
     build_artifact,
+    build_module_artifact,
     cache_key,
     canonical_ir,
+    is_module_text,
+    module_cache_key,
 )
 from .cache import AllocationCache
 from .client import CircuitOpenError, ServiceClient, ServiceError
 from .degrade import LADDER, TierCostModel, ladder_from, select_tier
+from .incremental import FragmentStore, IncrementalAllocator
 from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
 from .server import ServiceServer, make_server, shutdown_server
 
@@ -37,6 +41,8 @@ __all__ = [
     "AllocationService",
     "CircuitOpenError",
     "FLAG_DEFAULTS",
+    "FragmentStore",
+    "IncrementalAllocator",
     "Job",
     "LADDER",
     "RequestError",
@@ -49,10 +55,13 @@ __all__ = [
     "TierCostModel",
     "artifact_bytes",
     "build_artifact",
+    "build_module_artifact",
     "cache_key",
     "canonical_ir",
+    "is_module_text",
     "ladder_from",
     "make_server",
+    "module_cache_key",
     "select_tier",
     "shutdown_server",
 ]

@@ -32,8 +32,8 @@ from ..banks.register_file import (
     BankSubgroupRegisterFile,
     RegisterFile,
 )
-from ..ir.function import Function
-from ..ir.parser import parse_function
+from ..ir.function import Function, Module
+from ..ir.parser import parse_function, parse_module
 from ..ir.printer import print_function
 from ..prescount.bank_assigner import DEFAULT_THRES_RATIO
 from ..prescount.pipeline import METHODS, PipelineConfig, run_pipeline
@@ -217,3 +217,131 @@ def build_artifact(
 def artifact_bytes(artifact: dict) -> bytes:
     """Canonical wire/storage form; equality here is bit-identity."""
     return canonical_json(artifact).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Module artifacts: incremental reallocation over multi-function IR
+# ----------------------------------------------------------------------
+#
+# A module request ("func @a {...} func @b {...}") decomposes into one
+# *fragment* per function.  Each fragment is an ordinary function
+# artifact keyed by its own :func:`cache_key`, so when K of N functions
+# change between two submissions, the N-K unchanged fragments are plain
+# content-address hits and only the K changed functions re-run the
+# pipeline.  The spliced module artifact is byte-identical to a
+# from-scratch build by construction: fragments are canonical JSON, and
+# a loads/dumps round trip of canonical JSON is the identity.
+
+def is_module_text(text: str) -> bool:
+    """Whether IR text holds more than one ``func @`` definition."""
+    return text.count("func @") > 1
+
+
+def canonical_module(text: str | Module) -> Module:
+    """Parse module text (idempotent on an already-parsed module)."""
+    if isinstance(text, Module):
+        return text
+    try:
+        return parse_module(text)
+    except Exception as exc:
+        raise RequestError(f"unparseable IR: {exc}") from exc
+
+
+def module_cache_key(
+    ir: str | list[str],
+    file_spec: dict,
+    method: str,
+    flags: dict | None = None,
+) -> str:
+    """Content address of one *module* allocation request.
+
+    *ir* is either raw module text or the list of canonical per-function
+    IR texts.  The payload carries ``"kind": "module"`` so a module key
+    can never collide with a single-function :func:`cache_key`.
+    """
+    if isinstance(ir, str):
+        module = canonical_module(ir)
+        ir = [print_function(fn) for fn in module.functions]
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "module",
+        "ir": list(ir),
+        "file": normalize_file_spec(file_spec),
+        "method": check_method(method),
+        "flags": normalize_flags(flags),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def build_module_artifact(
+    module: Module | str,
+    file_spec: dict,
+    method: str,
+    flags: dict | None = None,
+    *,
+    store=None,
+    counters: dict | None = None,
+) -> dict:
+    """Allocate every function of a module, reusing cached fragments.
+
+    *store* is any object with ``get(key) -> bytes | None`` and
+    ``put(key, bytes)`` (an :class:`~repro.service.cache.AllocationCache`
+    or a plain dict via :class:`~repro.service.incremental.FragmentStore`).
+    Without a store every function executes — the from-scratch path the
+    parity tests compare against.
+
+    *counters*, when given, accumulates ``functions_total`` /
+    ``functions_reused`` / ``functions_executed`` across calls — the
+    observable proof that an incremental rebuild re-ran only the changed
+    functions.
+    """
+    flags = normalize_flags(flags)
+    file_spec = normalize_file_spec(file_spec)
+    method = check_method(method)
+    module = canonical_module(module)
+    if not module.functions:
+        raise RequestError("module holds no functions")
+    fragments: list[dict] = []
+    function_irs: list[str] = []
+    reused = executed = 0
+    for fn in module.functions:
+        ir = print_function(fn)
+        function_irs.append(ir)
+        frag_key = cache_key(ir, file_spec, method, flags, canonical=True)
+        data = store.get(frag_key) if store is not None else None
+        if data is not None:
+            # Canonical JSON round-trips exactly, so the reused fragment
+            # splices in byte-identical to a fresh build.
+            fragment = json.loads(data.decode("utf-8"))
+            reused += 1
+        else:
+            fragment = build_artifact(fn, file_spec, method, flags)
+            if store is not None:
+                store.put(frag_key, artifact_bytes(fragment))
+            executed += 1
+        fragments.append(fragment)
+    if counters is not None:
+        counters["functions_total"] = (
+            counters.get("functions_total", 0) + len(fragments)
+        )
+        counters["functions_reused"] = (
+            counters.get("functions_reused", 0) + reused
+        )
+        counters["functions_executed"] = (
+            counters.get("functions_executed", 0) + executed
+        )
+    stats: dict[str, Any] = {}
+    for fragment in fragments:
+        for name, value in fragment["stats"].items():
+            stats[name] = stats.get(name, 0) + value
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "module",
+        "key": module_cache_key(function_irs, file_spec, method, flags),
+        "module": module.name,
+        "method": method,
+        "file": file_spec,
+        "flags": flags,
+        "functions": fragments,
+        "stats": stats,
+    }

@@ -1,0 +1,84 @@
+"""Incremental reallocation: re-run only the functions that changed.
+
+A module request decomposes into per-function *fragments*, each an
+ordinary function artifact keyed by its own content address
+(:func:`~repro.service.artifact.cache_key`).  Between two submissions of
+a module where K of N functions differ, the N-K unchanged fragments are
+cache hits and only the K changed functions re-run the allocation
+pipeline; the spliced module artifact is byte-identical to a
+from-scratch build because fragments are canonical JSON
+(see :func:`~repro.service.artifact.build_module_artifact`).
+
+:class:`IncrementalAllocator` is the standalone front door used by
+``repro allocate --ir module.ir --incremental``; the service queue wires
+the same fragment reuse through its own
+:class:`~repro.service.cache.AllocationCache` (function artifacts *are*
+fragments, so a plain function request warms the module path and vice
+versa).
+"""
+
+from __future__ import annotations
+
+from .artifact import build_module_artifact
+from .cache import AllocationCache
+
+
+class FragmentStore:
+    """Minimal fragment store: the ``get``/``put`` protocol over a dict.
+
+    Used when no persistent :class:`AllocationCache` is wanted (tests,
+    one-shot CLI runs without ``--store``).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, bytes] = {}
+
+    def get(self, key: str) -> bytes | None:
+        return self._entries.get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._entries[key] = data
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class IncrementalAllocator:
+    """Fragment-reusing module allocator with run counters.
+
+    *store* may be a directory path (persisted
+    :class:`AllocationCache`), any object with ``get``/``put``, or
+    ``None`` for a fresh in-memory :class:`FragmentStore`.
+    """
+
+    def __init__(self, store: object | str | None = None):
+        if store is None:
+            store = FragmentStore()
+        elif isinstance(store, str):
+            store = AllocationCache(store)
+        self.store = store
+        self.counters: dict[str, int] = {
+            "modules": 0,
+            "functions_total": 0,
+            "functions_reused": 0,
+            "functions_executed": 0,
+        }
+
+    def allocate(
+        self,
+        module,
+        file_spec: dict,
+        method: str,
+        flags: dict | None = None,
+    ) -> dict:
+        """Build (or incrementally rebuild) one module artifact."""
+        artifact = build_module_artifact(
+            module,
+            file_spec,
+            method,
+            flags,
+            store=self.store,
+            counters=self.counters,
+        )
+        self.counters["modules"] += 1
+        return artifact

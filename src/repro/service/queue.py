@@ -61,13 +61,18 @@ from dataclasses import dataclass, field
 from ..experiments.harness import run_tasks
 from ..obs import AUDIT, METRICS, TRACER
 from ..resilience import AllocationVerifier, FAULTS, InjectedFault
+from ..ir.printer import print_module
 from .artifact import (
     RequestError,
     artifact_bytes,
     build_artifact,
+    build_module_artifact,
     cache_key,
     canonical_ir,
+    canonical_module,
     check_method,
+    is_module_text,
+    module_cache_key,
     normalize_file_spec,
     normalize_flags,
 )
@@ -83,6 +88,24 @@ class ServiceOverloadError(RuntimeError):
             f"queue depth {depth} at limit {limit}; request shed"
         )
         self.retry_after_s = retry_after_s
+
+
+class _FragmentView:
+    """Fragment-store adapter over a service's verified cache probe.
+
+    ``get`` routes through :meth:`AllocationService._cache_lookup`, so a
+    fragment read from disk is verified (and quarantined on failure) by
+    the same policy whole artifacts get; ``put`` is a plain insert.
+    """
+
+    def __init__(self, service: "AllocationService"):
+        self._service = service
+
+    def get(self, key: str) -> bytes | None:
+        return self._service._cache_lookup(key, None)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._service.cache.put(key, data)
 
 
 def _execute_request(payload: tuple) -> dict:
@@ -164,6 +187,9 @@ class Job:
     file_spec: dict
     requested_method: str
     flags: dict
+    #: ``function`` (single ``func @``) or ``module`` (several); module
+    #: jobs take the incremental per-fragment execution path.
+    kind: str = "function"
     deadline_s: float | None = None
     status: str = "queued"  # queued | running | done | failed
     cache: str = "miss"  # miss | hit | coalesced-onto (per-submit view)
@@ -271,6 +297,14 @@ class AllocationService:
             "shed": 0,
             "duplicate_deliveries": 0,
         }
+        #: Incremental (module) execution counters: the reuse/execute
+        #: split that proves only changed functions re-ran.
+        self.incremental = {
+            "modules": 0,
+            "functions_total": 0,
+            "functions_reused": 0,
+            "functions_executed": 0,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -350,13 +384,24 @@ class AllocationService:
         ir = request.get("ir")
         if not isinstance(ir, str) or not ir.strip():
             raise RequestError("request needs non-empty 'ir' text")
-        ir = canonical_ir(ir)
+        kind = "function"
+        if is_module_text(ir):
+            # Multi-function IR takes the incremental module path; a
+            # module of one function normalizes to a plain function
+            # request (is_module_text needs two ``func @``).
+            kind = "module"
+            ir = print_module(canonical_module(ir))
+        else:
+            ir = canonical_ir(ir)
         file_spec = normalize_file_spec(request.get("file", {}))
         method = check_method(request.get("method", "bpc"))
         flags = normalize_flags(request.get("flags"))
         deadline_ms = request.get("deadline_ms")
         deadline_s = None if deadline_ms is None else float(deadline_ms) / 1000.0
-        key = cache_key(ir, file_spec, method, flags, canonical=True)
+        if kind == "module":
+            key = module_cache_key(ir, file_spec, method, flags)
+        else:
+            key = cache_key(ir, file_spec, method, flags, canonical=True)
 
         with self._lock:
             self.counters["requests"] += 1
@@ -364,7 +409,7 @@ class AllocationService:
 
         cached = self._cache_lookup(key, ir)
         if cached is not None:
-            job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
+            job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
             job.cache = "hit"
             job.resolve(cached, method, degraded=False)
             with self._lock:
@@ -385,7 +430,7 @@ class AllocationService:
                 self.counters["shed"] += 1
                 METRICS.inc("service.shed")
                 raise ServiceOverloadError(depth, self.config.max_queue_depth)
-            job = self._new_job(key, ir, file_spec, method, flags, deadline_s)
+            job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
             self._inflight[key] = job
             self.counters["cache_misses"] += 1
         self._queue.put(job)
@@ -394,7 +439,7 @@ class AllocationService:
         return job
 
     def _new_job(
-        self, key, ir, file_spec, method, flags, deadline_s
+        self, key, ir, file_spec, method, flags, deadline_s, kind="function"
     ) -> Job:
         with self._lock:
             self._counter += 1
@@ -406,6 +451,7 @@ class AllocationService:
                 file_spec=file_spec,
                 requested_method=method,
                 flags=flags,
+                kind=kind,
                 deadline_s=deadline_s,
             )
             self._jobs[job_id] = job
@@ -520,13 +566,16 @@ class AllocationService:
                     self._note_degradation(job, tier)
                 # A degraded tier has its own content address; an earlier
                 # run may already have produced exactly this artifact.
-                exec_key = (
-                    job.key
-                    if tier == job.requested_method
-                    else cache_key(
+                if tier == job.requested_method:
+                    exec_key = job.key
+                elif job.kind == "module":
+                    exec_key = module_cache_key(
+                        job.ir, job.file_spec, tier, job.flags
+                    )
+                else:
+                    exec_key = cache_key(
                         job.ir, job.file_spec, tier, job.flags, canonical=True
                     )
-                )
                 cached = self._cache_lookup(exec_key, job.ir)
                 if cached is not None:
                     self._finish(job, cached, tier, degraded)
@@ -537,6 +586,23 @@ class AllocationService:
                 self._execute(to_execute, tiers)
 
     def _execute(self, jobs: list[Job], tiers: list[str]) -> None:
+        # Module jobs run inline on the dispatcher: incremental fragment
+        # reuse needs the shared artifact cache, which pool workers do
+        # not see.  Function artifacts *are* fragments, so earlier
+        # requests of either shape warm this path.
+        if any(job.kind == "module" for job in jobs):
+            rest: list[Job] = []
+            rest_tiers: list[str] = []
+            for job, tier in zip(jobs, tiers):
+                if job.kind == "module":
+                    job.attempts += 1
+                    self._execute_module(job, tier)
+                else:
+                    rest.append(job)
+                    rest_tiers.append(tier)
+            jobs, tiers = rest, rest_tiers
+            if not jobs:
+                return
         payloads = [
             (job.ir, job.file_spec, tier, job.flags)
             for job, tier in zip(jobs, tiers)
@@ -618,6 +684,59 @@ class AllocationService:
             with self._lock:
                 self.counters["executed"] += 1
             METRICS.observe("service.execution_s", seconds)
+
+    def _execute_module(self, job: Job, tier: str) -> None:
+        """One incremental module allocation, inline on the dispatcher.
+
+        Fragment probes go through the *verified* cache lookup (same
+        quarantine/recompute semantics as whole-artifact hits), so a
+        corrupted on-disk fragment heals instead of splicing garbage.
+        Only the functions whose fragments miss re-run the pipeline;
+        the reuse/execute split lands in :attr:`incremental`.
+        """
+        started = time.perf_counter()
+        try:
+            artifact = build_module_artifact(
+                job.ir, job.file_spec, tier, job.flags,
+                store=_FragmentView(self), counters=self.incremental,
+            )
+        except Exception as exc:
+            transient = isinstance(exc, (InjectedFault, OSError, TimeoutError))
+            self._handle_failure(job, str(exc), retryable=transient)
+            return
+        seconds = time.perf_counter() - started
+        with self._lock:
+            self.incremental["modules"] += 1
+        data = artifact_bytes(artifact)
+        if self.verifier.should_verify("computed"):
+            report = self.verifier.verify_bytes(
+                data, expected_key=artifact["key"]
+            )
+            with self._lock:
+                self.counters["verified"] += 1
+            if not report.ok:
+                with self._lock:
+                    self.counters["verify_failed"] += 1
+                METRICS.inc("service.verify_failed")
+                AUDIT.record(
+                    function=job.function_name, vreg="-",
+                    step="verify-fail", job=job.job_id,
+                    findings=report.findings[:3],
+                )
+                self._handle_failure(
+                    job,
+                    "module artifact failed verification: "
+                    + "; ".join(report.findings[:3]),
+                    retryable=True,
+                )
+                return
+        job.execution_s = seconds
+        self.cost_model.observe(tier, seconds)
+        self.cache.put(artifact["key"], data)
+        self._finish(job, data, tier, tier != job.requested_method)
+        with self._lock:
+            self.counters["executed"] += 1
+        METRICS.observe("service.execution_s", seconds)
 
     # ------------------------------------------------------------------
     # Failure path: bounded retries, then the dead-letter record
@@ -713,6 +832,7 @@ class AllocationService:
             dead_letter = list(self.dead_letter)
         stats = {
             "counters": counters,
+            "incremental": dict(self.incremental),
             "queue_depth": self._queue.qsize(),
             "cache": self.cache.stats(),
             "tiers": self.cost_model.snapshot(),

@@ -1,0 +1,208 @@
+"""Flat-core parity: the ``REPRO_FAST`` backends are invisible in output.
+
+Every workload suite × method must produce byte-identical result
+artifacts whichever backend runs (``off`` = object graph, ``python``,
+``numpy``), and an incremental module rebuild must equal the
+from-scratch build bit for bit whether 1, K, or all N functions
+changed.  The observability layers must keep rendering original
+register names (never interned rids) while the flat path is active.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro import obs
+from repro.banks import BankedRegisterFile
+from repro.ir import IRBuilder, print_function, print_module
+from repro.ir.function import Module
+from repro.prescount import PipelineConfig, run_pipeline
+from repro.selfcheck import SelfCheckError, run_selfcheck
+from repro.service import (
+    IncrementalAllocator,
+    artifact_bytes,
+    build_artifact,
+    build_module_artifact,
+)
+from repro.workloads import cnn_suite, dsa_suite, specfp_suite
+
+METHODS = ("non", "bcr", "bpc")
+FILE_SPEC = {"registers": 32, "banks": 4}
+
+try:
+    import numpy  # noqa: F401
+
+    MODES = ("off", "python", "numpy")
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    MODES = ("off", "python")
+
+
+def _forced(mode: str):
+    """Context manager forcing ``REPRO_FAST`` for one build."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _inner():
+        previous = os.environ.get("REPRO_FAST")
+        os.environ["REPRO_FAST"] = mode
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_FAST", None)
+            else:
+                os.environ["REPRO_FAST"] = previous
+
+    return _inner()
+
+
+def _workload_functions():
+    """One representative function per suite program, small ones only."""
+    suites = (
+        specfp_suite(scale=0.02),
+        cnn_suite(scale=0.1),
+        dsa_suite(idft_points=8),
+    )
+    picked = []
+    for suite in suites:
+        for program in suite.programs:
+            for fn in program.functions()[:1]:
+                if fn.instruction_count() <= 400:
+                    picked.append((f"{suite.name}/{program.name}", fn))
+    return picked
+
+
+WORKLOADS = _workload_functions()
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_artifacts_identical_across_backends(self, method):
+        """workload × method: off/python/numpy artifacts byte-identical."""
+        for label, fn in WORKLOADS:
+            ir = print_function(fn)
+            produced = {}
+            for mode in MODES:
+                with _forced(mode):
+                    produced[mode] = artifact_bytes(
+                        build_artifact(ir, FILE_SPEC, method)
+                    )
+            baseline = produced["off"]
+            for mode in MODES[1:]:
+                assert produced[mode] == baseline, (
+                    f"{label} method={method}: REPRO_FAST={mode} diverged "
+                    "from the object path"
+                )
+
+    def test_selfcheck_passes(self):
+        summary = run_selfcheck()
+        assert summary["ok"]
+
+    def test_selfcheck_detects_divergence(self, monkeypatch):
+        """A poisoned fast build must hard-fail, not slip through."""
+        import repro.selfcheck as sc
+
+        real = sc._artifact_under
+
+        def poisoned(mode, ir, method):
+            data = real(mode, ir, method)
+            return data + b" " if mode != "off" else data
+
+        monkeypatch.setattr(sc, "_artifact_under", poisoned)
+        with pytest.raises(SelfCheckError):
+            run_selfcheck(methods=("non",))
+
+
+def _kernel(name: str, n: int, trip_count: int = 8):
+    b = IRBuilder(name)
+    xs = [b.const(float(i + 1)) for i in range(n)]
+    acc = b.const(0.0)
+    with b.loop(trip_count=trip_count):
+        for i in range(len(xs) - 1):
+            product = b.arith("fmul", xs[i], xs[i + 1])
+            b.arith_into(acc, "fadd", acc, product)
+    b.ret(acc)
+    return b.finish()
+
+
+def _module(trips: list[int]) -> str:
+    module = Module("parity")
+    for i, trip in enumerate(trips):
+        module.add(_kernel(f"k{i}", 3 + i % 3, trip_count=trip))
+    return print_module(module)
+
+
+class TestIncrementalEqualsScratch:
+    """incremental rebuild == from-scratch build, bit for bit."""
+
+    SPEC = {"registers": 16, "banks": 2}
+
+    @pytest.mark.parametrize("changed", [1, 2, 5])
+    def test_rebuild_matches_scratch(self, changed):
+        base = [8, 8, 8, 8, 8]
+        allocator = IncrementalAllocator()
+        first = artifact_bytes(
+            allocator.allocate(_module(base), self.SPEC, "bpc")
+        )
+        scratch_first = artifact_bytes(
+            build_module_artifact(_module(base), self.SPEC, "bpc")
+        )
+        assert first == scratch_first
+
+        after = list(base)
+        for i in range(changed):
+            after[i] += 8  # a different trip count changes the function
+        rebuilt = artifact_bytes(
+            allocator.allocate(_module(after), self.SPEC, "bpc")
+        )
+        scratch = artifact_bytes(
+            build_module_artifact(_module(after), self.SPEC, "bpc")
+        )
+        assert rebuilt == scratch
+        assert allocator.counters["functions_total"] == 10
+        assert allocator.counters["functions_executed"] == 5 + changed
+        assert allocator.counters["functions_reused"] == 5 - changed
+
+
+class TestNamesSurviveFlatPath:
+    """Observability output renders %vN / $fN names, never interned rids."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        yield
+        obs.AUDIT.enable(False)
+        obs.AUDIT.reset()
+        obs.PROFILE.enable(False)
+        obs.PROFILE.reset()
+
+    def test_audit_decision_paths_use_vreg_names(self):
+        obs.AUDIT.enable()
+        obs.AUDIT.reset()
+        fn = _kernel("audit", 5, trip_count=16)
+        run_pipeline(fn, PipelineConfig(BankedRegisterFile(16, 2), "bpc"))
+        records = [r for r in obs.AUDIT.records if r.vreg != "-"]
+        assert records, "bpc pipeline recorded no vreg decisions"
+        for record in records:
+            assert re.fullmatch(r"%v\d+", record.vreg), (
+                f"audit record leaked a non-name register id: "
+                f"{record.vreg!r}"
+            )
+
+    def test_profile_listing_uses_register_names(self):
+        from repro.sim import estimate_dynamic_conflicts
+
+        obs.PROFILE.enable()
+        obs.PROFILE.reset()
+        register_file = BankedRegisterFile(8, 2)
+        fn = _kernel("hotspot", 6, trip_count=16)
+        result = run_pipeline(fn, PipelineConfig(register_file, "non"))
+        estimate_dynamic_conflicts(result.function, register_file)
+        listing = obs.PROFILE.annotate(result.function)
+        # The annotated listing is real printed IR: physical registers
+        # appear as $f<N>; a leaked interned id would print as a bare
+        # integer operand, which the grammar has no place for.
+        assert "$f" in listing
+        assert print_function(result.function).splitlines()[0] in listing

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis import ConflictCostModel, LiveIntervals
 from repro.ir.cfg import CFG
+from repro.ir.flat import enabled as flat_enabled
 from repro.ir.types import FP
 from repro.passes import (
     CFG_ONLY,
@@ -91,9 +92,12 @@ class TestInvalidation:
         am = AnalysisManager(mac_kernel)
         am.get(LiveIntervalsAnalysis)
         dropped = am.invalidate(PRESERVE_NONE)
-        assert dropped == 4  # intervals + cfg + slots + liveness
+        # intervals + cfg + slots + liveness, plus the flat lowering when
+        # REPRO_FAST is active (the default).
+        expected = 5 if flat_enabled() else 4
+        assert dropped == expected
         assert len(am) == 0
-        assert am.total_invalidations() == 4
+        assert am.total_invalidations() == expected
 
     def test_preserve_all_drops_nothing(self, mac_kernel):
         am = AnalysisManager(mac_kernel)
@@ -157,11 +161,17 @@ class TestReporting:
 
     def test_totals(self, mac_kernel):
         am = AnalysisManager(mac_kernel)
-        # Intervals miss 4 analyses; Liveness's internal CFG request hits.
+        # Intervals miss 4 analyses (5 with the flat lowering); Liveness's
+        # internal CFG request hits, and with REPRO_FAST active the flat
+        # lowering is requested twice (Liveness, then LiveIntervals).
         am.get(LiveIntervalsAnalysis)
         am.get(CFGAnalysis)
-        assert am.total_hits() == 2
-        assert am.total_misses() == 4
+        if flat_enabled():
+            assert am.total_hits() == 3
+            assert am.total_misses() == 5
+        else:
+            assert am.total_hits() == 2
+            assert am.total_misses() == 4
         counter = am.counter(CFGAnalysis)
         assert counter.hit_rate == pytest.approx(2 / 3)
 
