@@ -1,16 +1,20 @@
-"""Service overhead: cold vs cached request latency.
+"""Service overhead: cold vs cached request latency, by fleet shape.
 
 Measures the allocation service the way the obs benches measure their
-layers — identical work through two paths, results asserted identical:
+layers — identical work through each path, results asserted identical:
 
 * **cold** — a request that misses the cache and executes the full
   pipeline (inline workers, so no process-pool noise);
 * **cached** — the same request again, served from the content-addressed
-  cache.
+  cache;
+* **routed** — the same two measurements again through the shard
+  router (in-process ``LocalShard`` fleets of 1 and 3), isolating the
+  consistent-hash routing layer's cost from the worker's.
 
-The headline numbers (cold latency, cached latency, speedup, and the
-service-layer overhead of a cold request over a bare pipeline run) are
-recorded in ``benchmarks/results/service_overhead.txt``.
+The headline numbers (cold latency, cached latency, speedup, the
+service-layer overhead of a cold request over a bare pipeline run, and
+the router overhead per fleet size) are recorded in
+``benchmarks/results/service_overhead.txt``.
 """
 
 from __future__ import annotations
@@ -25,7 +29,9 @@ from repro.prescount import PipelineConfig, run_pipeline
 from repro.service import (
     AllocationService,
     IncrementalAllocator,
+    LocalShard,
     ServiceConfig,
+    ShardRouter,
     artifact_bytes,
     build_artifact,
     build_module_artifact,
@@ -60,6 +66,36 @@ def _serve_once(service, ir):
         service.process_once()
     assert job.status == "done", job.error
     return time.perf_counter() - started, job
+
+
+def _route_once(router, ir):
+    started = time.perf_counter()
+    status = router.submit(_request(ir))
+    if status["status"] not in ("done", "failed"):
+        status = router.wait(status["job_id"])
+    assert status["status"] == "done", status.get("error")
+    return time.perf_counter() - started, router.result(status["job_id"])
+
+
+def _routed_latency(shard_count, kernels, rounds):
+    """(cold median s, cached median s, artifact bytes per ir)."""
+    cold, cached, blobs = [], [], {}
+    for _ in range(rounds):
+        router = ShardRouter(
+            [LocalShard(f"s{i}", ServiceConfig()) for i in range(shard_count)]
+        )
+        try:
+            for _, ir in kernels:
+                seconds, data = _route_once(router, ir)
+                cold.append(seconds)
+                assert blobs.setdefault(ir, data) == data
+            for _, ir in kernels:
+                seconds, data = _route_once(router, ir)
+                cached.append(seconds)
+                assert data == blobs[ir], "routed hit not bit-identical"
+        finally:
+            router.close()
+    return statistics.median(cold), statistics.median(cached), blobs
 
 
 def test_service_overhead(ctx, record_text):
@@ -102,6 +138,26 @@ def test_service_overhead(ctx, record_text):
         f"  cached request (hit)     {cached_ms:9.3f} ms   "
         f"({cold_ms / cached_ms:.0f}x faster than cold)",
     ]
+    # The shard router on top (fewer rounds: the dispatcher thread adds
+    # scheduling noise that medians out quickly).
+    direct_bytes = dict(artifacts)  # Job.artifact is the canonical bytes
+    for shard_count in (1, 3):
+        routed_cold, routed_cached, blobs = _routed_latency(
+            shard_count, kernels, rounds=max(3, ROUNDS // 3)
+        )
+        for ir, data in blobs.items():
+            assert data == direct_bytes[ir], (
+                f"{shard_count}-shard response diverged from direct"
+            )
+        routed_cold_ms = routed_cold * 1000
+        routed_cached_ms = routed_cached * 1000
+        lines.append(
+            f"  routed, {shard_count} shard{'s' if shard_count > 1 else ' '}"
+            f"  cold/hit  {routed_cold_ms:9.3f} ms / "
+            f"{routed_cached_ms:.3f} ms   "
+            f"(+{routed_cached_ms - cached_ms:.3f} ms router layer on a "
+            "hit, bit-identical)"
+        )
     record_text("service_overhead", "\n".join(lines))
     assert cached_ms < cold_ms, "a cache hit should beat executing"
 

@@ -17,7 +17,10 @@ Usage::
     python -m repro bench record                 # benchmark history record
     python -m repro bench diff OLD.json NEW.json # regression gate (CI)
     python -m repro serve --port 8377            # allocation service
+    python -m repro serve --shards 3             # sharded worker fleet
     python -m repro request --deadline-ms 50     # client for `serve`
+    python -m repro loadgen --requests 200       # seeded traffic harness
+    python -m repro loadgen --server URL --record DIR  # + history record
     python -m repro verify ART.json --ir k.ir    # re-check an artifact
     python -m repro --faults plan.json serve     # chaos-test the service
 
@@ -271,7 +274,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the allocation service until interrupted."""
     from .selfcheck import SelfCheckError, run_selfcheck
-    from .service import ServiceConfig, make_server, shutdown_server
+    from .service import (
+        ServiceConfig,
+        make_server,
+        make_shard_server,
+        shutdown_server,
+        shutdown_shard_server,
+    )
     from .service.server import ServiceHandler
 
     # Boot-time self-check: never serve from a flat path that diverges
@@ -296,16 +305,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.verbose:
         ServiceHandler.verbose = True
-    server = make_server(args.host, args.port, config)
+    if args.shards > 0:
+        server = make_shard_server(
+            args.host, args.port, shards=args.shards, config=config
+        )
+        shutdown = shutdown_shard_server
+        what = f"repro shard service ({args.shards} workers)"
+    else:
+        server = make_server(args.host, args.port, config)
+        shutdown = shutdown_server
+        what = "repro service"
     host, port = server.server_address[:2]
-    print(f"repro service listening on http://{host}:{port}", flush=True)
+    print(f"{what} listening on http://{host}:{port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        shutdown_server(server)
+        shutdown(server)
     return 0
+
+
+def _parse_phases(raw: list[str] | None) -> tuple:
+    """``DUR:RPS`` strings → the loadgen phase tuple."""
+    if not raw:
+        return ((0.5, 80.0), (0.5, 240.0))
+    phases = []
+    for text in raw:
+        try:
+            duration, rps = text.split(":", 1)
+            phases.append((float(duration), float(rps)))
+        except ValueError:
+            raise SystemExit(
+                f"loadgen: bad --phase {text!r}; expected DURATION:RPS"
+            )
+    return tuple(phases)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a seeded open-loop traffic scenario; optionally record it."""
+    import json
+
+    from .service import ServiceConfig
+    from .service.loadgen import (
+        HttpTarget,
+        LoadgenConfig,
+        RouterTarget,
+        loadgen_record,
+        run_loadgen,
+    )
+
+    config = LoadgenConfig(
+        seed=args.seed,
+        requests=args.requests,
+        pool=args.pool,
+        zipf_s=args.zipf_s,
+        phases=_parse_phases(args.phase),
+        deadline_frac=args.deadline_frac,
+        deadline_choices_ms=tuple(args.deadline_ms or (5.0, 20.0, 100.0)),
+        method=args.method,
+        registers=args.registers,
+        banks=args.banks,
+        sample=args.sample,
+        timeout_s=args.timeout,
+    )
+    router = None
+    if args.server:
+        from .service.client import ServiceClient
+
+        target = HttpTarget(ServiceClient(args.server, timeout=args.timeout))
+    else:
+        from .service import LocalShard, ShardRouter
+        from .service.shard import shard_cache_dir
+
+        shards = [
+            LocalShard(
+                f"s{i}",
+                ServiceConfig(
+                    cache_dir=shard_cache_dir(args.cache_dir, f"s{i}")
+                ),
+            )
+            for i in range(max(1, args.shards))
+        ]
+        router = ShardRouter(shards)
+        target = RouterTarget(router)
+    try:
+        report = run_loadgen(target, config)
+    finally:
+        if router is not None:
+            router.close()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.record:
+        from .experiments import write_record
+
+        record = loadgen_record(report, config, label=args.label)
+        path = write_record(record, args.record, prefix="LOADGEN")
+        print(f"recorded loadgen history to {path}", file=sys.stderr)
+    ok = (
+        report["failed"] == 0
+        and report["verify_failed"] == 0
+        and report["samples"]["mismatched"] == 0
+    )
+    return 0 if ok else 1
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
@@ -579,10 +680,88 @@ def build_parser() -> argparse.ArgumentParser:
         "Retry-After (default 1024)",
     )
     p_serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="boot N worker processes behind a consistent-hash shard "
+        "router (0 = single-process service; each worker owns the "
+        "cache shard DIR/shard-sK, see docs/SCALING.md)",
+    )
+    p_serve.add_argument(
         "-v", "--verbose", action="store_true",
         help="log every HTTP request to stderr",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop traffic harness (arrival ramps, Zipf "
+        "popularity, deadline mixes) reporting p50/p99/p999 + goodput",
+    )
+    p_loadgen.add_argument(
+        "--server", default=None, metavar="URL",
+        help="target a running service over HTTP (single-process or "
+        "sharded; default: an in-process shard fleet)",
+    )
+    p_loadgen.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="in-process fleet size when no --server is given (default 3)",
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=60,
+        help="total arrivals scheduled (exact; default 60)",
+    )
+    p_loadgen.add_argument(
+        "--pool", type=int, default=12,
+        help="distinct kernels in the popularity pool (default 12)",
+    )
+    p_loadgen.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf skew s over the kernel pool; larger = hotter head "
+        "(default 1.1)",
+    )
+    p_loadgen.add_argument(
+        "--phase", action="append", metavar="DUR:RPS", default=None,
+        help="arrival ramp phase, repeatable in order "
+        "(default 0.5:80 then 0.5:240)",
+    )
+    p_loadgen.add_argument(
+        "--deadline-frac", type=float, default=0.0,
+        help="fraction of requests carrying a deadline (default 0)",
+    )
+    p_loadgen.add_argument(
+        "--deadline-ms", action="append", type=float, default=None,
+        metavar="MS",
+        help="deadline menu entry for that fraction, repeatable "
+        "(default 5 20 100)",
+    )
+    p_loadgen.add_argument(
+        "--method", choices=["non", "bcr", "bpc"], default="bpc"
+    )
+    p_loadgen.add_argument("--registers", type=int, default=16)
+    p_loadgen.add_argument("--banks", type=int, default=2)
+    p_loadgen.add_argument(
+        "--sample", type=int, default=4,
+        help="distinct kernels whose responses are checked bit-identical "
+        "against a direct single-process run (default 4)",
+    )
+    p_loadgen.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request completion timeout in seconds (default 30)",
+    )
+    p_loadgen.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache shard base directory for the in-process fleet "
+        "(default: memory only)",
+    )
+    p_loadgen.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="write a LOADGEN_<timestamp>.json history record under DIR "
+        "(BENCH schema; gate with `repro bench diff`)",
+    )
+    p_loadgen.add_argument(
+        "--label", default="",
+        help="free-form label stored in the record",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_req = sub.add_parser(
         "request", help="submit one request to a running service"

@@ -203,17 +203,27 @@ def collect_record(
     }
 
 
-def write_record(record: dict, directory: str = DEFAULT_HISTORY_DIR) -> str:
-    """Write *record* as ``BENCH_<timestamp>.json`` under *directory*."""
+def write_record(
+    record: dict,
+    directory: str = DEFAULT_HISTORY_DIR,
+    *,
+    prefix: str = "BENCH",
+) -> str:
+    """Write *record* as ``<prefix>_<timestamp>.json`` under *directory*.
+
+    ``repro bench record`` uses the default ``BENCH`` prefix; ``repro
+    loadgen --record`` writes ``LOADGEN_…`` records into the same
+    history directory (same schema, so ``load_record`` reads both).
+    """
     os.makedirs(directory, exist_ok=True)
     stamp = record.get("created", "").replace(":", "").replace("-", "")
     stamp = stamp.replace("T", "-").rstrip("Z") or "unstamped"
-    path = os.path.join(directory, f"BENCH_{stamp}.json")
+    path = os.path.join(directory, f"{prefix}_{stamp}.json")
     # Never clobber: same-second collections get a disambiguating suffix.
     serial = 1
     while os.path.exists(path):
         serial += 1
-        path = os.path.join(directory, f"BENCH_{stamp}.{serial}.json")
+        path = os.path.join(directory, f"{prefix}_{stamp}.{serial}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -382,6 +392,7 @@ def diff_records(
                 report.improvements.append(
                     Delta(key, metric, old_value, new_value)
                 )
+    _diff_loadgen(old, new, report, threshold_pct, abs_floor)
     report.regressions.sort(key=lambda d: (-abs(d.pct), d.key, d.metric))
     report.improvements.sort(key=lambda d: (-abs(d.pct), d.key, d.metric))
     old_latency = old.get("latency") or {}
@@ -394,3 +405,103 @@ def diff_records(
             f"{name}: {old_value:g} -> {new_value:g}"
         )
     return report
+
+
+def _diff_loadgen(
+    old: dict,
+    new: dict,
+    report: DiffReport,
+    threshold_pct: float,
+    abs_floor: float,
+) -> None:
+    """Gate the ``loadgen`` blocks of two records, if both carry one.
+
+    Only the deterministic counts gate (see
+    :mod:`repro.service.loadgen`): a ``goodput`` drop or a ``failed``
+    rise beyond the threshold, *any* new ``verify_failed``, and *any*
+    sample bit-identity ``mismatched`` are regressions.  Shard-balance
+    churn is structural (the fleet layout changed, like a program-set
+    change).  Latency percentiles, throughput, and the degraded count
+    are timing-dependent and land in the informational latency notes —
+    the same never-gates rule the wall-latency block follows.
+    """
+    old_load = old.get("loadgen")
+    new_load = new.get("loadgen")
+    if not isinstance(old_load, dict) or not isinstance(new_load, dict):
+        return
+    goodput_old = old_load.get("goodput")
+    goodput_new = new_load.get("goodput")
+    if goodput_old is not None and goodput_new is not None:
+        report.compared += 1
+        bar = max(abs(goodput_old) * threshold_pct / 100.0, abs_floor)
+        drop = goodput_old - goodput_new
+        if drop >= bar:
+            report.regressions.append(
+                Delta("loadgen", "goodput", goodput_old, goodput_new)
+            )
+        elif -drop >= bar:
+            report.improvements.append(
+                Delta("loadgen", "goodput", goodput_old, goodput_new)
+            )
+    for metric, any_increase in (
+        ("failed", False),
+        ("verify_failed", True),
+    ):
+        old_value = old_load.get(metric)
+        new_value = new_load.get(metric)
+        if old_value is None or new_value is None:
+            continue
+        report.compared += 1
+        change = new_value - old_value
+        bar = (
+            1.0
+            if any_increase
+            else max(abs(old_value) * threshold_pct / 100.0, abs_floor)
+        )
+        if change >= bar:
+            report.regressions.append(
+                Delta("loadgen", metric, old_value, new_value)
+            )
+        elif -change >= bar:
+            report.improvements.append(
+                Delta("loadgen", metric, old_value, new_value)
+            )
+    mismatched = (new_load.get("samples") or {}).get("mismatched")
+    if mismatched:
+        report.compared += 1
+        old_mismatched = (old_load.get("samples") or {}).get("mismatched", 0)
+        report.regressions.append(
+            Delta("loadgen", "sample_mismatched", old_mismatched, mismatched)
+        )
+    old_shards = old_load.get("shards") or {}
+    new_shards = new_load.get("shards") or {}
+    if sorted(old_shards) != sorted(new_shards):
+        report.structural.append(
+            f"loadgen shard set changed: {sorted(old_shards)} -> "
+            f"{sorted(new_shards)}"
+        )
+    elif old_shards != new_shards:
+        report.structural.append(
+            "loadgen shard balance changed: "
+            + ", ".join(
+                f"{name} {old_shards[name]}->{new_shards[name]}"
+                for name in sorted(old_shards)
+                if old_shards[name] != new_shards[name]
+            )
+        )
+    old_lat = old_load.get("latency_ms") or {}
+    new_lat = new_load.get("latency_ms") or {}
+    for name in ("p50", "p99", "p999"):
+        old_value, new_value = old_lat.get(name), new_lat.get(name)
+        if old_value is None or new_value is None:
+            continue
+        report.latency_notes.append(
+            f"loadgen {name}_ms: {old_value:g} -> {new_value:g}"
+        )
+    for name in ("throughput_rps", "degraded"):
+        old_value, new_value = old_load.get(name), new_load.get(name)
+        if old_value is None or new_value is None:
+            continue
+        report.latency_notes.append(
+            f"loadgen {name}: {old_value:g} -> {new_value:g}"
+        )

@@ -22,6 +22,12 @@ Sites (see :data:`SITES` for the modes each accepts):
                       ``connreset``)
 ``server.request``    fail an incoming HTTP call (``error`` → 5xx,
                       ``delay``, ``reset`` drops the connection)
+``shard.route``       make the router skip the shard it chose and hand
+                      the key to the next one in ring order
+                      (``handoff``)
+``shard.worker``      break a shard worker so the health loop sees it
+                      (``death`` kills the worker process/backend,
+                      ``unhealthy`` fails the probe without killing)
 ==================  ====================================================
 
 Determinism: every point draws from its own ``random.Random`` seeded
@@ -64,6 +70,8 @@ SITES: dict[str, tuple[str, ...]] = {
     "queue.dispatch": ("duplicate",),
     "client.request": ("timeout", "connreset"),
     "server.request": ("error", "delay", "reset"),
+    "shard.route": ("handoff",),
+    "shard.worker": ("death", "unhealthy"),
 }
 
 

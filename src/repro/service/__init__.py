@@ -12,7 +12,13 @@ stack rather than a batch script (see ``docs/SERVICE.md``):
 * :mod:`.queue` — :class:`~repro.service.queue.AllocationService`:
   submit/coalesce, batched dispatch, crash-tolerant execution;
 * :mod:`.server` / :mod:`.client` — the HTTP/JSON front-end behind
-  ``repro serve`` and its Python client.
+  ``repro serve`` and its Python client;
+* :mod:`.shard` — the horizontal scale-out layer: consistent-hash
+  routing over N worker processes with health-check/evict/respawn
+  (``repro serve --shards N``, see ``docs/SCALING.md``);
+* :mod:`.loadgen` — the seeded open-loop traffic harness behind
+  ``repro loadgen`` (arrival ramps, Zipf popularity, deadline mixes,
+  p50/p99/p999 + goodput reporting into the BENCH history schema).
 """
 
 from __future__ import annotations
@@ -28,13 +34,26 @@ from .artifact import (
     canonical_ir,
     is_module_text,
     module_cache_key,
+    normalize_request,
 )
 from .cache import AllocationCache
 from .client import CircuitOpenError, ServiceClient, ServiceError
 from .degrade import LADDER, TierCostModel, ladder_from, select_tier
 from .incremental import FragmentStore, IncrementalAllocator
+from .loadgen import LoadgenConfig, loadgen_record, run_loadgen
 from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
 from .server import ServiceServer, make_server, shutdown_server
+from .shard import (
+    HashRing,
+    LocalShard,
+    NoShardAvailableError,
+    ProcessShard,
+    ShardError,
+    ShardFrontendServer,
+    ShardRouter,
+    make_shard_server,
+    shutdown_shard_server,
+)
 
 __all__ = [
     "AllocationCache",
@@ -42,9 +61,14 @@ __all__ = [
     "CircuitOpenError",
     "FLAG_DEFAULTS",
     "FragmentStore",
+    "HashRing",
     "IncrementalAllocator",
     "Job",
     "LADDER",
+    "LoadgenConfig",
+    "LocalShard",
+    "NoShardAvailableError",
+    "ProcessShard",
     "RequestError",
     "SCHEMA_VERSION",
     "ServiceClient",
@@ -52,6 +76,9 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadError",
     "ServiceServer",
+    "ShardError",
+    "ShardFrontendServer",
+    "ShardRouter",
     "TierCostModel",
     "artifact_bytes",
     "build_artifact",
@@ -60,8 +87,13 @@ __all__ = [
     "canonical_ir",
     "is_module_text",
     "ladder_from",
+    "loadgen_record",
     "make_server",
+    "make_shard_server",
     "module_cache_key",
+    "normalize_request",
+    "run_loadgen",
     "select_tier",
     "shutdown_server",
+    "shutdown_shard_server",
 ]

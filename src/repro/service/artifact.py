@@ -34,7 +34,7 @@ from ..banks.register_file import (
 )
 from ..ir.function import Function, Module
 from ..ir.parser import parse_function, parse_module
-from ..ir.printer import print_function
+from ..ir.printer import print_function, print_module
 from ..prescount.bank_assigner import DEFAULT_THRES_RATIO
 from ..prescount.pipeline import METHODS, PipelineConfig, run_pipeline
 from ..sim.static_stats import analyze_static
@@ -271,6 +271,63 @@ def module_cache_key(
         "flags": normalize_flags(flags),
     }
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+#: The keys a service request body may carry.
+REQUEST_KEYS = frozenset({"ir", "file", "method", "flags", "deadline_ms"})
+
+
+def normalize_request(request: dict) -> dict:
+    """Validate and canonicalize one service request body.
+
+    The single request-normalization path shared by the in-process
+    :class:`~repro.service.queue.AllocationService` and the shard router
+    (:mod:`repro.service.shard`): both must agree byte-for-byte on the
+    canonical IR and the content address, or the same request could land
+    on different shards depending on which door it came in through.
+
+    Returns ``{kind, ir, file, method, flags, deadline_ms, key}`` where
+    *ir* is canonical (re-printed) text and *key* is the content address
+    — :func:`module_cache_key` for multi-function IR, :func:`cache_key`
+    otherwise.  Normalization is idempotent: feeding the returned fields
+    back through produces the identical key.
+    """
+    if not isinstance(request, dict):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(request) - REQUEST_KEYS
+    if unknown:
+        raise RequestError(f"unknown request keys {sorted(unknown)}")
+    ir = request.get("ir")
+    if not isinstance(ir, str) or not ir.strip():
+        raise RequestError("request needs non-empty 'ir' text")
+    kind = "function"
+    if is_module_text(ir):
+        # Multi-function IR takes the incremental module path; a module
+        # of one function normalizes to a plain function request
+        # (is_module_text needs two ``func @``).
+        kind = "module"
+        ir = print_module(canonical_module(ir))
+    else:
+        ir = canonical_ir(ir)
+    file_spec = normalize_file_spec(request.get("file", {}))
+    method = check_method(request.get("method", "bpc"))
+    flags = normalize_flags(request.get("flags"))
+    deadline_ms = request.get("deadline_ms")
+    if deadline_ms is not None:
+        deadline_ms = float(deadline_ms)
+    if kind == "module":
+        key = module_cache_key(ir, file_spec, method, flags)
+    else:
+        key = cache_key(ir, file_spec, method, flags, canonical=True)
+    return {
+        "kind": kind,
+        "ir": ir,
+        "file": file_spec,
+        "method": method,
+        "flags": flags,
+        "deadline_ms": deadline_ms,
+        "key": key,
+    }
 
 
 def build_module_artifact(

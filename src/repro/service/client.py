@@ -229,6 +229,15 @@ class ServiceClient:
             body["deadline_ms"] = deadline_ms
         return self._request("/v1/submit", body)
 
+    def submit_request(self, body: dict) -> dict:
+        """Enqueue a pre-built request body (the shard router's path).
+
+        The router normalizes the request once and forwards the
+        canonical fields verbatim, so re-normalization at the shard is
+        idempotent and the content address cannot fork across hops.
+        """
+        return self._request("/v1/submit", body)
+
     def poll(self, job_id: str) -> dict:
         return self._request(f"/v1/jobs/{job_id}")
 

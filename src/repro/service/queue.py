@@ -61,20 +61,13 @@ from dataclasses import dataclass, field
 from ..experiments.harness import run_tasks
 from ..obs import AUDIT, METRICS, TRACER
 from ..resilience import AllocationVerifier, FAULTS, InjectedFault
-from ..ir.printer import print_module
 from .artifact import (
-    RequestError,
     artifact_bytes,
     build_artifact,
     build_module_artifact,
     cache_key,
-    canonical_ir,
-    canonical_module,
-    check_method,
-    is_module_text,
     module_cache_key,
-    normalize_file_spec,
-    normalize_flags,
+    normalize_request,
 )
 from .cache import AllocationCache
 from .degrade import TierCostModel, select_tier
@@ -376,32 +369,15 @@ class AllocationService:
         ``miss`` (queued for execution).  Raises
         :class:`ServiceOverloadError` when the queue is at capacity.
         """
-        if not isinstance(request, dict):
-            raise RequestError("request body must be a JSON object")
-        unknown = set(request) - {"ir", "file", "method", "flags", "deadline_ms"}
-        if unknown:
-            raise RequestError(f"unknown request keys {sorted(unknown)}")
-        ir = request.get("ir")
-        if not isinstance(ir, str) or not ir.strip():
-            raise RequestError("request needs non-empty 'ir' text")
-        kind = "function"
-        if is_module_text(ir):
-            # Multi-function IR takes the incremental module path; a
-            # module of one function normalizes to a plain function
-            # request (is_module_text needs two ``func @``).
-            kind = "module"
-            ir = print_module(canonical_module(ir))
-        else:
-            ir = canonical_ir(ir)
-        file_spec = normalize_file_spec(request.get("file", {}))
-        method = check_method(request.get("method", "bpc"))
-        flags = normalize_flags(request.get("flags"))
-        deadline_ms = request.get("deadline_ms")
-        deadline_s = None if deadline_ms is None else float(deadline_ms) / 1000.0
-        if kind == "module":
-            key = module_cache_key(ir, file_spec, method, flags)
-        else:
-            key = cache_key(ir, file_spec, method, flags, canonical=True)
+        normalized = normalize_request(request)
+        kind = normalized["kind"]
+        ir = normalized["ir"]
+        file_spec = normalized["file"]
+        method = normalized["method"]
+        flags = normalized["flags"]
+        deadline_ms = normalized["deadline_ms"]
+        deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
+        key = normalized["key"]
 
         with self._lock:
             self.counters["requests"] += 1

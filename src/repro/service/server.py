@@ -48,6 +48,18 @@ from ..resilience.faults import FAULTS
 from .artifact import RequestError
 from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
 
+#: Every route the service answers, as ``(method, path template)``.
+#: The docs-check test cross-references this against ``docs/SERVICE.md``
+#: and a live server, so neither the table nor the handlers can drift.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("GET", "/healthz"),
+    ("GET", "/v1/stats"),
+    ("POST", "/v1/submit"),
+    ("GET", "/v1/jobs/<id>"),
+    ("GET", "/v1/jobs/<id>/result"),
+    ("POST", "/v1/allocate"),
+)
+
 #: Default wait bound of the synchronous ``/v1/allocate`` endpoint.
 DEFAULT_SYNC_TIMEOUT_S = 30.0
 

@@ -1,0 +1,860 @@
+"""Shard-aware front end: consistent-hash the key space over N workers.
+
+One :class:`~repro.service.queue.AllocationService` scales until its
+dispatcher thread saturates a core.  The shard layer scales *out*: a
+:class:`ShardRouter` consistent-hashes the content-address key space
+over N workers, each owning its **own** cache shard directory — no two
+workers ever race on one disk entry, and in-flight coalescing keeps
+working because identical requests always land on the same shard.
+
+Topology (see ``docs/SCALING.md``)::
+
+    client ──HTTP──▶ ShardFrontendServer ──▶ ShardRouter
+                                              │ consistent-hash ring
+                    ┌─────────────────────────┼─────────────────────┐
+                    ▼                         ▼                     ▼
+              worker shard s0           worker shard s1       worker shard s2
+              (AllocationService        (own process,         ...
+               + cache dir s0)          cache dir s1)
+
+The pieces:
+
+* :class:`HashRing` — consistent hashing with virtual nodes.  Vnode
+  positions derive from the shard *name*, so a respawned worker takes
+  back exactly its old slice of the key space, and removing a dead
+  shard remaps **only that shard's keys** (everything else keeps its
+  owner — the rebalance-on-eviction invariant the tests pin down).
+* :class:`LocalShard` — an in-process worker (one
+  :class:`~repro.service.queue.AllocationService` with its own cache
+  dir).  Deterministic and fast; the tests, benches, and the loadgen
+  direct mode run on it.
+* :class:`ProcessShard` — a worker *process* running the stock HTTP
+  server on a free port (the child sends the port back over a pipe),
+  spoken to through :class:`~repro.service.client.ServiceClient` —
+  which brings the PR-5 retry/backoff machinery to every hop.
+* :class:`ShardRouter` — normalizes each request **once**
+  (:func:`~repro.service.artifact.normalize_request`), routes by
+  content address down the ring's preference order, and namespaces job
+  ids as ``<local id>@<shard>`` so polls route back.  Health checks
+  reuse the client-side circuit breaker per shard: a worker that keeps
+  failing its probe is **evicted** from the ring (its keys rehash to
+  the survivors) and, once the breaker's cooldown admits a trial,
+  **respawned** and re-added — taking its old keys back.
+* :class:`ShardFrontendServer` / :func:`make_shard_server` — the HTTP
+  face (``repro serve --shards N``), same routes as the single-process
+  server; ``/v1/stats`` aggregates counters across shards.
+
+Chaos coverage: the ``shard.route`` fault site (mode ``handoff``)
+forces the router to skip its first choice, and ``shard.worker``
+(``death`` / ``unhealthy``) breaks workers under the health loop
+(:mod:`repro.resilience.faults`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import threading
+from dataclasses import asdict, replace
+from http.server import ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..resilience.faults import FAULTS
+from .artifact import RequestError, normalize_request
+from .client import ServiceClient, ServiceError, _CircuitBreaker
+from .queue import AllocationService, ServiceConfig, ServiceOverloadError
+from .server import (
+    DEFAULT_SYNC_TIMEOUT_S,
+    MAX_SYNC_TIMEOUT_S,
+    ServiceHandler,
+)
+
+__all__ = [
+    "HashRing",
+    "LocalShard",
+    "NoShardAvailableError",
+    "ProcessShard",
+    "ShardError",
+    "ShardFrontendHandler",
+    "ShardFrontendServer",
+    "ShardRouter",
+    "make_shard_server",
+    "shard_cache_dir",
+    "shutdown_shard_server",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed at the transport level (dead, unreachable)."""
+
+
+class NoShardAvailableError(ShardError):
+    """Every live shard refused the request; nothing left to hand off to."""
+
+
+def _point(text: str) -> int:
+    """Stable 64-bit ring position of *text* (sha256 prefix, not hash())."""
+    return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each member contributes ``replicas`` vnodes at positions derived
+    from its *name* — deterministic across processes and restarts, so a
+    respawned shard reclaims exactly the key slice it owned before.
+    Lookups walk clockwise from the key's position; ``preference``
+    yields every distinct member in that order, which is the router's
+    handoff chain.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._positions: list[int] = []  # sorted vnode positions
+        self._owners: list[str] = []  # owner name per position
+        self._members: set[str] = set()
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add(self, name: str) -> None:
+        if name in self._members:
+            return
+        self._members.add(name)
+        for i in range(self.replicas):
+            position = _point(f"{name}#{i}")
+            at = bisect.bisect_left(self._positions, position)
+            self._positions.insert(at, position)
+            self._owners.insert(at, name)
+
+    def remove(self, name: str) -> None:
+        if name not in self._members:
+            return
+        self._members.discard(name)
+        keep = [
+            (position, owner)
+            for position, owner in zip(self._positions, self._owners)
+            if owner != name
+        ]
+        self._positions = [position for position, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def lookup(self, key: str) -> str | None:
+        """The member owning *key*, or ``None`` on an empty ring."""
+        if not self._positions:
+            return None
+        at = bisect.bisect_right(self._positions, _point(key))
+        return self._owners[at % len(self._owners)]
+
+    def preference(self, key: str) -> list[str]:
+        """Every distinct member in clockwise order from *key*.
+
+        The first entry is :meth:`lookup`'s answer; the rest are the
+        handoff order when owners fail mid-request.
+        """
+        if not self._positions:
+            return []
+        start = bisect.bisect_right(self._positions, _point(key))
+        seen: list[str] = []
+        for offset in range(len(self._owners)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._members):
+                    break
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Shard workers
+# ----------------------------------------------------------------------
+
+def shard_cache_dir(base: str | None, name: str) -> str | None:
+    """The worker-private cache directory for shard *name*.
+
+    Keyspace partitioning makes per-shard directories safe: two shards
+    can never hold the same content address while both are live, so
+    there is no cross-worker disk race to guard against.
+    """
+    if base is None:
+        return None
+    return os.path.join(base, f"shard-{name}")
+
+
+class LocalShard:
+    """An in-process shard: one dispatcher-driven allocation service.
+
+    Used by the tests, the benches, and ``repro loadgen``'s direct mode
+    — everything a worker process does, minus the process (fully
+    deterministic, no sockets).  ``kill`` simulates worker death: every
+    later call raises :class:`ShardError` until :meth:`respawn`.
+    """
+
+    def __init__(self, name: str, config: ServiceConfig | None = None):
+        self.name = name
+        self._config = config or ServiceConfig()
+        self.service = AllocationService(self._config)
+        self.service.start()
+        self._dead = False
+
+    # -- lifecycle -----------------------------------------------------
+    def kill(self) -> None:
+        self._dead = True
+        self.service.stop()
+
+    def close(self) -> None:
+        self.kill()
+
+    def respawn(self) -> None:
+        """Fresh service over the same config (and thus cache dir)."""
+        self.service = AllocationService(self._config)
+        self.service.start()
+        self._dead = False
+
+    def healthy(self) -> bool:
+        return not self._dead
+
+    def _check(self) -> None:
+        if self._dead:
+            raise ShardError(f"shard {self.name!r} is dead")
+
+    # -- request surface ----------------------------------------------
+    def submit(self, body: dict) -> dict:
+        self._check()
+        return self.service.submit(body).describe()
+
+    def poll(self, job_id: str) -> dict:
+        self._check()
+        job = self.service.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job.describe()
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> dict:
+        self._check()
+        try:
+            return self.service.wait(job_id, timeout).describe()
+        except KeyError as exc:
+            raise ServiceError(str(exc), status=404) from exc
+
+    def result(self, job_id: str) -> bytes:
+        self._check()
+        job = self.service.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        if job.status != "done" or job.artifact is None:
+            raise ServiceError(
+                f"job {job_id!r} is {job.status}", status=500
+            )
+        return job.artifact
+
+    def stats(self) -> dict:
+        self._check()
+        return self.service.stats()
+
+
+def _shard_worker_main(conn, host: str, config_kwargs: dict) -> None:
+    """Child-process entry: serve one shard, report the bound port.
+
+    Faults re-arm from ``REPRO_FAULTS`` at import, so a chaos plan armed
+    in the parent injects inside the workers too.
+    """
+    from .server import make_server
+
+    server = make_server(host, 0, ServiceConfig(**config_kwargs))
+    conn.send(server.server_address[1])
+    conn.close()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+
+
+class ProcessShard:
+    """A shard worker in its own process, spoken to over HTTP.
+
+    The child runs the stock :func:`~repro.service.server.make_server`
+    on a free port and pipes the port number back; the parent talks to
+    it through a :class:`~repro.service.client.ServiceClient`, which
+    carries the PR-5 retry/backoff + Retry-After handling on every hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: ServiceConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        boot_timeout_s: float = 30.0,
+        client_retries: int = 2,
+        client_timeout_s: float = 30.0,
+    ):
+        self.name = name
+        self._config = config or ServiceConfig()
+        self._host = host
+        self._boot_timeout_s = boot_timeout_s
+        self._client_retries = client_retries
+        self._client_timeout_s = client_timeout_s
+        self.process = None
+        self.port: int | None = None
+        self.client: ServiceClient | None = None
+        self._boot()
+
+    def _boot(self) -> None:
+        import multiprocessing
+
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self.process = multiprocessing.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self._host, asdict(self._config)),
+            name=f"repro-shard-{self.name}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        if not parent_conn.poll(self._boot_timeout_s):
+            self.process.terminate()
+            raise ShardError(
+                f"shard {self.name!r} did not report a port within "
+                f"{self._boot_timeout_s}s"
+            )
+        self.port = parent_conn.recv()
+        parent_conn.close()
+        self.client = ServiceClient(
+            f"http://{self._host}:{self.port}",
+            timeout=self._client_timeout_s,
+            retries=self._client_retries,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+    def close(self) -> None:
+        self.kill()
+
+    def respawn(self) -> None:
+        """Replace the worker process; same name, same cache shard."""
+        self.kill()
+        self._boot()
+
+    def healthy(self) -> bool:
+        if self.process is None or not self.process.is_alive():
+            return False
+        try:
+            return bool(self.client.health().get("ok"))
+        except Exception:
+            return False
+
+    # -- request surface ----------------------------------------------
+    def _call(self, fn, *args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except ServiceError as exc:
+            if exc.status is None:
+                # No HTTP status = the transport itself failed — the
+                # worker is gone, not the request.
+                raise ShardError(f"shard {self.name!r}: {exc}") from exc
+            raise
+
+    def submit(self, body: dict) -> dict:
+        return self._call(self.client.submit_request, body)
+
+    def poll(self, job_id: str) -> dict:
+        return self._call(self.client.poll, job_id)
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> dict:
+        return self._call(self.client.wait, job_id, timeout=timeout)
+
+    def result(self, job_id: str) -> bytes:
+        return self._call(self.client.result, job_id)
+
+    def stats(self) -> dict:
+        return self._call(self.client.stats)
+
+
+# ----------------------------------------------------------------------
+# The router
+# ----------------------------------------------------------------------
+
+class ShardRouter:
+    """Key-affine request routing over a fleet of shard workers.
+
+    Every request is normalized exactly once; its content address picks
+    the shard, so identical concurrent submissions — from any number of
+    clients — converge on one shard and coalesce there (the exactly-once
+    guarantee survives sharding).  Shard failures walk the ring's
+    preference order; a shard whose per-shard circuit breaker trips is
+    evicted from the ring and respawned after the breaker's cooldown.
+
+    ``health_interval_s=None`` (the default) leaves health checking to
+    explicit :meth:`check_health` calls — the deterministic mode the
+    tests drive; :meth:`start_health_loop` runs it on a timer thread.
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        replicas: int = 64,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 0.5,
+        auto_respawn: bool = True,
+    ):
+        self.ring = HashRing(replicas)
+        self.shards: dict[str, object] = {}
+        self.breakers: dict[str, _CircuitBreaker] = {}
+        self._evicted: dict[str, object] = {}
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self.auto_respawn = auto_respawn
+        self._lock = threading.RLock()
+        self._health_thread: threading.Thread | None = None
+        self._health_stop = threading.Event()
+        self.counters = {
+            "requests": 0,
+            "handoffs": 0,
+            "evicted": 0,
+            "respawned": 0,
+            "health_checks": 0,
+            "no_shard": 0,
+        }
+        #: Requests routed per shard name (deterministic for a fixed
+        #: request sequence — the loadgen shard-balance report).
+        self.routed: dict[str, int] = {}
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- membership ----------------------------------------------------
+    def add_shard(self, shard) -> None:
+        with self._lock:
+            if shard.name in self.shards:
+                raise ValueError(f"duplicate shard name {shard.name!r}")
+            self.shards[shard.name] = shard
+            self.breakers[shard.name] = _CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown_s
+            )
+            self.routed.setdefault(shard.name, 0)
+            self.ring.add(shard.name)
+
+    def evict(self, name: str) -> None:
+        """Drop *name* from the ring; its keys rehash to the survivors."""
+        with self._lock:
+            shard = self.shards.pop(name, None)
+            if shard is None:
+                return
+            self.ring.remove(name)
+            self._evicted[name] = shard
+            self.counters["evicted"] += 1
+
+    def respawn(self, name: str) -> None:
+        """Restart an evicted worker and hand its key slice back."""
+        with self._lock:
+            shard = self._evicted.pop(name, None)
+            if shard is None:
+                return
+            shard.respawn()
+            self.shards[name] = shard
+            self.breakers[name] = _CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown_s
+            )
+            self.ring.add(name)
+            self.counters["respawned"] += 1
+
+    def _shard_failed(self, name: str) -> None:
+        with self._lock:
+            breaker = self.breakers.get(name)
+            if breaker is None:
+                return
+            breaker.record(ok=False)
+            if not breaker.allow():
+                self.evict(name)
+
+    # -- health --------------------------------------------------------
+    def check_health(self) -> dict:
+        """Probe every live shard; evict the broken, respawn the cooled.
+
+        The ``shard.worker`` fault site hooks in here: ``death`` kills
+        the worker outright (the probe then finds the corpse),
+        ``unhealthy`` fails the probe without killing — the two chaos
+        shapes the eviction/respawn machinery must absorb.
+        """
+        report = {"healthy": [], "evicted": [], "respawned": []}
+        with self._lock:
+            live = list(self.shards.items())
+        self.counters["health_checks"] += 1
+        for name, shard in live:
+            forced_unhealthy = False
+            if FAULTS.enabled:
+                point = FAULTS.fire("shard.worker", label=name)
+                if point is not None:
+                    if point.mode == "death":
+                        shard.kill()
+                    elif point.mode == "unhealthy":
+                        forced_unhealthy = True
+            ok = not forced_unhealthy and shard.healthy()
+            breaker = self.breakers[name]
+            breaker.record(ok)
+            if ok:
+                report["healthy"].append(name)
+            elif not breaker.allow():
+                self.evict(name)
+                report["evicted"].append(name)
+        if self.auto_respawn:
+            for name in sorted(self._evicted):
+                shard = self._evicted[name]
+                if shard.healthy() or self._cooldown_elapsed(name):
+                    self.respawn(name)
+                    report["respawned"].append(name)
+        return report
+
+    def _cooldown_elapsed(self, name: str) -> bool:
+        breaker = self.breakers.get(name)
+        # The eviction-time breaker is replaced on respawn; half-open
+        # means its cooldown has elapsed — time for the trial restart.
+        return breaker is None or breaker.state != "open"
+
+    def start_health_loop(self, interval_s: float = 1.0) -> None:
+        if self._health_thread is not None:
+            return
+        self._health_stop.clear()
+
+        def loop() -> None:
+            while not self._health_stop.wait(interval_s):
+                try:
+                    self.check_health()
+                except Exception:
+                    # The loop must outlive any one probe failure.
+                    pass
+
+        self._health_thread = threading.Thread(
+            target=loop, name="repro-shard-health", daemon=True
+        )
+        self._health_thread.start()
+
+    def stop_health_loop(self) -> None:
+        if self._health_thread is None:
+            return
+        self._health_stop.set()
+        self._health_thread.join(timeout=5)
+        self._health_thread = None
+
+    def close(self) -> None:
+        self.stop_health_loop()
+        with self._lock:
+            shards = list(self.shards.values()) + list(self._evicted.values())
+            self.shards.clear()
+            self._evicted.clear()
+        for shard in shards:
+            try:
+                shard.close()
+            except Exception:
+                pass
+
+    # -- routing -------------------------------------------------------
+    def submit(self, request: dict) -> dict:
+        """Normalize, route by content address, forward, qualify the id.
+
+        Failures walk the preference chain (``handoffs``); overload and
+        bad requests propagate — handing a shed request to another
+        shard would trade cache affinity for queue depth, and a bad
+        request fails identically everywhere.
+        """
+        normalized = normalize_request(request)
+        body = {
+            "ir": normalized["ir"],
+            "file": normalized["file"],
+            "method": normalized["method"],
+            "flags": normalized["flags"],
+        }
+        if normalized["deadline_ms"] is not None:
+            body["deadline_ms"] = normalized["deadline_ms"]
+        with self._lock:
+            self.counters["requests"] += 1
+            chain = self.ring.preference(normalized["key"])
+        if chain and FAULTS.enabled:
+            point = FAULTS.fire("shard.route", label=normalized["key"])
+            if point is not None and point.mode == "handoff" and len(chain) > 1:
+                chain = chain[1:]
+                self.counters["handoffs"] += 1
+        last_error: Exception | None = None
+        for hop, name in enumerate(chain):
+            with self._lock:
+                shard = self.shards.get(name)
+            if shard is None:
+                continue
+            if hop > 0:
+                with self._lock:
+                    self.counters["handoffs"] += 1
+            try:
+                status = shard.submit(body)
+            except RequestError:
+                raise
+            except ServiceOverloadError:
+                raise
+            except ServiceError as exc:
+                if exc.status in (429, 503):
+                    raise ServiceOverloadError(
+                        0, 0, retry_after_s=1.0
+                    ) from exc
+                if exc.status is not None and exc.status < 500:
+                    raise
+                self._shard_failed(name)
+                last_error = exc
+                continue
+            except ShardError as exc:
+                self._shard_failed(name)
+                last_error = exc
+                continue
+            with self._lock:
+                self.breakers[name].record(ok=True)
+                self.routed[name] = self.routed.get(name, 0) + 1
+            return self._qualify(status, name)
+        with self._lock:
+            self.counters["no_shard"] += 1
+        raise NoShardAvailableError(
+            f"no live shard accepted key {normalized['key'][:12]}…"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    @staticmethod
+    def _qualify(status: dict, name: str) -> dict:
+        status = dict(status)
+        status["job_id"] = f"{status['job_id']}@{name}"
+        status["shard"] = name
+        return status
+
+    def _resolve(self, job_id: str):
+        if "@" not in job_id:
+            raise RequestError(
+                f"job id {job_id!r} is not shard-qualified (want <id>@<shard>)"
+            )
+        local_id, name = job_id.rsplit("@", 1)
+        with self._lock:
+            shard = self.shards.get(name)
+        if shard is None:
+            raise ShardError(f"shard {name!r} is not in the ring")
+        return shard, local_id, name
+
+    def poll(self, job_id: str) -> dict:
+        shard, local_id, name = self._resolve(job_id)
+        return self._qualify(shard.poll(local_id), name)
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> dict:
+        shard, local_id, name = self._resolve(job_id)
+        return self._qualify(shard.wait(local_id, timeout=timeout), name)
+
+    def result(self, job_id: str) -> bytes:
+        shard, local_id, _ = self._resolve(job_id)
+        return shard.result(local_id)
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Fleet view: per-shard stats plus cross-shard aggregates.
+
+        ``counters`` and ``incremental`` sum the live shards' counters
+        (same keys as the single-process ``/v1/stats``), so dashboards
+        built against one server read the fleet unchanged; ``router``
+        carries the routing/eviction side.
+        """
+        with self._lock:
+            live = dict(self.shards)
+            router = {
+                "counters": dict(self.counters),
+                "routed": dict(self.routed),
+                "ring": {
+                    "members": self.ring.members,
+                    "replicas": self.ring.replicas,
+                },
+                "evicted": sorted(self._evicted),
+                "breakers": {
+                    name: breaker.state
+                    for name, breaker in self.breakers.items()
+                },
+            }
+        shard_stats: dict[str, dict] = {}
+        for name, shard in sorted(live.items()):
+            try:
+                shard_stats[name] = shard.stats()
+            except (ShardError, ServiceError) as exc:
+                shard_stats[name] = {"error": str(exc)}
+        counters: dict[str, int] = {}
+        incremental: dict[str, int] = {}
+        queue_depth = 0
+        for stats in shard_stats.values():
+            for name, value in stats.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in stats.get("incremental", {}).items():
+                incremental[name] = incremental.get(name, 0) + value
+            queue_depth += stats.get("queue_depth", 0)
+        return {
+            "counters": counters,
+            "incremental": incremental,
+            "queue_depth": queue_depth,
+            "shards": shard_stats,
+            "router": router,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+
+class ShardFrontendHandler(ServiceHandler):
+    """Same routes as :class:`ServiceHandler`, served by the router.
+
+    Reuses the base handler's JSON plumbing and ``_guarded`` rail (the
+    ``server.request`` fault site and the concurrent-handler limit work
+    unchanged at the frontend), but resolves every request through
+    ``self.server.router`` instead of a local service.
+    """
+
+    server_version = "repro-shard-frontend/1"
+
+    @property
+    def router(self) -> ShardRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def _do_get(self) -> None:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if url.path == "/healthz":
+                self._send_json({"ok": True, "shards": len(self.router.ring)})
+            elif url.path == "/v1/stats":
+                self._send_json(self.router.stats())
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._send_json(self.router.poll(parts[2]))
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "result"
+            ):
+                self._get_result(parts[2])
+            else:
+                self._send_json({"error": f"no such path {url.path!r}"}, 404)
+        except RequestError as exc:
+            self._send_json({"error": str(exc)}, 400)
+        except ServiceError as exc:
+            self._send_json({"error": str(exc)}, exc.status or 502)
+        except ShardError as exc:
+            self._send_json({"error": str(exc)}, 503, retry_after_s=1.0)
+
+    def _get_result(self, job_id: str) -> None:
+        status = self.router.poll(job_id)
+        if status["status"] == "failed":
+            self._send_json(status, 500)
+        elif status["status"] != "done":
+            self._send_json(status, 202, retry_after_s=1.0)
+        else:
+            self._send_bytes(self.router.result(job_id))
+
+    def _do_post(self) -> None:
+        url = urlparse(self.path)
+        try:
+            if url.path == "/v1/submit":
+                status = self.router.submit(self._read_body())
+                self._send_json(
+                    status, 202 if status["status"] == "queued" else 200
+                )
+            elif url.path == "/v1/allocate":
+                self._allocate(url)
+            else:
+                self._send_json({"error": f"no such path {url.path!r}"}, 404)
+        except RequestError as exc:
+            self._send_json({"error": str(exc)}, 400)
+        except ServiceOverloadError as exc:
+            self._send_json(
+                {"error": str(exc)}, 503, retry_after_s=exc.retry_after_s
+            )
+        except (ShardError, ServiceError) as exc:
+            self._send_json({"error": str(exc)}, 503, retry_after_s=1.0)
+
+    def _allocate(self, url) -> None:
+        query = parse_qs(url.query)
+        timeout = float(query.get("timeout_s", [DEFAULT_SYNC_TIMEOUT_S])[0])
+        timeout = min(max(timeout, 0.0), MAX_SYNC_TIMEOUT_S)
+        status = self.router.submit(self._read_body())
+        if status["status"] not in ("done", "failed"):
+            try:
+                status = self.router.wait(status["job_id"], timeout=timeout)
+            except ServiceError:
+                pass  # still pending: fall through to the 202 below
+        if status["status"] == "failed":
+            self._send_json(status, 500)
+        elif status["status"] != "done":
+            self._send_json(status, 202, retry_after_s=1.0)
+        else:
+            status["artifact"] = json.loads(
+                self.router.result(status["job_id"])
+            )
+            self._send_json(status)
+
+
+class ShardFrontendServer(ThreadingHTTPServer):
+    """The sharded fleet's HTTP face; one router behind many handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        router: ShardRouter,
+        max_concurrent_requests: int = 32,
+    ):
+        super().__init__(address, ShardFrontendHandler)
+        self.router = router
+        self.request_slots = threading.BoundedSemaphore(
+            max(1, max_concurrent_requests)
+        )
+
+
+def make_shard_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    shards: int = 3,
+    config: ServiceConfig | None = None,
+    replicas: int = 64,
+    health_interval_s: float | None = 1.0,
+    router: ShardRouter | None = None,
+) -> ShardFrontendServer:
+    """Boot a worker fleet and bind the front end (``repro serve --shards``).
+
+    Workers are named ``s0..s{N-1}``; each gets a private cache shard
+    under the configured ``cache_dir`` (:func:`shard_cache_dir`).  Pass
+    a pre-built *router* to serve custom shard objects (the tests mount
+    :class:`LocalShard` fleets this way).  ``port=0`` binds a free port.
+    """
+    base = config or ServiceConfig()
+    if router is None:
+        workers = []
+        for i in range(max(1, shards)):
+            name = f"s{i}"
+            worker_config = replace(
+                base, cache_dir=shard_cache_dir(base.cache_dir, name)
+            )
+            workers.append(ProcessShard(name, worker_config, host=host))
+        router = ShardRouter(workers, replicas=replicas)
+    if health_interval_s is not None:
+        router.start_health_loop(health_interval_s)
+    return ShardFrontendServer(
+        (host, port), router, base.max_concurrent_requests
+    )
+
+
+def shutdown_shard_server(server) -> None:
+    """Stop the HTTP loop, the health loop, and every worker."""
+    server.shutdown()
+    server.server_close()
+    server.router.close()

@@ -13,6 +13,7 @@ Keeps the documentation site honest as the code moves:
 
 from __future__ import annotations
 
+import argparse
 import re
 from pathlib import Path
 
@@ -88,3 +89,131 @@ def test_readme_links_every_doc():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     for doc in REPO.glob("docs/*.md"):
         assert f"docs/{doc.name}" in readme, f"README does not link {doc.name}"
+
+
+# ----------------------------------------------------------------------
+# CLI flags and HTTP routes: docs vs the actual trees
+# ----------------------------------------------------------------------
+
+#: Backticked ``--flags`` in the docs that intentionally belong to other
+#: tools (pytest, pip, ...), not to the repro parser.
+EXTERNAL_FLAGS = {"--benchmark-only"}
+
+DOC_FLAG = re.compile(r"`[^`]*?(--[a-z][a-z0-9-]*)")
+
+
+def _walk_parsers(parser):
+    """The parser and every (recursively nested) subcommand parser."""
+    yield parser
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in action.choices.values():
+                yield from _walk_parsers(sub)
+
+
+def _all_parser_flags():
+    return {
+        opt
+        for p in _walk_parsers(build_parser())
+        for action in p._actions
+        for opt in action.option_strings
+    }
+
+
+def _subparser(name):
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices[name]
+    raise AssertionError("parser has no subcommands?")
+
+
+@pytest.mark.parametrize("doc", ["docs/SERVICE.md", "docs/SCALING.md"])
+def test_every_documented_flag_exists_on_the_parser(doc):
+    text = (REPO / doc).read_text(encoding="utf-8")
+    documented = set(DOC_FLAG.findall(text)) - EXTERNAL_FLAGS
+    assert documented, f"{doc} documents no flags?"
+    known = _all_parser_flags()
+    ghosts = sorted(documented - known)
+    assert not ghosts, f"{doc} documents flags the CLI lacks: {ghosts}"
+
+
+def test_serve_and_loadgen_flags_are_documented():
+    service = (REPO / "docs/SERVICE.md").read_text(encoding="utf-8")
+    scaling = (REPO / "docs/SCALING.md").read_text(encoding="utf-8")
+    def _undocumented(subcommand, text):
+        missing = []
+        for action in _subparser(subcommand)._actions:
+            options = [o for o in action.option_strings if o != "--help"]
+            # documented under any alias (`-v` covers `--verbose`)
+            if options and not any(o in text for o in options):
+                missing.append(options[-1])
+        return sorted(missing)
+
+    missing = _undocumented("serve", service)
+    assert not missing, f"SERVICE.md missing serve flags: {missing}"
+    missing = _undocumented("loadgen", scaling)
+    assert not missing, f"SCALING.md missing loadgen flags: {missing}"
+    assert "--shards" in service  # the pointer row into SCALING.md
+
+
+def _normalize_route(path):
+    path = path.split("?", 1)[0]
+    return re.sub(r"<[^>]+>", "<id>", path)
+
+
+def test_documented_endpoints_match_server_routes():
+    from repro.service.server import ROUTES
+
+    served = {_normalize_route(path) for _, path in ROUTES}
+    endpoint = re.compile(r"`(?:GET |POST )?(/(?:healthz|v1/)[^`\s]*)`")
+    for doc in ("docs/SERVICE.md", "docs/SCALING.md"):
+        text = (REPO / doc).read_text(encoding="utf-8")
+        documented = {_normalize_route(p) for p in endpoint.findall(text)}
+        ghosts = sorted(documented - served)
+        assert not ghosts, f"{doc} documents unknown endpoints: {ghosts}"
+    service = (REPO / "docs/SERVICE.md").read_text(encoding="utf-8")
+    documented = {
+        _normalize_route(p) for p in endpoint.findall(service)
+    }
+    undocumented = sorted(served - documented)
+    assert not undocumented, (
+        f"SERVICE.md missing endpoints: {undocumented}"
+    )
+
+
+def test_shard_frontend_serves_the_same_routes():
+    # The sharded front end must not fork the HTTP surface: every route
+    # in ROUTES resolves through ShardFrontendHandler's dispatch too
+    # (both handlers 404 unknown paths with a "no such path" marker).
+    import inspect
+
+    from repro.service import shard
+    from repro.service.server import ROUTES
+
+    source = inspect.getsource(shard.ShardFrontendHandler)
+    for _, path in ROUTES:
+        # Each literal path segment must appear in the dispatch source
+        # (placeholder segments like <id> are matched positionally).
+        for segment in path.split("?", 1)[0].split("/"):
+            if segment and not segment.startswith("<"):
+                assert segment in source, (
+                    f"frontend handler lost route {path} (segment "
+                    f"{segment!r})"
+                )
+    assert "no such path" in source
+
+
+def test_scaling_doc_is_wired_in():
+    architecture = (REPO / "docs/ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "SCALING.md" in architecture
+    assert "service/shard.py" in architecture
+    assert "service/loadgen.py" in architecture
+    service = (REPO / "docs/SERVICE.md").read_text(encoding="utf-8")
+    assert "SCALING.md" in service
+    scaling = (REPO / "docs/SCALING.md").read_text(encoding="utf-8")
+    for term in ("consistent-hash", "goodput", "open-loop", "p999"):
+        assert term in scaling, f"SCALING.md lost the {term} story"
+    glossary = (REPO / "docs/GLOSSARY.md").read_text(encoding="utf-8")
+    for term in ("shard", "consistent hashing", "open-loop", "goodput",
+                 "p999"):
+        assert term in glossary, f"GLOSSARY.md missing {term}"
