@@ -103,13 +103,31 @@ def test_observability_overhead(ctx, record_text):
     # Warm the suite cache so neither timed sweep pays generation cost.
     _sweep(suite, register_file)
 
-    t_off, r_off = _sweep(suite, register_file)
+    def _best_of(rounds=5, reset=False):
+        # Best-of-N with a collection before each timed sweep: scheduler
+        # and GC noise on shared CI boxes dwarfs the single-digit
+        # overhead being measured, and the minimum is the stable
+        # estimator of the true cost.  ``reset`` drops recorded spans
+        # between rounds so each timed sweep starts from empty buffers
+        # (and the final span count reflects one sweep, not N).
+        import gc
+
+        times, results = [], None
+        for _ in range(rounds):
+            if reset:
+                obs.reset_all()
+            gc.collect()
+            elapsed, results = _sweep(suite, register_file)
+            times.append(elapsed)
+        return min(times), results
+
+    t_off, r_off = _best_of()
 
     obs.TRACER.enable()
     obs.METRICS.enable()
     obs.reset_all()
     try:
-        t_on, r_on = _sweep(suite, register_file)
+        t_on, r_on = _best_of(reset=True)
         spans = len(obs.TRACER)
         counters = len(obs.METRICS.counters)
     finally:

@@ -23,6 +23,8 @@ Usage::
     python -m repro loadgen --server URL --record DIR  # + history record
     python -m repro verify ART.json --ir k.ir    # re-check an artifact
     python -m repro --faults plan.json serve     # chaos-test the service
+    python -m repro trace fetch TRACE_ID --server URL  # merged Chrome trace
+    python -m repro top --server URL             # live SLO/fleet view
 
 Scale options apply to every subcommand touching suites; defaults are the
 test-sized scales (fast).  The benches under ``benchmarks/`` use larger
@@ -273,6 +275,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the allocation service until interrupted."""
+    from .obs.telemetry import EVENTS, TELEMETRY
     from .selfcheck import SelfCheckError, run_selfcheck
     from .service import (
         ServiceConfig,
@@ -291,6 +294,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"selfcheck failed; refusing to serve: {exc}", file=sys.stderr)
         return 1
     print(f"selfcheck ok (flat mode {summary['mode']})", flush=True)
+
+    # Fleet telemetry is on by default for `serve` (spans cost nothing
+    # until a request carries a trace; artifacts are unaffected).  The
+    # env vars make spawned shard workers arm themselves too.
+    if not args.no_telemetry:
+        TELEMETRY.enable(
+            process="frontend" if args.shards > 0 else "service"
+        )
+        os.environ["REPRO_TELEMETRY"] = "1"
+    if args.events:
+        EVENTS.enable(args.events)
+        os.environ["REPRO_EVENTS"] = args.events
 
     config = ServiceConfig(
         workers=args.workers,
@@ -317,6 +332,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         what = "repro service"
     host, port = server.server_address[:2]
     print(f"{what} listening on http://{host}:{port}", flush=True)
+    if TELEMETRY.enabled:
+        print(
+            "telemetry on: GET /v1/metrics (Prometheus), "
+            "GET /v1/trace/<trace_id> (merged spans)",
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -354,6 +375,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         loadgen_record,
         run_loadgen,
     )
+
+    if not args.no_telemetry:
+        # Root trace contexts per arrival; against a telemetry-enabled
+        # server the report's trace_ids are fetchable via `repro trace
+        # fetch`, in direct mode the spans are recorded right here.
+        from .obs.telemetry import TELEMETRY
+
+        TELEMETRY.enable(process="loadgen")
 
     config = LoadgenConfig(
         seed=args.seed,
@@ -407,6 +436,122 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         and report["samples"]["mismatched"] == 0
     )
     return 0 if ok else 1
+
+
+def _cmd_trace_fetch(args: argparse.Namespace) -> int:
+    """Fetch one merged distributed trace and write Chrome-trace JSON."""
+    import json
+
+    from .obs.telemetry import chrome_trace
+    from .service import ServiceError
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        payload = client.trace(args.trace_id)
+    except ServiceError as exc:
+        print(f"trace fetch: {exc}", file=sys.stderr)
+        return 1
+    spans = payload.get("spans") or []
+    if not spans:
+        print(
+            f"trace fetch: no spans for {args.trace_id!r} (telemetry off, "
+            "trace evicted, or wrong id)",
+            file=sys.stderr,
+        )
+        return 1
+    doc = chrome_trace(payload)
+    out = args.out or f"trace-{args.trace_id}.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    procs = sorted({span.get("proc") or "?" for span in spans})
+    print(
+        f"wrote {len(spans)} spans across {len(procs)} processes "
+        f"({', '.join(procs)}) to {out} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _render_top(stats: dict) -> str:
+    """One ``repro top`` frame from a ``/v1/stats`` payload."""
+    import time as _time
+
+    lines = [
+        f"repro top @ {_time.strftime('%H:%M:%S')}   "
+        f"queue_depth={stats.get('queue_depth', 0)}"
+    ]
+    counters = stats.get("counters") or {}
+    if counters:
+        lines.append(
+            "  counters: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    router = stats.get("router") or {}
+    slo = stats.get("slo") or router.get("slo")
+    if slo:
+        latency = slo.get("latency_ms") or {}
+        budget = slo.get("error_budget") or {}
+        meets = slo.get("meets") or {}
+        met = "+".join(k for k, ok in sorted(meets.items()) if ok) or "none"
+        lines.append(
+            f"  slo: requests={slo.get('requests')} "
+            f"availability={slo.get('availability')} "
+            f"goodput={slo.get('goodput_ratio')} "
+            f"p99_ms={latency.get('p99')} "
+            f"budget_burn={budget.get('burn')} meets={met}"
+        )
+    if router:
+        routed = router.get("routed") or {}
+        meta = router.get("shards") or {}
+        breakers = router.get("breakers") or {}
+        for name in sorted(set(routed) | set(meta)):
+            shard_meta = meta.get(name) or {}
+            lines.append(
+                f"  shard {name}: routed={routed.get(name, 0)} "
+                f"uptime_s={shard_meta.get('uptime_s')} "
+                f"last_health={shard_meta.get('last_health_check')} "
+                f"breaker={breakers.get(name)}"
+            )
+    shards = stats.get("shards")
+    if isinstance(shards, dict):
+        for name, shard_stats in sorted(shards.items()):
+            if not isinstance(shard_stats, dict):
+                continue
+            inner = shard_stats.get("counters") or {}
+            lines.append(
+                f"    {name}: requests={inner.get('requests', 0)} "
+                f"cache_hits={inner.get('cache_hits', 0)} "
+                f"depth={shard_stats.get('queue_depth', 0)}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view over ``/v1/stats`` (``--once`` for scripts)."""
+    import time as _time
+
+    from .service import ServiceError
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        while True:
+            try:
+                stats = client.stats()
+            except ServiceError as exc:
+                print(f"top: {exc}", file=sys.stderr)
+                return 1
+            frame = _render_top(stats)
+            if not args.once:
+                # Clear screen + home, like watch(1).
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
@@ -686,6 +831,17 @@ def build_parser() -> argparse.ArgumentParser:
         "cache shard DIR/shard-sK, see docs/SCALING.md)",
     )
     p_serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable fleet telemetry (request spans and /v1/trace "
+        "payloads; /v1/metrics and /v1/stats stay available)",
+    )
+    p_serve.add_argument(
+        "--events", default=None, metavar="OUT.jsonl",
+        help="append one structured JSONL event per finished request "
+        "(trace id, tiers, stage timings, cache disposition, retries); "
+        "shard workers append to the same file",
+    )
+    p_serve.add_argument(
         "-v", "--verbose", action="store_true",
         help="log every HTTP request to stderr",
     )
@@ -761,7 +917,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--label", default="",
         help="free-form label stored in the record",
     )
+    p_loadgen.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not attach trace contexts to generated requests (the "
+        "report then carries no trace_ids)",
+    )
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="distributed traces from a telemetry-enabled service",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_fetch = trace_sub.add_parser(
+        "fetch",
+        help="GET /v1/trace/<trace_id> and write the merged spans as "
+        "Chrome-trace JSON (frontend, shards, and workers in one view)",
+    )
+    p_trace_fetch.add_argument("trace_id", metavar="TRACE_ID")
+    p_trace_fetch.add_argument(
+        "--server", default="http://127.0.0.1:8377", metavar="URL"
+    )
+    p_trace_fetch.add_argument(
+        "--out", "-o", default=None, metavar="FILE",
+        help="output path (default trace-<trace_id>.json)",
+    )
+    p_trace_fetch.add_argument("--timeout", type=float, default=10.0)
+    p_trace_fetch.set_defaults(func=_cmd_trace_fetch)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view of /v1/stats: counters, SLO error "
+        "budget, per-shard routing/uptime/breaker state",
+    )
+    p_top.add_argument(
+        "--server", default="http://127.0.0.1:8377", metavar="URL"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds (default 2)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing; for "
+        "scripts and CI)",
+    )
+    p_top.add_argument("--timeout", type=float, default=10.0)
+    p_top.set_defaults(func=_cmd_top)
 
     p_req = sub.add_parser(
         "request", help="submit one request to a running service"

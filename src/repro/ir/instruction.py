@@ -140,6 +140,17 @@ class Instruction:
         one register is served by a single port access in the modeled
         hardware.
         """
+        # Operands are immutable (``uses`` is a tuple and rewrites go
+        # through :meth:`rewrite`, which returns a fresh copy), so the
+        # scan result is memoized per (instruction, regclass) — this is
+        # the innermost loop of every conflict-cost fold.
+        cache = getattr(self, "_bankable_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_bankable_cache", cache)
+        hit = cache.get(regclass)
+        if hit is not None:
+            return hit
         seen: list[Register] = []
         for use in self.uses:
             if not is_reg(use):
@@ -150,7 +161,9 @@ class Instruction:
                 continue
             if use not in seen:
                 seen.append(use)
-        return tuple(seen)
+        result = tuple(seen)
+        cache[regclass] = result
+        return result
 
     def is_conflict_relevant(self, regclass: RegClass | None = None) -> bool:
         """True when the instruction reads >= 2 distinct bankable registers.

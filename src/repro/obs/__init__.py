@@ -23,6 +23,14 @@ observations back into the parent (see
 :mod:`repro.experiments.harness`).  The module-level helpers below move
 those four snapshots as one unit.
 
+On top of the four layers, :mod:`.telemetry` adds the *fleet* layer the
+sharded service uses: :data:`TELEMETRY` (cross-process distributed
+tracing via :class:`TraceContext` / ``X-Repro-Trace``), :data:`EVENTS`
+(JSONL request events), :class:`SLOTracker`, :class:`StreamingHistogram`
+/ :class:`RingSeries` aggregates, and the Prometheus text exposition
+pair :func:`render_prometheus` / :func:`parse_prometheus`.  It follows
+the same protocol: off by default, zero effect on outputs.
+
 See ``docs/OBSERVABILITY.md`` for the user guide and worked examples.
 """
 
@@ -34,6 +42,22 @@ from .metrics import GLOBAL as METRICS
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import GLOBAL as PROFILE
 from .profile import ConflictProfiler, SiteStats, loop_paths
+from .telemetry import (
+    EVENTS,
+    TELEMETRY,
+    TRACE_HEADER,
+    EventLog,
+    RingSeries,
+    SLOTracker,
+    StreamingHistogram,
+    TraceContext,
+    TraceRecorder,
+    chrome_trace,
+    orphan_spans,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
 from .tracer import GLOBAL as TRACER
 from .tracer import Span, Tracer
 
@@ -43,22 +67,36 @@ __all__ = [
     "AuditRecord",
     "ConflictProfiler",
     "Counter",
+    "EVENTS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
     "PROFILE",
+    "RingSeries",
+    "SLOTracker",
     "SiteStats",
     "Span",
+    "StreamingHistogram",
+    "TELEMETRY",
     "TRACER",
+    "TRACE_HEADER",
+    "TraceContext",
+    "TraceRecorder",
     "Tracer",
     "any_enabled",
-    "enabled_flags",
     "apply_flags",
+    "chrome_trace",
+    "enabled_flags",
     "loop_paths",
-    "snapshot_all",
     "merge_all",
+    "orphan_spans",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
     "reset_all",
+    "snapshot_all",
 ]
 
 
@@ -113,8 +151,11 @@ def merge_all(snapshot: dict | None, track: str | None = None) -> None:
 
 
 def reset_all() -> None:
-    """Clear all four layers (enablement is left untouched)."""
+    """Clear every layer — the four batch layers plus the fleet
+    telemetry buffers (enablement is left untouched)."""
     TRACER.reset()
     METRICS.reset()
     AUDIT.reset()
     PROFILE.reset()
+    TELEMETRY.reset()
+    EVENTS.reset()

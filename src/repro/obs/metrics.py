@@ -12,15 +12,19 @@ Three instrument kinds:
 * **gauge** — last-seen value, with the running maximum kept alongside
   (``set``); gauges merge across worker processes by *maximum*, the only
   order-independent choice;
-* **histogram** — count/total/min/max summary of observed values
-  (``observe``).
+* **histogram** — a :class:`~repro.obs.telemetry.StreamingHistogram`:
+  count/total/min/max plus O(1) power-of-two buckets (``observe``), so
+  percentile estimates and Prometheus exposition need no per-sample
+  bound scan.
 
 The registry is **disabled by default**; every recording method
 early-returns on ``enabled`` so call sites need no guard (guard only when
-*computing* the value is itself expensive).  Snapshots are plain dicts,
-picklable across the process pool, and :meth:`MetricsRegistry.merge` is
-commutative over counters and histograms and max-combining over gauges,
-so parallel harness runs aggregate to the same totals as serial ones.
+*computing* the value is itself expensive).  Hot loops that record many
+histogram samples batch them through :meth:`MetricsRegistry.observe_many`
+(one lock round-trip per batch).  Snapshots are plain dicts, picklable
+across the process pool, and :meth:`MetricsRegistry.merge` is commutative
+over counters and histograms and max-combining over gauges, so parallel
+harness runs aggregate to the same totals as serial ones.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
+
+from .telemetry import StreamingHistogram
 
 __all__ = ["GLOBAL", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -57,26 +63,14 @@ class Gauge:
         self.samples += 1
 
 
-@dataclass
-class Histogram:
-    """Count/total/min/max summary of observed values."""
+class Histogram(StreamingHistogram):
+    """Streaming count/total/min/max summary with power-of-two buckets.
 
-    count: int = 0
-    total: float = 0.0
-    min: float = float("inf")
-    max: float = float("-inf")
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    Inherits the O(1) ``observe`` / ``merge`` / ``quantile`` machinery
+    from :class:`~repro.obs.telemetry.StreamingHistogram`; registered
+    here so ``--metrics`` documents keep their historical shape (plus a
+    ``buckets`` map).
+    """
 
 
 @dataclass
@@ -120,6 +114,19 @@ class MetricsRegistry:
         with self._lock:
             self.histograms.setdefault(name, Histogram()).observe(value)
 
+    def observe_many(self, samples) -> None:
+        """Record ``[(name, value), ...]`` under one lock round-trip —
+        the batched form hot loops (the pass manager) use."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histograms = self.histograms
+            for name, value in samples:
+                hist = histograms.get(name)
+                if hist is None:
+                    hist = histograms[name] = Histogram()
+                hist.observe(value)
+
     # ------------------------------------------------------------------
     # Pool-safe aggregation
     # ------------------------------------------------------------------
@@ -138,6 +145,9 @@ class MetricsRegistry:
                         "total": h.total,
                         "min": h.min,
                         "max": h.max,
+                        "buckets": {
+                            str(exp): c for exp, c in sorted(h.buckets.items())
+                        },
                     }
                     for n, h in self.histograms.items()
                 },
@@ -162,13 +172,7 @@ class MetricsRegistry:
                     gauge.max = g["max"]
                 gauge.samples += g["samples"]
             for name, h in snapshot.get("histograms", {}).items():
-                hist = self.histograms.setdefault(name, Histogram())
-                hist.count += h["count"]
-                hist.total += h["total"]
-                if h["min"] < hist.min:
-                    hist.min = h["min"]
-                if h["max"] > hist.max:
-                    hist.max = h["max"]
+                self.histograms.setdefault(name, Histogram()).merge(h)
 
     # ------------------------------------------------------------------
     # Export

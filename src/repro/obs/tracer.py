@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 __all__ = ["GLOBAL", "Span", "Tracer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One completed, timed interval of work.
 
@@ -94,19 +94,40 @@ _NULL_SPAN = _NullSpan()
 
 
 class _LiveSpan:
-    """An open span; completes (records itself) when the ``with`` exits."""
+    """An open span; completes (records itself) when the ``with`` exits.
 
-    __slots__ = ("_tracer", "sid", "parent", "name", "category", "args", "_start")
+    Completed live spans are stored as-is (with ``_start``/``_end`` still
+    on the tracer's raw clock) and only converted to :class:`Span` when
+    read — recording stays one allocation lighter per span, which keeps
+    GC pressure off the traced hot path.
+    """
+
+    __slots__ = ("_tracer", "sid", "parent", "tid", "name", "category",
+                 "args", "_start", "_end")
 
     def __init__(self, tracer: "Tracer", sid: int, parent: int | None,
                  name: str, category: str, args: dict):
         self._tracer = tracer
         self.sid = sid
         self.parent = parent
+        self.tid = 0
         self.name = name
         self.category = category
         self.args = args
         self._start = 0.0
+        self._end = 0.0
+
+    def to_span(self, epoch: float) -> Span:
+        return Span(
+            sid=self.sid,
+            parent=self.parent,
+            tid=self.tid,
+            name=self.name,
+            category=self.category,
+            start=self._start - epoch,
+            end=self._end - epoch,
+            args=self.args,
+        )
 
     def note(self, **args) -> None:
         """Attach key/values to the span (visible in the trace viewer)."""
@@ -168,10 +189,7 @@ class Tracer:
             return _NULL_SPAN
         stack = self._stack()
         parent = stack[-1].sid if stack else None
-        with self._lock:
-            sid = self._next_sid
-            self._next_sid += 1
-        live = _LiveSpan(self, sid, parent, name, category, args)
+        live = _LiveSpan(self, self._alloc_sid(), parent, name, category, args)
         stack.append(live)
         return live
 
@@ -180,6 +198,28 @@ class Tracer:
         if stack is None:
             stack = self._tls.stack = []
         return stack
+
+    #: Span-id block size reserved per thread (amortizes the id lock).
+    _SID_BLOCK = 64
+
+    def _alloc_sid(self) -> int:
+        """Next span id, from a per-thread block of the shared counter.
+
+        Blocks keep ids unique and monotonically increasing within a
+        thread (what ordering-sensitive consumers rely on) while paying
+        the lock once per :data:`_SID_BLOCK` spans instead of per span.
+        ``_next_sid`` always sits above every id handed out, so merge
+        rebasing stays collision-free even with blocks outstanding.
+        """
+        tls = self._tls
+        sid = getattr(tls, "sid_next", 0)
+        if sid >= getattr(tls, "sid_end", 0):
+            with self._lock:
+                sid = self._next_sid
+                self._next_sid += self._SID_BLOCK
+            tls.sid_end = sid + self._SID_BLOCK
+        tls.sid_next = sid + 1
+        return sid
 
     def _thread_tid(self) -> int:
         tid = getattr(self._tls, "tid", None)
@@ -193,20 +233,14 @@ class Tracer:
         stack = self._stack()
         # Tolerate out-of-order exits (generators, re-raised errors): pop
         # the span wherever it sits instead of corrupting the stack.
-        if live in stack:
+        if stack and stack[-1] is live:
+            stack.pop()
+        elif live in stack:
             stack.remove(live)
-        span = Span(
-            sid=live.sid,
-            parent=live.parent,
-            tid=self._thread_tid(),
-            name=live.name,
-            category=live.category,
-            start=live._start - self._epoch,
-            end=end - self._epoch,
-            args=live.args,
-        )
+        live.tid = self._thread_tid()
+        live._end = end
         with self._lock:
-            self._spans.append(span)
+            self._spans.append(live)
 
     # ------------------------------------------------------------------
     # Access
@@ -215,7 +249,11 @@ class Tracer:
     def spans(self) -> list[Span]:
         """Completed spans, in completion order."""
         with self._lock:
-            return list(self._spans)
+            epoch = self._epoch
+            return [
+                s if isinstance(s, Span) else s.to_span(epoch)
+                for s in self._spans
+            ]
 
     def __len__(self) -> int:
         return len(self._spans)

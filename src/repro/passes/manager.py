@@ -21,11 +21,16 @@ from dataclasses import dataclass, field
 
 from ..ir.function import Function
 from ..obs import METRICS, TRACER
-from .analysis_manager import PRESERVE_NONE, AnalysisManager
+from .analysis_manager import PRESERVE_NONE, AnalysisManager, CFGAnalysis
 from .instrument import GLOBAL, InstrumentationRegistry
 
 
-def _potential_cost(function: Function, pass_: "Pass") -> float:
+def _potential_cost(
+    function: Function,
+    pass_: "Pass",
+    freq_cache: list | None = None,
+    am: "AnalysisManager | None" = None,
+) -> float:
     """Total Eq. 2 conflict cost of *function*'s current state.
 
     Only computed while ``--metrics`` is on; the per-phase difference is
@@ -34,11 +39,37 @@ def _potential_cost(function: Function, pass_: "Pass") -> float:
     the ``--pass-stats`` cache counters, and via the scalar
     :func:`~repro.analysis.cost.total_potential_cost` fold so it never
     allocates the full cost model's per-register dicts.
+
+    *freq_cache* is a caller-owned ``[signature, frequencies, cfg]``
+    triple: block frequencies depend only on the CFG edge shape and
+    trip-count metadata (:func:`~repro.analysis.cost.loop_shape_signature`),
+    so the loop analysis is rebuilt only when a pass actually
+    restructures control flow — most passes rewrite instructions in
+    place, and for them the cached frequency map makes costing a plain
+    fold.  The third slot remembers the identity of *am*'s cached CFG
+    analysis: while the exact same CFG object stays cached, no pass can
+    have restructured control flow (any that did must invalidate it),
+    so even the signature walk is skipped.
     """
-    from ..analysis.cost import total_potential_cost
+    from ..analysis.cost import (
+        block_frequencies,
+        loop_shape_signature,
+        total_potential_cost,
+    )
 
     regclass = getattr(getattr(pass_, "config", None), "regclass", None)
-    return total_potential_cost(function, regclass=regclass)
+    if freq_cache is None:
+        return total_potential_cost(function, regclass=regclass)
+    cfg = am.cached(CFGAnalysis) if am is not None else None
+    if cfg is None or cfg is not freq_cache[2]:
+        signature = loop_shape_signature(function)
+        if freq_cache[0] != signature:
+            freq_cache[0] = signature
+            freq_cache[1] = block_frequencies(function)
+        freq_cache[2] = cfg
+    return total_potential_cost(
+        function, regclass=regclass, frequencies=freq_cache[1]
+    )
 
 
 class Pass:
@@ -52,6 +83,14 @@ class Pass:
     """
 
     name: str = "pass"
+
+    #: Whether :meth:`run` can change the function's Eq. 2 conflict cost.
+    #: Purely analytical passes (no IR mutation) and pure reorderings
+    #: (the cost fold is order-independent within a block) set this True
+    #: so the manager reuses the pre-pass cost for their
+    #: ``phase.cost_delta`` metric — zero by construction — instead of
+    #: re-folding it.
+    cost_neutral: bool = False
 
     def run(self, function: Function, am: AnalysisManager, state: dict):
         """Transform *function* (in place); the return value is published
@@ -108,6 +147,10 @@ class FunctionPassManager:
         # phases (keyed by the costing regclass) instead of rebuilding the
         # cost model twice per pass — this halves the --metrics overhead.
         carried_cost: tuple[object, float] | None = None
+        # Block-frequency cache for the costing above: [signature, freqs],
+        # threaded through _potential_cost so loop analysis reruns only
+        # when a pass changes the CFG shape (see loop_shape_signature).
+        freq_cache: list = [None, None, None]
         for pass_ in self.passes:
             if registry is not None:
                 hits0 = am.total_hits()
@@ -121,7 +164,7 @@ class FunctionPassManager:
                 if carried_cost is not None and carried_cost[0] == regclass:
                     cost0 = carried_cost[1]
                 else:
-                    cost0 = _potential_cost(function, pass_)
+                    cost0 = _potential_cost(function, pass_, freq_cache, am)
             started = time.perf_counter()
             with TRACER.span(pass_.name, category="pass", function=function.name):
                 result = pass_.run(function, am, state)
@@ -138,8 +181,15 @@ class FunctionPassManager:
                     instructions_delta=function.instruction_count() - instrs0,
                 )
             if metrics is not None:
-                cost1 = _potential_cost(function, pass_)
+                if pass_.cost_neutral:
+                    cost1 = cost0
+                else:
+                    cost1 = _potential_cost(function, pass_, freq_cache, am)
                 carried_cost = (regclass, cost1)
-                metrics.observe(f"pass.seconds.{pass_.name}", elapsed)
-                metrics.observe(f"phase.cost_delta.{pass_.name}", cost1 - cost0)
+                metrics.observe_many(
+                    [
+                        (f"pass.seconds.{pass_.name}", elapsed),
+                        (f"phase.cost_delta.{pass_.name}", cost1 - cost0),
+                    ]
+                )
         return state

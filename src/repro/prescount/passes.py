@@ -102,6 +102,10 @@ class SchedulingPass(_ConfiguredPass):
     """Pressure-aware pre-allocation list scheduling (white phase #2)."""
 
     name = "scheduling"
+    #: Reorders instructions within blocks but never adds, removes, or
+    #: rewrites one; the Eq. 2 fold is order-independent, so the cost
+    #: delta is structurally zero.
+    cost_neutral = True
 
     def run(self, function, am: AnalysisManager, state) -> SchedulingResult:
         return schedule_function(function, am=am)
@@ -120,6 +124,9 @@ class BankAssignmentPass(_ConfiguredPass):
     """
 
     name = "bank-assignment"
+    #: Colors the RCG without touching the IR, so the conflict-cost
+    #: fold cannot move across it.
+    cost_neutral = True
 
     def run(self, function, am: AnalysisManager, state) -> BankAssignment:
         config = self.config
@@ -167,6 +174,12 @@ class AllocationPass(_ConfiguredPass):
     """
 
     name = "allocation"
+    #: Allocation renames registers within the costed class; operands
+    #: that are distinct in an instruction are simultaneously live and
+    #: so stay distinct under any correct assignment, and inserted spill
+    #: reloads / split copies are never ARITH — the Eq. 2 potential-cost
+    #: fold is allocation-invariant (only *actual* conflicts move).
+    cost_neutral = True
 
     def run(self, function, am: AnalysisManager, state):
         config = self.config

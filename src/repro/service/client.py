@@ -29,6 +29,12 @@ Resilience (see ``docs/RESILIENCE.md``):
 
 Non-transient HTTP errors (``400`` bad request, ``404``, a ``500`` job
 failure) are never retried — they would fail identically every time.
+
+Telemetry: pass a :class:`~repro.obs.telemetry.TraceContext` to
+:meth:`ServiceClient.submit` / :meth:`~ServiceClient.submit_request` /
+:meth:`~ServiceClient.allocate` and the client sends it as the
+``X-Repro-Trace`` header (submits only — polls are uninteresting spam);
+retries and breaker trips become span events on that trace.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ import time
 import urllib.error
 import urllib.request
 
+from ..obs.telemetry import TELEMETRY, TRACE_HEADER, TraceContext
 from ..resilience.faults import FAULTS, InjectedFault
 
 #: HTTP statuses worth retrying: the server shed load, not failed us.
@@ -115,8 +122,17 @@ class ServiceClient:
         self._rng = random.Random(jitter_seed)
 
     # ------------------------------------------------------------------
+    def _note(self, trace: TraceContext | None, name: str, **args) -> None:
+        """Attach an instantaneous event to *trace* (or the thread's
+        current context when none was threaded through)."""
+        TELEMETRY.event_for(trace or TELEMETRY.current(), name, **args)
+
     def _request_once(
-        self, path: str, body: dict | None = None, raw: bool = False
+        self,
+        path: str,
+        body: dict | None = None,
+        raw: bool = False,
+        trace: TraceContext | None = None,
     ):
         if FAULTS.enabled:
             point = FAULTS.fire("client.request", label=path)
@@ -131,15 +147,22 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace is not None and TELEMETRY.enabled:
+            headers[TRACE_HEADER] = trace.header()
         req = urllib.request.Request(url, data=data, headers=headers)
         with urllib.request.urlopen(req, timeout=self.timeout) as resp:
             payload = resp.read()
         return payload if raw else json.loads(payload)
 
     def _request(
-        self, path: str, body: dict | None = None, raw: bool = False
+        self,
+        path: str,
+        body: dict | None = None,
+        raw: bool = False,
+        trace: TraceContext | None = None,
     ):
         if not self.breaker.allow():
+            self._note(trace, "client.breaker_open", path=path)
             raise CircuitOpenError(
                 f"{path}: circuit breaker open after "
                 f"{self.breaker.failures} consecutive failures"
@@ -148,7 +171,7 @@ class ServiceClient:
         for attempt in range(self.retries + 1):
             retry_after: float | None = None
             try:
-                result = self._request_once(path, body, raw)
+                result = self._request_once(path, body, raw, trace)
                 self.breaker.record(ok=True)
                 return result
             except urllib.error.HTTPError as exc:
@@ -182,8 +205,17 @@ class ServiceClient:
                 last_error = ServiceError(f"{path}: {reason}")
                 self.breaker.record(ok=False)
                 if not self.breaker.allow():
+                    self._note(
+                        trace, "client.breaker_trip",
+                        path=path, failures=self.breaker.failures,
+                    )
                     break
             if attempt < self.retries:
+                self._note(
+                    trace, "client.retry",
+                    path=path, attempt=attempt + 1,
+                    error=str(last_error)[:160],
+                )
                 time.sleep(self._backoff(attempt, retry_after))
         raise last_error  # type: ignore[misc]
 
@@ -212,6 +244,7 @@ class ServiceClient:
         method: str = "bpc",
         flags: dict | None = None,
         deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> dict:
         """Enqueue one allocation; returns the job status dict."""
         body: dict = {
@@ -227,16 +260,18 @@ class ServiceClient:
             body["flags"] = flags
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
-        return self._request("/v1/submit", body)
+        return self._request("/v1/submit", body, trace=trace)
 
-    def submit_request(self, body: dict) -> dict:
+    def submit_request(
+        self, body: dict, trace: TraceContext | None = None
+    ) -> dict:
         """Enqueue a pre-built request body (the shard router's path).
 
         The router normalizes the request once and forwards the
         canonical fields verbatim, so re-normalization at the shard is
         idempotent and the content address cannot fork across hops.
         """
-        return self._request("/v1/submit", body)
+        return self._request("/v1/submit", body, trace=trace)
 
     def poll(self, job_id: str) -> dict:
         return self._request(f"/v1/jobs/{job_id}")
@@ -273,3 +308,20 @@ class ServiceClient:
                 f"job {status['job_id']} failed: {status.get('error')}"
             )
         return status, self.result_json(status["job_id"])
+
+    # ------------------------------------------------------------------
+    # Telemetry fetchers
+    # ------------------------------------------------------------------
+    def metrics_json(self) -> dict:
+        """``GET /v1/metrics?format=json`` — the labeled-sample form the
+        shard router aggregates."""
+        return self._request("/v1/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text exposition."""
+        return self._request("/v1/metrics", raw=True).decode("utf-8")
+
+    def trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace/<trace_id>`` — the server's merged span
+        payload (:func:`~repro.obs.telemetry.chrome_trace` renders it)."""
+        return self._request(f"/v1/trace/{trace_id}")

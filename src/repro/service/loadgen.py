@@ -26,7 +26,11 @@ response bit-identity checks are deterministic for a fixed seed against
 a healthy fleet.  Latency percentiles, throughput, and the degraded
 count depend on wall-clock timing and are **informational only** — the
 same split the BENCH history schema already draws for its ``latency``
-block.
+block.  The telemetry additions follow the same line: per-stage timing
+aggregates (``stages_ms``), the client-side SLO snapshot (``slo``), and
+the sampled ``trace_ids`` are wall-clock-dependent and informational —
+``repro bench diff`` reports stage regressions but gates only on the
+deterministic fields.
 
 Bit-identity: the first ``sample`` distinct kernels' responses are
 compared byte-for-byte against a direct single-process
@@ -42,6 +46,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..obs.telemetry import TELEMETRY, SLOTracker, TraceContext
 from .artifact import artifact_bytes, build_artifact
 from .client import ServiceClient, ServiceError
 from .queue import ServiceOverloadError
@@ -184,8 +189,8 @@ class RouterTarget:
     def __init__(self, router: ShardRouter):
         self.router = router
 
-    def submit(self, body: dict) -> dict:
-        return self.router.submit(body)
+    def submit(self, body: dict, trace: TraceContext | None = None) -> dict:
+        return self.router.submit(body, trace=trace)
 
     def wait(self, job_id: str, timeout: float) -> dict:
         return self.router.wait(job_id, timeout=timeout)
@@ -203,8 +208,8 @@ class HttpTarget:
     def __init__(self, client: ServiceClient):
         self.client = client
 
-    def submit(self, body: dict) -> dict:
-        return self.client.submit_request(body)
+    def submit(self, body: dict, trace: TraceContext | None = None) -> dict:
+        return self.client.submit_request(body, trace=trace)
 
     def wait(self, job_id: str, timeout: float) -> dict:
         return self.client.wait(job_id, timeout=timeout)
@@ -240,6 +245,9 @@ def run_loadgen(target, config: LoadgenConfig | None = None) -> dict:
     failures: list[str] = []
     counts = {"ok": 0, "failed": 0, "degraded": 0, "shed": 0}
     sample_bytes: dict[int, list[tuple[str, bytes]]] = {}
+    slo = SLOTracker()
+    stage_samples: dict[str, list[float]] = {}
+    trace_ids: list[str] = []
 
     def one(arrival: Arrival, arrived_mono: float):
         body = {
@@ -249,19 +257,31 @@ def run_loadgen(target, config: LoadgenConfig | None = None) -> dict:
         }
         if arrival.deadline_ms is not None:
             body["deadline_ms"] = arrival.deadline_ms
+        # One root context per arrival (telemetry on only), so every
+        # request is fetchable end to end via /v1/trace/<trace_id>.
+        trace = (
+            TraceContext.new(kernel=f"lg_k{arrival.kernel}")
+            if TELEMETRY.enabled
+            else None
+        )
         try:
-            status = target.submit(body)
+            if trace is not None:
+                status = target.submit(body, trace=trace)
+            else:
+                status = target.submit(body)
             if status["status"] not in ("done", "failed"):
                 status = target.wait(status["job_id"], config.timeout_s)
             if status["status"] != "done":
-                return ("failed", arrival, None, status.get("error"), None)
+                return (
+                    "failed", arrival, None, status.get("error"), None, trace
+                )
             data = None
             if arrival.kernel in sampled_set:
                 data = target.result(status["job_id"])
             latency = time.perf_counter() - arrived_mono
-            return ("ok", arrival, latency, status, data)
+            return ("ok", arrival, latency, status, data, trace)
         except (ServiceOverloadError, ServiceError, ShardError) as exc:
-            return ("failed", arrival, None, str(exc), None)
+            return ("failed", arrival, None, str(exc), None, trace)
 
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=config.max_in_flight) as executor:
@@ -275,16 +295,25 @@ def run_loadgen(target, config: LoadgenConfig | None = None) -> dict:
             arrived = started + arrival.at_s
             futures.append(executor.submit(one, arrival, arrived))
         for future in futures:
-            outcome, arrival, latency, status, data = future.result()
+            outcome, arrival, latency, status, data, trace = future.result()
+            if trace is not None and len(trace_ids) < 8:
+                trace_ids.append(trace.trace_id)
             if outcome != "ok":
                 counts["failed"] += 1
+                slo.record(ok=False)
                 failures.append(str(status)[:200])
                 continue
             counts["ok"] += 1
             latencies.append(latency)
+            degraded = bool(
+                isinstance(status, dict) and status.get("degraded")
+            )
+            if degraded:
+                counts["degraded"] += 1
+            slo.record(ok=True, latency_s=latency, good=not degraded)
             if isinstance(status, dict):
-                if status.get("degraded"):
-                    counts["degraded"] += 1
+                for stage, seconds in (status.get("stages") or {}).items():
+                    stage_samples.setdefault(stage, []).append(float(seconds))
             if data is not None:
                 served = status.get("served_method") or config.method
                 sample_bytes.setdefault(arrival.kernel, []).append(
@@ -324,6 +353,14 @@ def run_loadgen(target, config: LoadgenConfig | None = None) -> dict:
     counters = stats.get("counters", {})
 
     latencies.sort()
+    stages_ms: dict[str, dict] = {}
+    for stage, values in sorted(stage_samples.items()):
+        values.sort()
+        stages_ms[stage] = {
+            "count": len(values),
+            "mean": _ms(sum(values) / len(values)),
+            "p99": _ms(percentile(values, 99.0)),
+        }
     return {
         "requests": len(schedule),
         "goodput": counts["ok"],
@@ -340,6 +377,9 @@ def run_loadgen(target, config: LoadgenConfig | None = None) -> dict:
             "max": _ms(latencies[-1] if latencies else None),
         },
         "shards": shards,
+        "stages_ms": stages_ms,
+        "slo": slo.snapshot(),
+        "trace_ids": trace_ids,
         "samples": {
             "kernels": sorted(sampled_set),
             "checked": checked,

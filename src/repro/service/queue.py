@@ -60,6 +60,14 @@ from dataclasses import dataclass, field
 
 from ..experiments.harness import run_tasks
 from ..obs import AUDIT, METRICS, TRACER
+from ..obs.telemetry import (
+    EVENTS,
+    TELEMETRY,
+    SLOTracker,
+    StreamingHistogram,
+    TraceContext,
+    new_span_id,
+)
 from ..resilience import AllocationVerifier, FAULTS, InjectedFault
 from .artifact import (
     artifact_bytes,
@@ -107,8 +115,43 @@ def _execute_request(payload: tuple) -> dict:
     Carries the ``queue.execute`` fault point so chaos schedules can
     kill (``death``), stall (``stall``), or fail (``error``) the worker
     — inline or in a pool (workers re-arm from ``REPRO_FAULTS``).
+
+    The optional fifth payload element is an encoded
+    :class:`~repro.obs.telemetry.TraceContext` header; when present the
+    worker returns its ``worker.execute`` span (and any fault events) in
+    the result so the service folds them into the distributed trace.
+    The trace never influences the artifact — it is not part of the
+    build inputs or the cache key.
     """
-    ir, file_spec, method, flags = payload
+    if len(payload) == 5:
+        ir, file_spec, method, flags, trace_header = payload
+    else:  # pre-telemetry payload shape
+        ir, file_spec, method, flags = payload
+        trace_header = None
+    ctx = TraceContext.parse(trace_header) if trace_header else None
+    spans: list[dict] = []
+    in_pool = False
+    if ctx is not None:
+        import multiprocessing
+
+        in_pool = multiprocessing.parent_process() is not None
+
+    def _span(name, cat, ts, dur, **args):
+        spans.append(
+            {
+                "trace": ctx.trace_id,
+                "sid": new_span_id(),
+                "parent": ctx.span_id,
+                "name": name,
+                "cat": cat,
+                # None = stamped by the recorder that folds it in
+                "proc": f"worker-{os.getpid()}" if in_pool else None,
+                "ts": ts,
+                "dur": dur,
+                "args": args,
+            }
+        )
+
     if FAULTS.enabled:
         point = FAULTS.fire("queue.execute", label=method)
         if point is not None:
@@ -119,12 +162,24 @@ def _execute_request(payload: tuple) -> dict:
                     os._exit(17)  # real worker death, not an exception
                 raise InjectedFault(point.site, point.mode)
             if point.mode == "stall":
-                time.sleep(float(point.detail.get("stall_s", 0.05)))
+                stall_s = float(point.detail.get("stall_s", 0.05))
+                if ctx is not None:
+                    _span(
+                        "fault.queue.execute", "event", time.time(), 0.0,
+                        mode="stall", stall_s=stall_s,
+                    )
+                time.sleep(stall_s)
             elif point.mode == "error":
                 raise InjectedFault(point.site, point.mode)
+    started_wall = time.time()
     started = time.perf_counter()
     artifact = build_artifact(ir, file_spec, method, flags)
-    return {"artifact": artifact, "seconds": time.perf_counter() - started}
+    seconds = time.perf_counter() - started
+    result = {"artifact": artifact, "seconds": seconds}
+    if ctx is not None:
+        _span("worker.execute", "worker", started_wall, seconds, method=method)
+        result["spans"] = spans
+    return result
 
 
 @dataclass
@@ -195,6 +250,18 @@ class Job:
     execution_s: float | None = None
     submitted_mono: float = field(default_factory=time.monotonic)
     finished_mono: float | None = None
+    #: Wall-clock submit time — distributed spans merge across
+    #: processes, so they need a shared timebase (monotonic is
+    #: per-process).
+    submitted_wall: float = field(default_factory=time.time)
+    #: Distributed-trace coordinates (never part of the cache key) and
+    #: the pre-allocated id of this job's ``service.job`` span, so
+    #: worker spans can parent on it before it is recorded.
+    trace: TraceContext | None = field(default=None, repr=False)
+    span_sid: int = 0
+    #: Always-on per-stage wall seconds: ``queue_wait`` / ``cache`` /
+    #: ``alloc`` / ``verify`` (the router adds ``route`` on its side).
+    stages: dict = field(default_factory=dict)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
@@ -243,6 +310,8 @@ class Job:
             "attempts": self.attempts,
             "error": self.error,
             "execution_s": self.execution_s,
+            "stages": {k: round(v, 6) for k, v in self.stages.items()},
+            "trace": self.trace.trace_id if self.trace else None,
         }
 
 
@@ -298,6 +367,12 @@ class AllocationService:
             "functions_reused": 0,
             "functions_executed": 0,
         }
+        #: Always-on fleet telemetry (cheap O(1) updates, like the
+        #: counters above): SLO tracking surfaced in ``/v1/stats`` and
+        #: per-stage streaming histograms surfaced in ``/v1/metrics``.
+        self.slo = SLOTracker()
+        self.stage_hist: dict[str, StreamingHistogram] = {}
+        self.latency_hist = StreamingHistogram()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -360,7 +435,7 @@ class AllocationService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, request: dict) -> Job:
+    def submit(self, request: dict, trace: TraceContext | None = None) -> Job:
         """Validate, content-address, and enqueue one request.
 
         The returned job's ``cache`` field is this *submission's*
@@ -368,6 +443,10 @@ class AllocationService:
         ``coalesced-onto`` (attached to an identical in-flight job), or
         ``miss`` (queued for execution).  Raises
         :class:`ServiceOverloadError` when the queue is at capacity.
+
+        *trace* rides alongside the request (it is **not** part of the
+        body, so it can never enter the cache key): when distributed
+        tracing is on, the job's spans land under it.
         """
         normalized = normalize_request(request)
         kind = normalized["kind"]
@@ -378,19 +457,27 @@ class AllocationService:
         deadline_ms = normalized["deadline_ms"]
         deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
         key = normalized["key"]
+        if not TELEMETRY.enabled:
+            trace = None
 
         with self._lock:
             self.counters["requests"] += 1
         METRICS.inc("service.requests")
 
-        cached = self._cache_lookup(key, ir)
+        probe_started = time.perf_counter()
+        with TELEMETRY.activate(trace):
+            cached = self._cache_lookup(key, ir)
+        probe_s = time.perf_counter() - probe_started
         if cached is not None:
             job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
+            job.trace = trace
+            job.stages["cache"] = probe_s
             job.cache = "hit"
             job.resolve(cached, method, degraded=False)
             with self._lock:
                 self.counters["cache_hits"] += 1
                 self._finished_jobs += 1
+            self._record_served(job)
             self._evict_finished()
             return job
 
@@ -400,13 +487,21 @@ class AllocationService:
                 inflight.coalesced += 1
                 self.counters["coalesced"] += 1
                 METRICS.inc("service.coalesced")
+                TELEMETRY.event_for(
+                    trace, "service.coalesced", job=inflight.job_id
+                )
                 return inflight
             depth = self._queue.qsize()
             if depth >= self.config.max_queue_depth:
                 self.counters["shed"] += 1
                 METRICS.inc("service.shed")
+                TELEMETRY.event_for(trace, "service.shed", depth=depth)
                 raise ServiceOverloadError(depth, self.config.max_queue_depth)
             job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
+            job.trace = trace
+            job.stages["cache"] = probe_s
+            if trace is not None:
+                job.span_sid = new_span_id()
             self._inflight[key] = job
             self.counters["cache_misses"] += 1
         self._queue.put(job)
@@ -535,6 +630,9 @@ class AllocationService:
                     continue
                 seen.add(job.job_id)
                 job.status = "running"
+                job.stages["queue_wait"] = (
+                    time.monotonic() - job.submitted_mono
+                )
                 tier, degraded = select_tier(
                     job.requested_method, job.remaining_s(), self.cost_model
                 )
@@ -552,7 +650,12 @@ class AllocationService:
                     exec_key = cache_key(
                         job.ir, job.file_spec, tier, job.flags, canonical=True
                     )
-                cached = self._cache_lookup(exec_key, job.ir)
+                probe_started = time.perf_counter()
+                with TELEMETRY.activate(job.trace):
+                    cached = self._cache_lookup(exec_key, job.ir)
+                job.stages["cache"] = job.stages.get("cache", 0.0) + (
+                    time.perf_counter() - probe_started
+                )
                 if cached is not None:
                     self._finish(job, cached, tier, degraded)
                     continue
@@ -579,10 +682,14 @@ class AllocationService:
             jobs, tiers = rest, rest_tiers
             if not jobs:
                 return
-        payloads = [
-            (job.ir, job.file_spec, tier, job.flags)
-            for job, tier in zip(jobs, tiers)
-        ]
+        payloads = []
+        for job, tier in zip(jobs, tiers):
+            header = None
+            if job.trace is not None and TELEMETRY.enabled:
+                if not job.span_sid:
+                    job.span_sid = new_span_id()
+                header = job.trace.child(job.span_sid).header()
+            payloads.append((job.ir, job.file_spec, tier, job.flags, header))
         for job in jobs:
             job.attempts += 1
         if self.config.workers <= 0:
@@ -626,13 +733,17 @@ class AllocationService:
                 continue
             artifact = outcome["artifact"]
             seconds = outcome["seconds"]
+            job.stages["alloc"] = seconds
+            TELEMETRY.record_raw(outcome.get("spans"))
             data = artifact_bytes(artifact)
             if self.verifier.should_verify("computed"):
+                verify_started = time.perf_counter()
                 report = self.verifier.verify_bytes(
                     data,
                     expected_key=artifact["key"],
                     original_ir=job.ir if tier == job.requested_method else None,
                 )
+                job.stages["verify"] = time.perf_counter() - verify_started
                 with self._lock:
                     self.counters["verified"] += 1
                 if not report.ok:
@@ -670,24 +781,45 @@ class AllocationService:
         Only the functions whose fragments miss re-run the pipeline;
         the reuse/execute split lands in :attr:`incremental`.
         """
+        started_wall = time.time()
         started = time.perf_counter()
         try:
-            artifact = build_module_artifact(
-                job.ir, job.file_spec, tier, job.flags,
-                store=_FragmentView(self), counters=self.incremental,
-            )
+            with TELEMETRY.activate(job.trace):
+                artifact = build_module_artifact(
+                    job.ir, job.file_spec, tier, job.flags,
+                    store=_FragmentView(self), counters=self.incremental,
+                )
         except Exception as exc:
             transient = isinstance(exc, (InjectedFault, OSError, TimeoutError))
             self._handle_failure(job, str(exc), retryable=transient)
             return
         seconds = time.perf_counter() - started
+        job.stages["alloc"] = seconds
+        if job.trace is not None and TELEMETRY.enabled:
+            if not job.span_sid:
+                job.span_sid = new_span_id()
+            TELEMETRY.record(
+                {
+                    "trace": job.trace.trace_id,
+                    "sid": new_span_id(),
+                    "parent": job.span_sid,
+                    "name": "worker.execute",
+                    "cat": "worker",
+                    "proc": TELEMETRY.process,
+                    "ts": started_wall,
+                    "dur": seconds,
+                    "args": {"method": tier, "kind": "module"},
+                }
+            )
         with self._lock:
             self.incremental["modules"] += 1
         data = artifact_bytes(artifact)
         if self.verifier.should_verify("computed"):
+            verify_started = time.perf_counter()
             report = self.verifier.verify_bytes(
                 data, expected_key=artifact["key"]
             )
+            job.stages["verify"] = time.perf_counter() - verify_started
             with self._lock:
                 self.counters["verified"] += 1
             if not report.ok:
@@ -729,10 +861,18 @@ class AllocationService:
             with self._lock:
                 self.counters["retried"] += 1
             METRICS.inc("service.retried")
+            TELEMETRY.event_for(
+                job.trace, "service.retry",
+                job=job.job_id, attempt=job.attempts, error=error[:160],
+            )
             job.status = "queued"
             job.error = error  # last error kept visible while retrying
             self._queue.put(job)
             return
+        TELEMETRY.event_for(
+            job.trace, "service.dead_letter",
+            job=job.job_id, attempts=job.attempts, error=error[:160],
+        )
         with self._lock:
             self.counters["dead_lettered"] += 1
             record = {
@@ -775,6 +915,7 @@ class AllocationService:
             if degraded:
                 self.counters["degraded"] += 1
         METRICS.inc(f"service.tier.{tier}")
+        self._record_served(job)
         self._evict_finished()
 
     def _fail(self, job: Job, error: str) -> None:
@@ -786,6 +927,7 @@ class AllocationService:
             self._finished_jobs += 1
             self.counters["failed"] += 1
         METRICS.inc("service.failed")
+        self._record_failed(job, error)
         self._evict_finished()
 
     def _note_degradation(self, job: Job, tier: str) -> None:
@@ -800,6 +942,91 @@ class AllocationService:
             job=job.job_id,
         )
         METRICS.inc("service.degraded")
+        TELEMETRY.event_for(
+            job.trace, "service.degrade",
+            job=job.job_id, requested=job.requested_method, served=tier,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet telemetry: the one place every terminal job goes through
+    # ------------------------------------------------------------------
+    def _record_served(self, job: Job) -> None:
+        """SLO sample + stage histograms + job span + event for one
+        successfully served job (cache hit or executed)."""
+        latency = (job.finished_mono or time.monotonic()) - job.submitted_mono
+        with self._lock:
+            self.latency_hist.observe(latency)
+            for stage, seconds in job.stages.items():
+                hist = self.stage_hist.get(stage)
+                if hist is None:
+                    hist = self.stage_hist[stage] = StreamingHistogram()
+                hist.observe(seconds)
+        self.slo.record(ok=True, latency_s=latency, good=not job.degraded)
+        self._record_job_span(job)
+        self._emit_event(job)
+
+    def _record_failed(self, job: Job, error: str) -> None:
+        latency = (job.finished_mono or time.monotonic()) - job.submitted_mono
+        with self._lock:
+            self.latency_hist.observe(latency)
+        self.slo.record(ok=False, latency_s=latency, good=False)
+        self._record_job_span(job, error=error)
+        self._emit_event(job)
+
+    def _record_job_span(self, job: Job, error: str | None = None) -> None:
+        if job.trace is None or not TELEMETRY.enabled:
+            return
+        latency = (job.finished_mono or time.monotonic()) - job.submitted_mono
+        args = {
+            "job": job.job_id,
+            "function": job.function_name,
+            "cache": job.cache,
+            "requested": job.requested_method,
+            "served": job.served_method,
+            "degraded": job.degraded,
+            "stages": {k: round(v, 6) for k, v in job.stages.items()},
+        }
+        if error is not None:
+            args["error"] = error[:200]
+        TELEMETRY.record(
+            {
+                "trace": job.trace.trace_id,
+                "sid": job.span_sid or new_span_id(),
+                "parent": job.trace.span_id,
+                "name": "service.job",
+                "cat": "service",
+                "proc": TELEMETRY.process,
+                "ts": job.submitted_wall,
+                "dur": latency,
+                "args": args,
+            }
+        )
+
+    def _emit_event(self, job: Job) -> None:
+        if not EVENTS.enabled:
+            return
+        latency = (job.finished_mono or time.monotonic()) - job.submitted_mono
+        EVENTS.emit(
+            {
+                "ts": round(time.time(), 6),
+                "proc": TELEMETRY.process,
+                "trace": job.trace.trace_id if job.trace else None,
+                "job": job.job_id,
+                "function": job.function_name,
+                "status": job.status,
+                "cache": job.cache,
+                "requested": job.requested_method,
+                "served": job.served_method,
+                "degraded": job.degraded,
+                "retries": max(0, job.attempts - 1),
+                "coalesced": job.coalesced,
+                "latency_ms": round(latency * 1000.0, 3),
+                "stages_ms": {
+                    k: round(v * 1000.0, 3) for k, v in job.stages.items()
+                },
+                "error": job.error,
+            }
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -813,6 +1040,7 @@ class AllocationService:
             "cache": self.cache.stats(),
             "tiers": self.cost_model.snapshot(),
             "dead_letter": dead_letter,
+            "slo": self.slo.snapshot(),
             "config": {
                 "workers": self.config.workers,
                 "batch_size": self.config.batch_size,
@@ -827,3 +1055,46 @@ class AllocationService:
         if faults is not None:
             stats["faults"] = faults
         return stats
+
+    def metrics_sample(self) -> dict:
+        """The live sample behind ``GET /v1/metrics``: the always-on
+        service counters, queue/cache gauges, and stage/latency
+        histograms, plus the PR-2 :data:`~repro.obs.METRICS` registry
+        when ``--metrics`` is on.  Shape matches
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so
+        :func:`~repro.obs.telemetry.render_prometheus` consumes it
+        directly.
+        """
+        with self._lock:
+            counters = {
+                f"service.{name}": value
+                for name, value in self.counters.items()
+            }
+            counters.update(
+                {
+                    f"service.incremental.{name}": value
+                    for name, value in self.incremental.items()
+                }
+            )
+            histograms = {
+                f"service.stage_s.{name}": hist.summary()
+                for name, hist in self.stage_hist.items()
+            }
+            histograms["service.latency_s"] = self.latency_hist.summary()
+        cache = self.cache.stats()
+        gauges = {
+            "service.queue.depth": self._queue.qsize(),
+            "service.cache.entries": cache["entries"],
+            "service.cache.quarantined": cache["quarantined"],
+        }
+        sample = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+        if METRICS.enabled:
+            snap = METRICS.snapshot()
+            sample["counters"].update(snap["counters"])
+            sample["gauges"].update(snap["gauges"])
+            sample["histograms"].update(snap["histograms"])
+        return sample

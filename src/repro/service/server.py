@@ -14,6 +14,9 @@ Endpoints (all JSON):
 ``GET  /v1/jobs/<id>``    job status (no artifact)
 ``GET  /v1/jobs/<id>/result``  the stored artifact bytes, verbatim
 ``POST /v1/allocate``     submit + wait (``?timeout_s=``) → status + artifact
+``GET  /v1/metrics``      live metrics — Prometheus text exposition
+                          (``?format=json`` for the raw sample)
+``GET  /v1/trace/<trace_id>``  buffered spans of one distributed trace
 ========================  ====================================================
 
 ``/v1/jobs/<id>/result`` writes the cache's canonical bytes directly to
@@ -44,6 +47,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..obs.telemetry import TELEMETRY, TRACE_HEADER, TraceContext, render_prometheus
 from ..resilience.faults import FAULTS
 from .artifact import RequestError
 from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
@@ -58,6 +62,8 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/v1/jobs/<id>"),
     ("GET", "/v1/jobs/<id>/result"),
     ("POST", "/v1/allocate"),
+    ("GET", "/v1/metrics"),
+    ("GET", "/v1/trace/<trace_id>"),
 )
 
 #: Default wait bound of the synchronous ``/v1/allocate`` endpoint.
@@ -99,9 +105,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body: bytes,
         status: int = 200,
         retry_after_s: float | None = None,
+        content_type: str = "application/json",
     ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if retry_after_s is not None:
             # Retry-After is integral seconds; round up so 0.5s ≠ "now".
@@ -124,10 +131,34 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
+    # Distributed tracing (see repro.obs.telemetry)
+    # ------------------------------------------------------------------
+
+    #: Span recorded around submit/allocate; the shard frontend renames
+    #: it so merged traces read frontend → shard → worker.
+    span_name = "server.request"
+
+    def _trace_context(self) -> TraceContext | None:
+        """The caller's trace coordinates, from ``X-Repro-Trace``."""
+        if not TELEMETRY.enabled:
+            return None
+        return TraceContext.parse(self.headers.get(TRACE_HEADER))
+
+    # ------------------------------------------------------------------
     # Guard rail every request passes through: fault injection first,
-    # then the concurrent-handler limit.
+    # then the concurrent-handler limit.  The incoming trace context is
+    # activated for the whole handler so deep call sites (fault
+    # injector, cache probes) attach events to the right trace.
     # ------------------------------------------------------------------
     def _guarded(self, handler) -> None:
+        ctx = self._trace_context()
+        if ctx is not None:
+            with TELEMETRY.activate(ctx):
+                self._guarded_inner(handler)
+        else:
+            self._guarded_inner(handler)
+
+    def _guarded_inner(self, handler) -> None:
         if FAULTS.enabled:
             point = FAULTS.fire("server.request", label=self.path)
             if point is not None:
@@ -173,12 +204,42 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json({"ok": True})
         elif url.path == "/v1/stats":
             self._send_json(self.service.stats())
+        elif url.path == "/v1/metrics":
+            self._get_metrics(url)
+        elif len(parts) == 3 and parts[:2] == ["v1", "trace"]:
+            self._send_json(self._trace_payload(parts[2]))
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
             self._get_job(parts[2], want_result=False)
         elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
             self._get_job(parts[2], want_result=True)
         else:
             self._send_json({"error": f"no such path {url.path!r}"}, 404)
+
+    # -- live metrics / trace flush ------------------------------------
+
+    def _metrics_samples(self) -> list:
+        """``[(labels, sample), ...]`` — one unlabeled sample here; the
+        shard frontend overrides this with per-shard labeled samples."""
+        return [({}, self.service.metrics_sample())]
+
+    def _get_metrics(self, url) -> None:
+        samples = self._metrics_samples()
+        query = parse_qs(url.query)
+        if query.get("format", [""])[0] == "json":
+            self._send_json(
+                {"samples": [{"labels": l, "sample": s} for l, s in samples]}
+            )
+            return
+        text = render_prometheus(samples)
+        self._send_bytes(
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _trace_payload(self, trace_id: str) -> dict:
+        """Everything this process buffered for one trace; the shard
+        frontend overrides this to also flush every shard's buffers."""
+        return {"trace_id": trace_id, "spans": TELEMETRY.spans_for(trace_id)}
 
     def _get_job(self, job_id: str, want_result: bool) -> None:
         job = self.service.get(job_id)
@@ -203,7 +264,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         try:
             if url.path == "/v1/submit":
-                job = self.service.submit(self._read_body())
+                with self._request_span() as span:
+                    job = self._submit(self._read_body(), span.ctx)
                 self._send_json(_job_status(job), 202 if job.status == "queued" else 200)
             elif url.path == "/v1/allocate":
                 self._allocate_sync(url)
@@ -216,14 +278,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 {"error": str(exc)}, 503, retry_after_s=exc.retry_after_s
             )
 
+    def _request_span(self):
+        """A :attr:`span_name` span under the caller's trace context,
+        rooting a fresh trace when an untraced submit arrives while
+        telemetry is on."""
+        ctx = TELEMETRY.current() or self._trace_context()
+        if ctx is None and TELEMETRY.enabled:
+            ctx = TraceContext.new(path=self.path)
+        return TELEMETRY.span(ctx, self.span_name, category="server", path=self.path)
+
+    def _submit(self, body: dict, ctx: TraceContext | None) -> Job:
+        return self.service.submit(body, trace=ctx)
+
     def _allocate_sync(self, url) -> None:
         query = parse_qs(url.query)
         timeout = float(
             query.get("timeout_s", [DEFAULT_SYNC_TIMEOUT_S])[0]
         )
         timeout = min(max(timeout, 0.0), MAX_SYNC_TIMEOUT_S)
-        job = self.service.submit(self._read_body())
-        job.wait(timeout)
+        with self._request_span() as span:
+            job = self._submit(self._read_body(), span.ctx)
+            job.wait(timeout)
         status = _job_status(job)
         if job.status == "failed":
             self._send_json(status, 500)

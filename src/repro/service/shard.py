@@ -48,6 +48,16 @@ Chaos coverage: the ``shard.route`` fault site (mode ``handoff``)
 forces the router to skip its first choice, and ``shard.worker``
 (``death`` / ``unhealthy``) breaks workers under the health loop
 (:mod:`repro.resilience.faults`).
+
+Telemetry: when :data:`~repro.obs.telemetry.TELEMETRY` is enabled the
+frontend opens a ``frontend.request`` span per HTTP request, the router
+nests a ``route`` span under it (handoffs, evictions, and shard
+failures become span events), and the trace context rides the
+``X-Repro-Trace`` header into each worker process — so ``GET
+/v1/trace/<trace_id>`` can merge the per-shard span buffers into one
+coherent trace.  ``GET /v1/metrics`` at the frontend aggregates every
+shard's registry under a ``shard`` label next to the router's own
+counters.
 """
 
 from __future__ import annotations
@@ -57,10 +67,17 @@ import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import asdict, replace
 from http.server import ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..obs.telemetry import (
+    TELEMETRY,
+    SLOTracker,
+    StreamingHistogram,
+    TraceContext,
+)
 from ..resilience.faults import FAULTS
 from .artifact import RequestError, normalize_request
 from .client import ServiceClient, ServiceError, _CircuitBreaker
@@ -227,9 +244,9 @@ class LocalShard:
             raise ShardError(f"shard {self.name!r} is dead")
 
     # -- request surface ----------------------------------------------
-    def submit(self, body: dict) -> dict:
+    def submit(self, body: dict, trace: TraceContext | None = None) -> dict:
         self._check()
-        return self.service.submit(body).describe()
+        return self.service.submit(body, trace=trace).describe()
 
     def poll(self, job_id: str) -> dict:
         self._check()
@@ -260,15 +277,39 @@ class LocalShard:
         self._check()
         return self.service.stats()
 
+    def metrics_sample(self) -> list:
+        """``[(labels, sample), ...]`` — one unlabeled sample here; the
+        router stamps the ``shard`` label on."""
+        self._check()
+        return [({}, self.service.metrics_sample())]
 
-def _shard_worker_main(conn, host: str, config_kwargs: dict) -> None:
+    def trace(self, trace_id: str) -> dict:
+        """Local shards share the frontend's span buffer (same process,
+        same recorder) — return nothing so the merge never duplicates."""
+        self._check()
+        return {"trace_id": trace_id, "spans": []}
+
+
+def _shard_worker_main(
+    conn,
+    host: str,
+    config_kwargs: dict,
+    name: str | None = None,
+    telemetry: bool = False,
+) -> None:
     """Child-process entry: serve one shard, report the bound port.
 
     Faults re-arm from ``REPRO_FAULTS`` at import, so a chaos plan armed
-    in the parent injects inside the workers too.
+    in the parent injects inside the workers too.  *telemetry* mirrors
+    the parent's :data:`TELEMETRY` enablement (the fork start method
+    would inherit it, but spawn would not), and *name* labels the
+    child's spans ``shard-<name>`` so the merged trace shows which
+    worker ran what.
     """
     from .server import make_server
 
+    if telemetry:
+        TELEMETRY.enable(process=f"shard-{name}" if name else "shard")
     server = make_server(host, 0, ServiceConfig(**config_kwargs))
     conn.send(server.server_address[1])
     conn.close()
@@ -314,7 +355,13 @@ class ProcessShard:
         parent_conn, child_conn = multiprocessing.Pipe()
         self.process = multiprocessing.Process(
             target=_shard_worker_main,
-            args=(child_conn, self._host, asdict(self._config)),
+            args=(
+                child_conn,
+                self._host,
+                asdict(self._config),
+                self.name,
+                TELEMETRY.enabled,
+            ),
             name=f"repro-shard-{self.name}",
             daemon=True,
         )
@@ -367,8 +414,8 @@ class ProcessShard:
                 raise ShardError(f"shard {self.name!r}: {exc}") from exc
             raise
 
-    def submit(self, body: dict) -> dict:
-        return self._call(self.client.submit_request, body)
+    def submit(self, body: dict, trace: TraceContext | None = None) -> dict:
+        return self._call(self.client.submit_request, body, trace=trace)
 
     def poll(self, job_id: str) -> dict:
         return self._call(self.client.poll, job_id)
@@ -381,6 +428,19 @@ class ProcessShard:
 
     def stats(self) -> dict:
         return self._call(self.client.stats)
+
+    def metrics_sample(self) -> list:
+        """The worker's ``/v1/metrics?format=json`` samples, as
+        ``[(labels, sample), ...]`` ready for router relabeling."""
+        payload = self._call(self.client.metrics_json)
+        return [
+            (entry.get("labels") or {}, entry.get("sample") or {})
+            for entry in payload.get("samples", ())
+        ]
+
+    def trace(self, trace_id: str) -> dict:
+        """The worker process's span buffer for *trace_id*."""
+        return self._call(self.client.trace, trace_id)
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +492,14 @@ class ShardRouter:
         #: Requests routed per shard name (deterministic for a fixed
         #: request sequence — the loadgen shard-balance report).
         self.routed: dict[str, int] = {}
+        #: Monotonic clock at (re)spawn per shard — the uptime base.
+        self.started: dict[str, float] = {}
+        #: Wall clock of the last health probe per shard.
+        self.last_health: dict[str, float] = {}
+        #: Routing-layer SLO: availability of submits, routing latency,
+        #: goodput = landed on the ring's first choice (no handoff).
+        self.slo = SLOTracker()
+        self.route_hist = StreamingHistogram()
         for shard in shards:
             self.add_shard(shard)
 
@@ -445,6 +513,7 @@ class ShardRouter:
                 self._breaker_threshold, self._breaker_cooldown_s
             )
             self.routed.setdefault(shard.name, 0)
+            self.started[shard.name] = time.monotonic()
             self.ring.add(shard.name)
 
     def evict(self, name: str) -> None:
@@ -456,6 +525,7 @@ class ShardRouter:
             self.ring.remove(name)
             self._evicted[name] = shard
             self.counters["evicted"] += 1
+        TELEMETRY.event("router.evict", shard=name)
 
     def respawn(self, name: str) -> None:
         """Restart an evicted worker and hand its key slice back."""
@@ -469,7 +539,9 @@ class ShardRouter:
                 self._breaker_threshold, self._breaker_cooldown_s
             )
             self.ring.add(name)
+            self.started[name] = time.monotonic()
             self.counters["respawned"] += 1
+        TELEMETRY.event("router.respawn", shard=name)
 
     def _shard_failed(self, name: str) -> None:
         with self._lock:
@@ -503,6 +575,7 @@ class ShardRouter:
                     elif point.mode == "unhealthy":
                         forced_unhealthy = True
             ok = not forced_unhealthy and shard.healthy()
+            self.last_health[name] = time.time()
             breaker = self.breakers[name]
             breaker.record(ok)
             if ok:
@@ -562,13 +635,22 @@ class ShardRouter:
                 pass
 
     # -- routing -------------------------------------------------------
-    def submit(self, request: dict) -> dict:
+    def submit(
+        self, request: dict, trace: TraceContext | None = None
+    ) -> dict:
         """Normalize, route by content address, forward, qualify the id.
 
         Failures walk the preference chain (``handoffs``); overload and
         bad requests propagate — handing a shed request to another
         shard would trade cache affinity for queue depth, and a bad
         request fails identically everywhere.
+
+        With telemetry on, the walk runs inside a ``route`` span under
+        *trace* (a fresh root when the caller passed none — the loadgen
+        direct mode), and the forwarded shard sees the span's child
+        context; handoffs and shard failures become span events.  The
+        router-level :class:`~repro.obs.telemetry.SLOTracker` counts a
+        submit *good* only when it landed on the ring's first choice.
         """
         normalized = normalize_request(request)
         body = {
@@ -579,14 +661,42 @@ class ShardRouter:
         }
         if normalized["deadline_ms"] is not None:
             body["deadline_ms"] = normalized["deadline_ms"]
+        if trace is None and TELEMETRY.enabled:
+            trace = TraceContext.new(component="router")
         with self._lock:
             self.counters["requests"] += 1
             chain = self.ring.preference(normalized["key"])
+        owner = chain[0] if chain else None
+        start = time.perf_counter()
+        status: dict | None = None
+        ok = False
+        try:
+            with TELEMETRY.span(
+                trace, "route", category="router", key=normalized["key"][:12]
+            ) as span:
+                status = self._route(body, normalized["key"], chain, span.ctx)
+            ok = True
+            return status
+        finally:
+            elapsed = time.perf_counter() - start
+            self.route_hist.observe(elapsed)
+            self.slo.record(
+                ok=ok,
+                latency_s=elapsed,
+                good=ok and status is not None and status.get("shard") == owner,
+            )
+
+    def _route(self, body: dict, key: str, chain: list, ctx) -> dict:
+        """Walk the preference chain under the ``route`` span's context."""
         if chain and FAULTS.enabled:
-            point = FAULTS.fire("shard.route", label=normalized["key"])
+            point = FAULTS.fire("shard.route", label=key)
             if point is not None and point.mode == "handoff" and len(chain) > 1:
                 chain = chain[1:]
-                self.counters["handoffs"] += 1
+                with self._lock:
+                    self.counters["handoffs"] += 1
+                TELEMETRY.event_for(
+                    ctx, "router.fault_handoff", shard=chain[0]
+                )
         last_error: Exception | None = None
         for hop, name in enumerate(chain):
             with self._lock:
@@ -596,8 +706,14 @@ class ShardRouter:
             if hop > 0:
                 with self._lock:
                     self.counters["handoffs"] += 1
+                TELEMETRY.event_for(
+                    ctx, "router.handoff", shard=name, hop=hop
+                )
             try:
-                status = shard.submit(body)
+                if ctx is not None:
+                    status = shard.submit(body, trace=ctx)
+                else:
+                    status = shard.submit(body)
             except RequestError:
                 raise
             except ServiceOverloadError:
@@ -610,10 +726,18 @@ class ShardRouter:
                 if exc.status is not None and exc.status < 500:
                     raise
                 self._shard_failed(name)
+                TELEMETRY.event_for(
+                    ctx, "router.shard_failed", shard=name,
+                    error=str(exc)[:160],
+                )
                 last_error = exc
                 continue
             except ShardError as exc:
                 self._shard_failed(name)
+                TELEMETRY.event_for(
+                    ctx, "router.shard_failed", shard=name,
+                    error=str(exc)[:160],
+                )
                 last_error = exc
                 continue
             with self._lock:
@@ -623,7 +747,7 @@ class ShardRouter:
         with self._lock:
             self.counters["no_shard"] += 1
         raise NoShardAvailableError(
-            f"no live shard accepted key {normalized['key'][:12]}…"
+            f"no live shard accepted key {key[:12]}…"
             + (f" (last error: {last_error})" if last_error else "")
         )
 
@@ -669,6 +793,7 @@ class ShardRouter:
         """
         with self._lock:
             live = dict(self.shards)
+            now = time.monotonic()
             router = {
                 "counters": dict(self.counters),
                 "routed": dict(self.routed),
@@ -681,6 +806,16 @@ class ShardRouter:
                     name: breaker.state
                     for name, breaker in self.breakers.items()
                 },
+                "shards": {
+                    name: {
+                        "uptime_s": round(
+                            now - self.started.get(name, now), 3
+                        ),
+                        "last_health_check": self.last_health.get(name),
+                    }
+                    for name in sorted(live)
+                },
+                "slo": self.slo.snapshot(),
             }
         shard_stats: dict[str, dict] = {}
         for name, shard in sorted(live.items()):
@@ -705,6 +840,66 @@ class ShardRouter:
             "router": router,
         }
 
+    # -- telemetry -----------------------------------------------------
+    def metrics_samples(self) -> list:
+        """``[(labels, sample), ...]`` for the fleet exposition: the
+        router's own counters/SLO unlabeled, per-shard routed counts and
+        every live shard's registry under a ``shard`` label.  A shard
+        whose fetch fails is skipped — a scrape must never take the
+        frontend down with a worker.
+        """
+        with self._lock:
+            counters = {
+                f"router.{name}": float(value)
+                for name, value in self.counters.items()
+            }
+            routed = dict(self.routed)
+            live = sorted(self.shards.items())
+            evicted = len(self._evicted)
+        own = {
+            "counters": counters,
+            "gauges": {
+                "router.shards.live": float(len(live)),
+                "router.shards.evicted": float(evicted),
+            },
+            "histograms": {"router.route_s": self.route_hist.summary()},
+        }
+        samples: list = [({}, own)]
+        for name, count in sorted(routed.items()):
+            samples.append(
+                ({"shard": name}, {"counters": {"router.routed": float(count)}})
+            )
+        for name, shard in live:
+            fetch = getattr(shard, "metrics_sample", None)
+            if fetch is None:
+                continue
+            try:
+                shard_samples = fetch()
+            except Exception:
+                continue
+            for labels, sample in shard_samples:
+                samples.append(({**(labels or {}), "shard": name}, sample))
+        return samples
+
+    def trace(self, trace_id: str) -> dict:
+        """Merge the frontend-process span buffer (frontend + router +
+        any :class:`LocalShard` spans) with every live worker's buffer
+        for *trace_id* — the payload ``repro trace fetch`` renders."""
+        spans = list(TELEMETRY.spans_for(trace_id))
+        with self._lock:
+            live = sorted(self.shards.items())
+        for name, shard in live:
+            fetch = getattr(shard, "trace", None)
+            if fetch is None:
+                continue
+            try:
+                payload = fetch(trace_id)
+            except Exception:
+                continue
+            if isinstance(payload, dict):
+                spans.extend(payload.get("spans") or ())
+        return {"trace_id": trace_id, "spans": spans}
+
 
 # ----------------------------------------------------------------------
 # HTTP front end
@@ -720,10 +915,19 @@ class ShardFrontendHandler(ServiceHandler):
     """
 
     server_version = "repro-shard-frontend/1"
+    span_name = "frontend.request"
 
     @property
     def router(self) -> ShardRouter:
         return self.server.router  # type: ignore[attr-defined]
+
+    def _metrics_samples(self) -> list:
+        # The fleet exposition: router counters + per-shard registries.
+        return self.router.metrics_samples()
+
+    def _trace_payload(self, trace_id: str) -> dict:
+        # Merged across the frontend process and every worker shard.
+        return self.router.trace(trace_id)
 
     def _do_get(self) -> None:
         url = urlparse(self.path)
@@ -733,6 +937,10 @@ class ShardFrontendHandler(ServiceHandler):
                 self._send_json({"ok": True, "shards": len(self.router.ring)})
             elif url.path == "/v1/stats":
                 self._send_json(self.router.stats())
+            elif url.path == "/v1/metrics":
+                self._get_metrics(url)
+            elif len(parts) == 3 and parts[:2] == ["v1", "trace"]:
+                self._send_json(self._trace_payload(parts[2]))
             elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 self._send_json(self.router.poll(parts[2]))
             elif (
@@ -763,7 +971,10 @@ class ShardFrontendHandler(ServiceHandler):
         url = urlparse(self.path)
         try:
             if url.path == "/v1/submit":
-                status = self.router.submit(self._read_body())
+                with self._request_span() as span:
+                    status = self.router.submit(
+                        self._read_body(), trace=span.ctx
+                    )
                 self._send_json(
                     status, 202 if status["status"] == "queued" else 200
                 )
@@ -784,7 +995,8 @@ class ShardFrontendHandler(ServiceHandler):
         query = parse_qs(url.query)
         timeout = float(query.get("timeout_s", [DEFAULT_SYNC_TIMEOUT_S])[0])
         timeout = min(max(timeout, 0.0), MAX_SYNC_TIMEOUT_S)
-        status = self.router.submit(self._read_body())
+        with self._request_span() as span:
+            status = self.router.submit(self._read_body(), trace=span.ctx)
         if status["status"] not in ("done", "failed"):
             try:
                 status = self.router.wait(status["job_id"], timeout=timeout)

@@ -203,6 +203,71 @@ def test_shard_frontend_serves_the_same_routes():
     assert "no such path" in source
 
 
+# ----------------------------------------------------------------------
+# Fleet telemetry: documented metric names vs a rendered exposition
+# ----------------------------------------------------------------------
+
+PROM_NAME = re.compile(r"`(repro_[a-z0-9_]+)`")
+
+
+def test_documented_metric_names_round_trip_through_exposition():
+    """Every ``repro_*`` metric family named in the docs must come out
+    of a real service's ``/v1/metrics`` exposition (after stripping the
+    histogram/counter suffixes), and every documented dotted service
+    metric must flatten to a valid family name."""
+    from repro.ir import print_function
+    from repro.obs.telemetry import (
+        parse_prometheus,
+        prometheus_name,
+        render_prometheus,
+    )
+    from repro.service import AllocationService, ServiceConfig
+
+    from .conftest import build_mac_kernel
+
+    service = AllocationService(ServiceConfig())
+    job = service.submit(
+        {
+            "ir": print_function(build_mac_kernel(trip_count=8)),
+            "file": {"registers": 32, "banks": 2},
+            "method": "bpc",
+        }
+    )
+    service.process_once()
+    assert job.status == "done"
+
+    exposition = render_prometheus([({}, service.metrics_sample())])
+    families = {name for name, _labels in parse_prometheus(exposition)}
+    service.stop()
+
+    def _family(name):
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+        return name
+
+    served = {_family(name) for name in families} | set(families)
+    documented = set()
+    for doc in ("docs/OBSERVABILITY.md", "docs/SERVICE.md", "docs/SCALING.md"):
+        documented |= set(PROM_NAME.findall((REPO / doc).read_text(encoding="utf-8")))
+    ghosts = sorted({_family(n) for n in documented} - served)
+    assert not ghosts, f"docs name metric families the service never serves: {ghosts}"
+    # The flattening rule itself stays documented and stable.
+    assert prometheus_name("service.queue.depth") == "repro_service_queue_depth"
+
+
+def test_observability_doc_names_the_telemetry_routes():
+    from repro.service.server import ROUTES
+
+    text = (REPO / "docs/OBSERVABILITY.md").read_text(encoding="utf-8")
+    served = {_normalize_route(path) for _, path in ROUTES}
+    for route in ("/v1/metrics", "/v1/trace/<id>"):
+        assert route in served, f"server lost {route}"
+    assert "/v1/metrics" in text
+    assert "/v1/trace/" in text
+    assert "X-Repro-Trace" in text
+
+
 def test_scaling_doc_is_wired_in():
     architecture = (REPO / "docs/ARCHITECTURE.md").read_text(encoding="utf-8")
     assert "SCALING.md" in architecture
