@@ -16,6 +16,9 @@ Usage::
     python -m repro --profile - table VII        # conflict hotspot table
     python -m repro bench record                 # benchmark history record
     python -m repro bench diff OLD.json NEW.json # regression gate (CI)
+    python -m repro measure --machine ooo        # OoO width/port sweep
+    python -m repro measure --machine ooo --issue-width 1 --read-ports 1 \
+        --no-rename --out deg.json               # degenerate parity dump
     python -m repro serve --port 8377            # allocation service
     python -m repro serve --shards 3             # sharded worker fleet
     python -m repro request --deadline-ms 50     # client for `serve`
@@ -609,6 +612,95 @@ def _cmd_request(args: argparse.Namespace) -> int:
     return 0
 
 
+def _measure_machine_spec(args: argparse.Namespace) -> dict | None:
+    """The (canonical) machine spec a ``repro measure`` invocation names."""
+    if args.machine == "dsa":
+        return None
+    from .sim import OooConfig
+
+    return OooConfig(
+        issue_width=args.issue_width[0] if args.issue_width else 2,
+        read_ports=args.read_ports[0] if args.read_ports else 2,
+        rob_size=args.rob,
+        iq_size=args.iq,
+        rename=not args.no_rename,
+    ).to_dict()
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    """Cycle measurement on a selectable machine model.
+
+    ``--machine dsa`` measures the in-order model; ``--machine ooo``
+    sweeps issue width x read ports (repeat ``--issue-width`` /
+    ``--read-ports`` for multiple points) and prints the
+    penalty-survival table.  ``--out`` writes the per-program
+    conflict/alignment cycle dump (canonical JSON — two dumps from
+    bit-identical machines compare equal under ``cmp``), ``--record``
+    folds the sweep into an ``OOO_*.json`` history record for
+    ``repro bench diff``.
+    """
+    from .experiments import (
+        ooo_record,
+        ooo_sweep,
+        parity_dump,
+        survival_table,
+        write_record,
+    )
+    from .experiments.ooo_sweep import SWEEP_METHODS
+
+    ctx = _build_context(args)
+    methods = tuple(args.method) if args.method else SWEEP_METHODS
+    programs = tuple(args.program) if args.program else None
+    where = dict(suite=args.suite, platform=args.platform, banks=args.banks)
+
+    if args.out:
+        dump = parity_dump(
+            ctx, methods=methods, programs=programs,
+            machine_spec=_measure_machine_spec(args), **where,
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(dump)
+        print(f"wrote per-program cycle dump to {args.out}")
+
+    if args.machine == "dsa":
+        rows = []
+        for method in methods:
+            results = ctx.results(
+                args.suite, args.platform, args.banks, method,
+                measure_dynamic=False, measure_cycles=True,
+            )
+            if programs:
+                results = [r for r in results if r.program in programs]
+            rows.append(
+                (method, sum(r.cycles or 0.0 for r in results),
+                 sum(r.conflict_cycles or 0.0 for r in results),
+                 sum(r.alignment_cycles or 0.0 for r in results))
+            )
+        from .experiments import render_table
+
+        print(render_table(
+            f"DSA in-order cycles — {args.suite} on "
+            f"{args.platform}:{args.banks}",
+            ["method", "cycles", "conflict cycles", "alignment cycles"],
+            rows,
+        ))
+        return 0
+
+    widths = tuple(args.issue_width) if args.issue_width else (1, 2, 4)
+    ports = tuple(args.read_ports) if args.read_ports else (1, 2, 4)
+    sweep = ooo_sweep(
+        ctx, methods=methods, widths=widths, ports=ports,
+        rob_size=args.rob, iq_size=args.iq, rename=not args.no_rename,
+        programs=programs, **where,
+    )
+    print(survival_table(sweep))
+    if args.record:
+        record = ooo_record(ctx, sweep, label=args.label)
+        path = write_record(record, args.record, prefix="OOO")
+        print(f"recorded {len(record['programs'])} sweep entries to {path}")
+    return 0
+
+
 def _cmd_bench_record(args: argparse.Namespace) -> int:
     """Collect a benchmark history record and write it to disk."""
     from .experiments import DEFAULT_HISTORY_DIR, collect_record, write_record
@@ -1001,6 +1093,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 3 when the served tier is below the requested method",
     )
     p_req.set_defaults(func=_cmd_request)
+
+    p_measure = sub.add_parser(
+        "measure",
+        help="cycle measurement on a selectable machine model (in-order "
+        "dsa or out-of-order ooo width/port sweep)",
+    )
+    p_measure.add_argument(
+        "--machine", choices=["dsa", "ooo"], default="dsa",
+        help="cycle model: the in-order DSA VLIW machine or the "
+        "out-of-order pipeline (default dsa)",
+    )
+    p_measure.add_argument(
+        "--suite", choices=["SPECfp", "CNN-KERNEL", "DSA-OP"],
+        default="DSA-OP", help="workload suite (default DSA-OP)",
+    )
+    p_measure.add_argument(
+        "--platform", choices=["rv1", "rv2", "dsa"], default="dsa",
+        help="register-file platform (default dsa)",
+    )
+    p_measure.add_argument(
+        "--banks", type=int, default=0,
+        help="bank count within the platform (default 0 = the DSA 2x4 "
+        "bank-subgroup file)",
+    )
+    p_measure.add_argument(
+        "--method", action="append", choices=["non", "bcr", "bpc"],
+        default=None, metavar="METHOD",
+        help="allocation method(s) to compare (repeatable; default all)",
+    )
+    p_measure.add_argument(
+        "--program", action="append", default=None, metavar="NAME",
+        help="restrict to named suite program(s) (repeatable)",
+    )
+    p_measure.add_argument(
+        "--issue-width", action="append", type=int, default=None,
+        metavar="N",
+        help="ooo sweep: instructions issued per cycle (repeatable; "
+        "default 1 2 4)",
+    )
+    p_measure.add_argument(
+        "--read-ports", action="append", type=int, default=None,
+        metavar="N",
+        help="ooo sweep: register-file read ports per bank (repeatable; "
+        "default 1 2 4)",
+    )
+    p_measure.add_argument(
+        "--rob", type=int, default=32,
+        help="ooo: reorder-buffer entries (default 32)",
+    )
+    p_measure.add_argument(
+        "--iq", type=int, default=16,
+        help="ooo: issue-queue entries (default 16)",
+    )
+    p_measure.add_argument(
+        "--no-rename", action="store_true",
+        help="ooo: disable register renaming (scoreboard hazards; the "
+        "degenerate parity configuration is --issue-width 1 "
+        "--read-ports 1 --no-rename)",
+    )
+    p_measure.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the per-program conflict/alignment cycle dump as "
+        "canonical JSON (bit-identical machines produce byte-identical "
+        "dumps — CI compares them with cmp)",
+    )
+    p_measure.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="ooo: write the sweep as an OOO_<timestamp>.json history "
+        "record under DIR for `repro bench diff`",
+    )
+    p_measure.add_argument(
+        "--label", default="", help="free-form label stored in the record"
+    )
+    p_measure.set_defaults(func=_cmd_measure)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark history: record runs, diff them"

@@ -44,6 +44,7 @@ from ..prescount.pipeline import PipelineConfig, run_pipeline
 from ..sim.dsa import DsaMachine
 from ..sim.dynamic import estimate_dynamic_conflicts
 from ..sim.machine import platform_dsa, platform_rv1, platform_rv2
+from ..sim.ooo import OooConfig, OooMachine, normalize_machine_spec
 from ..sim.static_stats import analyze_static, count_conflict_relevant
 from ..workloads.cnn import cnn_suite
 from ..workloads.dsa_ops import dsa_suite
@@ -70,6 +71,9 @@ class ProgramResult:
     copies_inserted: int = 0
     copies_removed: int = 0
     cycles: float | None = None
+    conflict_cycles: float | None = None
+    alignment_cycles: float | None = None
+    machine: str = "dsa"
     functions: int = 0
 
     @property
@@ -79,6 +83,24 @@ class ProgramResult:
     @property
     def is_conflict_free(self) -> bool:
         return self.is_conflict_relevant and self.static_conflicts == 0
+
+
+def build_machine(
+    register_file: RegisterFile,
+    regclass: RegClass = FP,
+    machine_spec: dict | str | None = None,
+) -> DsaMachine | OooMachine:
+    """Instantiate the cycle model a (normalized) machine spec names.
+
+    ``None``/``"dsa"`` builds the in-order :class:`DsaMachine`; an
+    ``"ooo"`` spec builds an :class:`OooMachine` with the spec's pipeline
+    parameters.  Both expose ``run(function, am=am)`` and a report with
+    ``cycles`` / ``conflict_penalty_cycles`` / ``alignment_penalty_cycles``.
+    """
+    spec = normalize_machine_spec(machine_spec)
+    if spec["model"] == "dsa":
+        return DsaMachine(register_file, regclass)
+    return OooMachine(register_file, regclass, config=OooConfig.from_dict(spec))
 
 
 def run_program(
@@ -92,16 +114,21 @@ def run_program(
     measure_cycles: bool = False,
     regclass: RegClass = FP,
     config_overrides: dict | None = None,
+    machine_spec: dict | str | None = None,
 ) -> ProgramResult:
     """Run one program through the pipeline and measure it."""
+    spec = normalize_machine_spec(machine_spec)
     result = ProgramResult(
         program=program.name,
         category=program.category,
         suite=suite_name,
         method=method,
         file_key=file_key,
+        machine=spec["model"],
     )
-    machine = DsaMachine(register_file, regclass) if measure_cycles else None
+    machine = (
+        build_machine(register_file, regclass, spec) if measure_cycles else None
+    )
     with TRACER.span(
         program.name,
         category="program",
@@ -153,6 +180,14 @@ def run_program(
                 if machine is not None:
                     report = machine.run(allocated, am=am)
                     result.cycles = (result.cycles or 0.0) + report.cycles
+                    result.conflict_cycles = (
+                        (result.conflict_cycles or 0.0)
+                        + report.conflict_penalty_cycles
+                    )
+                    result.alignment_cycles = (
+                        (result.alignment_cycles or 0.0)
+                        + report.alignment_penalty_cycles
+                    )
     return result
 
 
@@ -336,6 +371,7 @@ def run_suite(
     measure_dynamic: bool = False,
     measure_cycles: bool = False,
     config_overrides: dict | None = None,
+    machine_spec: dict | str | None = None,
     jobs: int | None = 1,
 ) -> list[ProgramResult]:
     """Run every program of *suite* and return one result per program.
@@ -353,6 +389,7 @@ def run_suite(
         measure_dynamic=measure_dynamic,
         measure_cycles=measure_cycles,
         config_overrides=config_overrides,
+        machine_spec=normalize_machine_spec(machine_spec),
     )
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(suite.programs) <= 1:
@@ -450,13 +487,24 @@ class ExperimentContext:
         *,
         measure_dynamic: bool | None = None,
         measure_cycles: bool | None = None,
+        machine_spec: dict | str | None = None,
     ) -> list[ProgramResult]:
         """Per-program results for one combination (cached)."""
         if measure_dynamic is None:
             measure_dynamic = platform == "rv2"
         if measure_cycles is None:
             measure_cycles = platform == "dsa"
-        key = (suite_name, platform, banks, method, measure_dynamic, measure_cycles)
+        spec = normalize_machine_spec(machine_spec)
+        # Cached artifacts never alias across machine models: the memo
+        # key carries the full canonical spec (None only for the
+        # default in-order machine, matching pre-OoO keys).
+        machine_token = (
+            None if spec["model"] == "dsa" else tuple(sorted(spec.items()))
+        )
+        key = (
+            suite_name, platform, banks, method, measure_dynamic,
+            measure_cycles, machine_token,
+        )
         if key not in self._results:
             register_file = self.register_file(platform, banks)
             file_key = f"{platform}:{banks}"
@@ -467,6 +515,7 @@ class ExperimentContext:
                 file_key=file_key,
                 measure_dynamic=measure_dynamic,
                 measure_cycles=measure_cycles,
+                machine_spec=spec,
                 jobs=self.jobs,
             )
         return self._results[key]

@@ -1,0 +1,251 @@
+"""Out-of-order sweep: how much bank-conflict penalty survives ILP.
+
+The in-order :class:`~repro.sim.dsa.DsaMachine` charges every bank
+conflict a full stall, so the paper's Table VI/VII deltas are an upper
+bound on what conflict-aware allocation can buy.  This module sweeps the
+:class:`~repro.sim.ooo.OooMachine` over issue width x read ports per
+bank and reports *penalty survival*: the non-vs-method conflict-cycle
+delta at each configuration, as a percentage of the in-order
+conflict-cycle delta.  100% means the out-of-order machine hides none
+of the penalty; the degenerate corner (width 1, one port, rename off)
+is pinned at exactly 100% by the bit-identical parity proof.
+
+:func:`ooo_record` folds a sweep into the BENCH history schema
+(``OOO_<timestamp>.json``) so ``repro bench diff`` gates the survival
+matrix like any other benchmark record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..sim.ooo import OooConfig, SWEEP_PORTS, SWEEP_WIDTHS
+from .harness import ExperimentContext
+from .history import METRICS, SCHEMA_VERSION, _config_fingerprint
+from .report import percent, render_table
+
+#: Methods compared at every sweep point, in reporting order.
+SWEEP_METHODS: tuple[str, ...] = ("non", "bcr", "bpc")
+
+
+def _cell(
+    ctx: ExperimentContext,
+    suite: str,
+    platform: str,
+    banks: int,
+    method: str,
+    machine_spec: dict | None,
+    programs: tuple[str, ...] | None,
+) -> list:
+    results = ctx.results(
+        suite, platform, banks, method,
+        measure_dynamic=False, measure_cycles=True,
+        machine_spec=machine_spec,
+    )
+    if programs:
+        results = [r for r in results if r.program in programs]
+    return results
+
+
+def ooo_sweep(
+    ctx: ExperimentContext,
+    *,
+    suite: str = "DSA-OP",
+    platform: str = "dsa",
+    banks: int = 0,
+    methods: tuple[str, ...] = SWEEP_METHODS,
+    widths: tuple[int, ...] = SWEEP_WIDTHS,
+    ports: tuple[int, ...] = SWEEP_PORTS,
+    rob_size: int = 32,
+    iq_size: int = 16,
+    rename: bool = True,
+    programs: tuple[str, ...] | None = None,
+) -> dict:
+    """Run the width x ports sweep and compute penalty survival.
+
+    Returns ``{"baseline": ..., "rows": [...]}`` where *baseline* holds
+    the in-order (DsaMachine) cycle and conflict-cycle totals per method
+    and each row is one ``(issue_width, read_ports)`` point with
+    per-method totals, the non-vs-method deltas, and the survival
+    percentage: the conflict-cycle delta relative to the in-order
+    conflict-cycle delta.  Everything is deterministic for a fixed
+    context fingerprint, at any job count.
+    """
+    baseline = {"cycles": {}, "conflict_cycles": {}}
+    for method in methods:
+        results = _cell(ctx, suite, platform, banks, method, None, programs)
+        baseline["cycles"][method] = sum(r.cycles or 0.0 for r in results)
+        baseline["conflict_cycles"][method] = sum(
+            r.conflict_cycles or 0.0 for r in results
+        )
+    rows = []
+    for width in widths:
+        for port_count in ports:
+            config = OooConfig(
+                issue_width=width, read_ports=port_count,
+                rob_size=rob_size, iq_size=iq_size, rename=rename,
+            )
+            spec = config.to_dict()
+            cycles = {}
+            conflict_cycles = {}
+            per_program = {}
+            for method in methods:
+                results = _cell(
+                    ctx, suite, platform, banks, method, spec, programs
+                )
+                cycles[method] = sum(r.cycles or 0.0 for r in results)
+                conflict_cycles[method] = sum(
+                    r.conflict_cycles or 0.0 for r in results
+                )
+                per_program[method] = results
+            row = {
+                "issue_width": width,
+                "read_ports": port_count,
+                "config": spec,
+                "cycles": cycles,
+                "conflict_cycles": conflict_cycles,
+                "results": per_program,
+                "delta": {},
+                "survival_pct": {},
+            }
+            for method in methods:
+                if method == "non":
+                    continue
+                row["delta"][method] = cycles["non"] - cycles[method]
+                # Survival is a *conflict penalty* ratio: the degenerate
+                # machine reproduces the in-order conflict cycles
+                # bit-identically, so its corner is exactly 100%.
+                delta = conflict_cycles["non"] - conflict_cycles[method]
+                inorder_delta = (
+                    baseline["conflict_cycles"]["non"]
+                    - baseline["conflict_cycles"][method]
+                )
+                row["survival_pct"][method] = percent(delta, inorder_delta)
+            rows.append(row)
+    return {
+        "suite": suite,
+        "platform": platform,
+        "banks": banks,
+        "methods": tuple(methods),
+        "baseline": baseline,
+        "rows": rows,
+    }
+
+
+def survival_table(sweep: dict) -> str:
+    """Render a sweep as the headline penalty-survival table."""
+    methods = [m for m in sweep["methods"] if m != "non"]
+    headers = ["width", "ports"] + [
+        f"{m} {column}"
+        for m in sweep["methods"]
+        for column in ("cycles",)
+    ] + [f"{m} survival%" for m in methods]
+    rows = []
+    for row in sweep["rows"]:
+        cells = [row["issue_width"], row["read_ports"]]
+        cells += [row["cycles"][m] for m in sweep["methods"]]
+        cells += [row["survival_pct"][m] for m in methods]
+        rows.append(cells)
+    baseline = sweep["baseline"]["cycles"]
+    note = (
+        "in-order baseline (DsaMachine): "
+        + ", ".join(f"{m}={baseline[m]:g}" for m in sweep["methods"])
+        + "; survival% = (non - method) conflict-cycle delta vs the "
+        "in-order conflict-cycle delta"
+    )
+    return render_table(
+        f"OoO conflict-penalty survival — {sweep['suite']} on "
+        f"{sweep['platform']}:{sweep['banks']}",
+        headers,
+        rows,
+        note=note,
+    )
+
+
+def ooo_record(ctx: ExperimentContext, sweep: dict, label: str = "") -> dict:
+    """Fold a sweep into one BENCH-schema history record.
+
+    Program keys are ``OOO/<suite>/w<width>p<ports>/<method>/<program>``
+    so ``repro bench diff`` gates per-program cycles at every sweep
+    point; the ``ooo`` block carries the survival matrix for human
+    readers.
+    """
+    programs: dict[str, dict] = {}
+    for row in sweep["rows"]:
+        point = f"w{row['issue_width']}p{row['read_ports']}"
+        for method, results in row["results"].items():
+            for result in results:
+                key = f"OOO/{sweep['suite']}/{point}/{method}/{result.program}"
+                programs[key] = {
+                    "reles": result.conflict_relevant,
+                    "static_conflicts": result.static_conflicts,
+                    "dynamic_conflicts": result.dynamic_conflicts,
+                    "spills": result.spills,
+                    "copies": result.copies_inserted,
+                    "cycles": result.cycles,
+                }
+    totals = {
+        metric: sum(
+            entry[metric] for entry in programs.values()
+            if entry[metric] is not None
+        )
+        for metric in METRICS
+    }
+    survival = {
+        f"w{row['issue_width']}p{row['read_ports']}": {
+            method: round(value, 4)
+            for method, value in row["survival_pct"].items()
+        }
+        for row in sweep["rows"]
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": _config_fingerprint(ctx),
+        "wall_seconds": 0.0,
+        "latency": None,
+        "programs": programs,
+        "totals": totals,
+        "ooo": {
+            "suite": sweep["suite"],
+            "platform": sweep["platform"],
+            "banks": sweep["banks"],
+            "baseline_cycles": sweep["baseline"]["cycles"],
+            "baseline_conflict_cycles": sweep["baseline"]["conflict_cycles"],
+            "survival_pct": survival,
+        },
+    }
+
+
+def parity_dump(
+    ctx: ExperimentContext,
+    *,
+    suite: str = "DSA-OP",
+    platform: str = "dsa",
+    banks: int = 0,
+    methods: tuple[str, ...] = SWEEP_METHODS,
+    machine_spec: dict | None = None,
+    programs: tuple[str, ...] | None = None,
+) -> str:
+    """Canonical JSON of per-program conflict/alignment cycles.
+
+    The degenerate-parity CI check writes one dump per machine (the
+    in-order default and the degenerate OoO config) and compares them
+    with ``cmp``: matching *bytes* prove the conflict cycle counts are
+    bit-identical, not merely close.
+    """
+    payload: dict = {}
+    for method in methods:
+        results = _cell(
+            ctx, suite, platform, banks, method, machine_spec, programs
+        )
+        payload[method] = {
+            r.program: {
+                "conflict_cycles": r.conflict_cycles,
+                "alignment_cycles": r.alignment_cycles,
+            }
+            for r in results
+        }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

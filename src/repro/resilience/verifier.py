@@ -222,12 +222,12 @@ class AllocationVerifier:
         if original_ir is not None:
             recomputed = cache_key(
                 original_ir, artifact["file"], artifact["method"],
-                artifact["flags"],
+                artifact["flags"], machine=artifact.get("machine"),
             )
             if recomputed != artifact["key"]:
                 findings.append(
                     "artifact key does not hash from the submitted IR, "
-                    "file, method, and flags"
+                    "file, method, flags, and machine"
                 )
 
         # -- structural -----------------------------------------------
@@ -288,6 +288,41 @@ class AllocationVerifier:
                     f"stats.{name} claims {claimed!r} but recomputes to "
                     f"{recomputed_stats[name]!r}"
                 )
+
+        # -- machine cycle recheck ------------------------------------
+        # Artifacts measured on a non-default machine carry its spec and
+        # cycle stats; both must recompute bit-for-bit from the
+        # allocated IR (the model is deterministic by construction).
+        machine = artifact.get("machine")
+        if machine is not None:
+            report.checks.append("machine-cycles")
+            from ..sim.ooo import OooConfig, OooMachine
+
+            try:
+                model = OooMachine(
+                    register_file,
+                    regclass=self.regclass,
+                    config=OooConfig.from_dict(machine),
+                )
+                cycle_report = model.run(allocated)
+            except Exception as exc:
+                findings.append(f"machine spec does not replay: {exc}")
+            else:
+                recomputed_cycles = {
+                    "cycles": cycle_report.cycles,
+                    "conflict_penalty_cycles":
+                        cycle_report.conflict_penalty_cycles,
+                    "alignment_penalty_cycles":
+                        cycle_report.alignment_penalty_cycles,
+                }
+                for name, value in recomputed_cycles.items():
+                    claimed = artifact["stats"].get(name)
+                    if claimed != value:
+                        findings.append(
+                            f"stats.{name} claims {claimed!r} but the "
+                            f"{machine.get('model')} machine recomputes "
+                            f"{value!r}"
+                        )
 
         # -- semantic spot-check --------------------------------------
         if original_ir is not None:

@@ -15,7 +15,13 @@ that determines the result:
 * the register-file description (registers, banks, subgroups, class);
 * the method (``bpc`` / ``bcr`` / ``non``);
 * the pipeline flags, with defaults filled in (an empty flag dict and an
-  explicitly-spelled-default dict hash identically).
+  explicitly-spelled-default dict hash identically);
+* the machine model, *only when non-default*: a request measured on the
+  out-of-order machine (``machine: {"model": "ooo", ...}``) carries its
+  canonical spec in the key payload, so artifacts can never alias
+  across machine models — while requests that omit ``machine`` (or
+  spell out the default ``dsa``) hash byte-identically to
+  pre-machine-aware clients.
 
 Everything that does *not* change the result — deadlines, submission
 order, observability settings — stays out of the key.
@@ -37,6 +43,12 @@ from ..ir.parser import parse_function, parse_module
 from ..ir.printer import print_function, print_module
 from ..prescount.bank_assigner import DEFAULT_THRES_RATIO
 from ..prescount.pipeline import METHODS, PipelineConfig, run_pipeline
+from ..sim.ooo import (
+    MACHINE_DEFAULT,
+    OooConfig,
+    OooMachine,
+    normalize_machine_spec,
+)
 from ..sim.static_stats import analyze_static
 
 #: Version of the artifact/key schema; bump on any content change.
@@ -130,6 +142,14 @@ def check_method(method: str) -> str:
     return method
 
 
+def check_machine(machine) -> dict:
+    """Canonicalize a request's ``machine`` field (``None`` = default)."""
+    try:
+        return normalize_machine_spec(machine)
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+
+
 def cache_key(
     ir: str,
     file_spec: dict,
@@ -137,6 +157,7 @@ def cache_key(
     flags: dict | None = None,
     *,
     canonical: bool = False,
+    machine: dict | str | None = None,
 ) -> str:
     """Content address of one allocation request.
 
@@ -146,6 +167,12 @@ def cache_key(
     once at submit).  The key is stable across processes and Python
     versions because it hashes canonical JSON, never ``repr`` or
     hash-seed-dependent orderings.
+
+    *machine* selects the cycle model whose measurements ride in the
+    artifact.  The default (in-order ``dsa``) contributes nothing to the
+    payload, so pre-machine-aware keys are unchanged; any non-default
+    spec is folded in canonically so artifacts measured on different
+    machines never alias.
     """
     payload = {
         "schema": SCHEMA_VERSION,
@@ -154,6 +181,9 @@ def cache_key(
         "method": check_method(method),
         "flags": normalize_flags(flags),
     }
+    machine = check_machine(machine)
+    if machine != MACHINE_DEFAULT:
+        payload["machine"] = machine
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
@@ -162,16 +192,23 @@ def build_artifact(
     file_spec: dict,
     method: str,
     flags: dict | None = None,
+    machine: dict | str | None = None,
 ) -> dict:
     """Run the pipeline and package the full result artifact.
 
     This is the single execution path behind the service workers *and*
     ``repro allocate --out`` — both produce the same schema, keyed by the
-    same content address.
+    same content address.  A non-default *machine* additionally runs the
+    requested cycle model over the allocated function and attaches its
+    measurements (``cycles`` / ``conflict_penalty_cycles`` /
+    ``alignment_penalty_cycles``) plus the canonical spec under a
+    ``machine`` field; the default leaves the artifact byte-identical to
+    a machine-unaware build.
     """
     flags = normalize_flags(flags)
     file_spec = normalize_file_spec(file_spec)
     method = check_method(method)
+    machine = check_machine(machine)
     if isinstance(function, str):
         try:
             function = parse_function(function)
@@ -186,12 +223,13 @@ def build_artifact(
         f"%v{vreg.vid}": preg.index
         for vreg, preg in pipe.allocation.assignment.items()
     }
-    return {
+    artifact = {
         "schema": SCHEMA_VERSION,
         # print_function output is canonical by construction, so the key
         # needn't round-trip it through the parser again.
         "key": cache_key(
-            print_function(function), file_spec, method, flags, canonical=True
+            print_function(function), file_spec, method, flags,
+            canonical=True, machine=machine,
         ),
         "function": function.name,
         "method": method,
@@ -212,6 +250,20 @@ def build_artifact(
             "evictions": pipe.allocation.evictions,
         },
     }
+    if machine != MACHINE_DEFAULT:
+        model = OooMachine(
+            register_file, config=OooConfig.from_dict(machine)
+        )
+        report = model.run(pipe.function, am=pipe.analyses)
+        artifact["machine"] = machine
+        artifact["stats"].update(
+            {
+                "cycles": report.cycles,
+                "conflict_penalty_cycles": report.conflict_penalty_cycles,
+                "alignment_penalty_cycles": report.alignment_penalty_cycles,
+            }
+        )
+    return artifact
 
 
 def artifact_bytes(artifact: dict) -> bytes:
@@ -252,12 +304,16 @@ def module_cache_key(
     file_spec: dict,
     method: str,
     flags: dict | None = None,
+    *,
+    machine: dict | str | None = None,
 ) -> str:
     """Content address of one *module* allocation request.
 
     *ir* is either raw module text or the list of canonical per-function
     IR texts.  The payload carries ``"kind": "module"`` so a module key
-    can never collide with a single-function :func:`cache_key`.
+    can never collide with a single-function :func:`cache_key`.  Like
+    :func:`cache_key`, a non-default *machine* spec joins the payload;
+    the default contributes nothing.
     """
     if isinstance(ir, str):
         module = canonical_module(ir)
@@ -270,11 +326,16 @@ def module_cache_key(
         "method": check_method(method),
         "flags": normalize_flags(flags),
     }
+    machine = check_machine(machine)
+    if machine != MACHINE_DEFAULT:
+        payload["machine"] = machine
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 #: The keys a service request body may carry.
-REQUEST_KEYS = frozenset({"ir", "file", "method", "flags", "deadline_ms"})
+REQUEST_KEYS = frozenset(
+    {"ir", "file", "method", "flags", "deadline_ms", "machine"}
+)
 
 
 def normalize_request(request: dict) -> dict:
@@ -286,11 +347,11 @@ def normalize_request(request: dict) -> dict:
     canonical IR and the content address, or the same request could land
     on different shards depending on which door it came in through.
 
-    Returns ``{kind, ir, file, method, flags, deadline_ms, key}`` where
-    *ir* is canonical (re-printed) text and *key* is the content address
-    — :func:`module_cache_key` for multi-function IR, :func:`cache_key`
-    otherwise.  Normalization is idempotent: feeding the returned fields
-    back through produces the identical key.
+    Returns ``{kind, ir, file, method, flags, machine, deadline_ms,
+    key}`` where *ir* is canonical (re-printed) text and *key* is the
+    content address — :func:`module_cache_key` for multi-function IR,
+    :func:`cache_key` otherwise.  Normalization is idempotent: feeding
+    the returned fields back through produces the identical key.
     """
     if not isinstance(request, dict):
         raise RequestError("request body must be a JSON object")
@@ -312,19 +373,23 @@ def normalize_request(request: dict) -> dict:
     file_spec = normalize_file_spec(request.get("file", {}))
     method = check_method(request.get("method", "bpc"))
     flags = normalize_flags(request.get("flags"))
+    machine = check_machine(request.get("machine"))
     deadline_ms = request.get("deadline_ms")
     if deadline_ms is not None:
         deadline_ms = float(deadline_ms)
     if kind == "module":
-        key = module_cache_key(ir, file_spec, method, flags)
+        key = module_cache_key(ir, file_spec, method, flags, machine=machine)
     else:
-        key = cache_key(ir, file_spec, method, flags, canonical=True)
+        key = cache_key(
+            ir, file_spec, method, flags, canonical=True, machine=machine
+        )
     return {
         "kind": kind,
         "ir": ir,
         "file": file_spec,
         "method": method,
         "flags": flags,
+        "machine": machine,
         "deadline_ms": deadline_ms,
         "key": key,
     }
@@ -336,6 +401,7 @@ def build_module_artifact(
     method: str,
     flags: dict | None = None,
     *,
+    machine: dict | str | None = None,
     store=None,
     counters: dict | None = None,
 ) -> dict:
@@ -355,6 +421,7 @@ def build_module_artifact(
     flags = normalize_flags(flags)
     file_spec = normalize_file_spec(file_spec)
     method = check_method(method)
+    machine = check_machine(machine)
     module = canonical_module(module)
     if not module.functions:
         raise RequestError("module holds no functions")
@@ -364,7 +431,9 @@ def build_module_artifact(
     for fn in module.functions:
         ir = print_function(fn)
         function_irs.append(ir)
-        frag_key = cache_key(ir, file_spec, method, flags, canonical=True)
+        frag_key = cache_key(
+            ir, file_spec, method, flags, canonical=True, machine=machine
+        )
         data = store.get(frag_key) if store is not None else None
         if data is not None:
             # Canonical JSON round-trips exactly, so the reused fragment
@@ -372,7 +441,7 @@ def build_module_artifact(
             fragment = json.loads(data.decode("utf-8"))
             reused += 1
         else:
-            fragment = build_artifact(fn, file_spec, method, flags)
+            fragment = build_artifact(fn, file_spec, method, flags, machine)
             if store is not None:
                 store.put(frag_key, artifact_bytes(fragment))
             executed += 1
@@ -391,10 +460,12 @@ def build_module_artifact(
     for fragment in fragments:
         for name, value in fragment["stats"].items():
             stats[name] = stats.get(name, 0) + value
-    return {
+    artifact = {
         "schema": SCHEMA_VERSION,
         "kind": "module",
-        "key": module_cache_key(function_irs, file_spec, method, flags),
+        "key": module_cache_key(
+            function_irs, file_spec, method, flags, machine=machine
+        ),
         "module": module.name,
         "method": method,
         "file": file_spec,
@@ -402,3 +473,6 @@ def build_module_artifact(
         "functions": fragments,
         "stats": stats,
     }
+    if machine != MACHINE_DEFAULT:
+        artifact["machine"] = machine
+    return artifact

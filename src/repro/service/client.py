@@ -243,10 +243,17 @@ class ServiceClient:
         subgroups: int = 0,
         method: str = "bpc",
         flags: dict | None = None,
+        machine: dict | str | None = None,
         deadline_ms: float | None = None,
         trace: TraceContext | None = None,
     ) -> dict:
-        """Enqueue one allocation; returns the job status dict."""
+        """Enqueue one allocation; returns the job status dict.
+
+        *machine* selects the cycle model measured into the artifact —
+        ``"ooo"`` or a spec dict like ``{"model": "ooo", "issue_width":
+        4}``; omitted means the in-order default and keeps the request
+        byte-compatible with machine-unaware servers.
+        """
         body: dict = {
             "ir": ir,
             "file": {
@@ -258,6 +265,8 @@ class ServiceClient:
         }
         if flags:
             body["flags"] = flags
+        if machine is not None:
+            body["machine"] = machine
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
         return self._request("/v1/submit", body, trace=trace)

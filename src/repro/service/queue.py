@@ -69,6 +69,7 @@ from ..obs.telemetry import (
     new_span_id,
 )
 from ..resilience import AllocationVerifier, FAULTS, InjectedFault
+from ..sim.ooo import MACHINE_DEFAULT
 from .artifact import (
     artifact_bytes,
     build_artifact,
@@ -116,17 +117,23 @@ def _execute_request(payload: tuple) -> dict:
     kill (``death``), stall (``stall``), or fail (``error``) the worker
     — inline or in a pool (workers re-arm from ``REPRO_FAULTS``).
 
-    The optional fifth payload element is an encoded
-    :class:`~repro.obs.telemetry.TraceContext` header; when present the
-    worker returns its ``worker.execute`` span (and any fault events) in
-    the result so the service folds them into the distributed trace.
-    The trace never influences the artifact — it is not part of the
-    build inputs or the cache key.
+    The full payload shape is ``(ir, file_spec, method, flags, machine,
+    trace_header)``; shorter tuples from older callers are accepted
+    (five elements = pre-machine telemetry shape, four = pre-telemetry).
+    *machine* is the normalized cycle-model spec (``None`` = the
+    in-order default) and *is* part of the build inputs and cache key;
+    the trace header never is — when present the worker returns its
+    ``worker.execute`` span (and any fault events) in the result so the
+    service folds them into the distributed trace.
     """
-    if len(payload) == 5:
+    if len(payload) == 6:
+        ir, file_spec, method, flags, machine, trace_header = payload
+    elif len(payload) == 5:  # pre-machine telemetry payload shape
         ir, file_spec, method, flags, trace_header = payload
+        machine = None
     else:  # pre-telemetry payload shape
         ir, file_spec, method, flags = payload
+        machine = None
         trace_header = None
     ctx = TraceContext.parse(trace_header) if trace_header else None
     spans: list[dict] = []
@@ -173,7 +180,7 @@ def _execute_request(payload: tuple) -> dict:
                 raise InjectedFault(point.site, point.mode)
     started_wall = time.time()
     started = time.perf_counter()
-    artifact = build_artifact(ir, file_spec, method, flags)
+    artifact = build_artifact(ir, file_spec, method, flags, machine)
     seconds = time.perf_counter() - started
     result = {"artifact": artifact, "seconds": seconds}
     if ctx is not None:
@@ -238,6 +245,9 @@ class Job:
     #: ``function`` (single ``func @``) or ``module`` (several); module
     #: jobs take the incremental per-fragment execution path.
     kind: str = "function"
+    #: Normalized cycle-model spec; ``None`` means the in-order default
+    #: (and contributes nothing to the content address).
+    machine: dict | None = None
     deadline_s: float | None = None
     status: str = "queued"  # queued | running | done | failed
     cache: str = "miss"  # miss | hit | coalesced-onto (per-submit view)
@@ -303,6 +313,7 @@ class Job:
             "status": self.status,
             "cache": self.cache,
             "function": self.function_name,
+            "machine": (self.machine or {}).get("model", "dsa"),
             "requested_method": self.requested_method,
             "served_method": self.served_method,
             "degraded": self.degraded,
@@ -454,6 +465,9 @@ class AllocationService:
         file_spec = normalized["file"]
         method = normalized["method"]
         flags = normalized["flags"]
+        machine = normalized["machine"]
+        if machine == MACHINE_DEFAULT:
+            machine = None  # default model rides as None end to end
         deadline_ms = normalized["deadline_ms"]
         deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
         key = normalized["key"]
@@ -469,7 +483,9 @@ class AllocationService:
             cached = self._cache_lookup(key, ir)
         probe_s = time.perf_counter() - probe_started
         if cached is not None:
-            job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
+            job = self._new_job(
+                key, ir, file_spec, method, flags, deadline_s, kind, machine
+            )
             job.trace = trace
             job.stages["cache"] = probe_s
             job.cache = "hit"
@@ -497,7 +513,9 @@ class AllocationService:
                 METRICS.inc("service.shed")
                 TELEMETRY.event_for(trace, "service.shed", depth=depth)
                 raise ServiceOverloadError(depth, self.config.max_queue_depth)
-            job = self._new_job(key, ir, file_spec, method, flags, deadline_s, kind)
+            job = self._new_job(
+                key, ir, file_spec, method, flags, deadline_s, kind, machine
+            )
             job.trace = trace
             job.stages["cache"] = probe_s
             if trace is not None:
@@ -510,7 +528,8 @@ class AllocationService:
         return job
 
     def _new_job(
-        self, key, ir, file_spec, method, flags, deadline_s, kind="function"
+        self, key, ir, file_spec, method, flags, deadline_s,
+        kind="function", machine=None,
     ) -> Job:
         with self._lock:
             self._counter += 1
@@ -523,6 +542,7 @@ class AllocationService:
                 requested_method=method,
                 flags=flags,
                 kind=kind,
+                machine=machine,
                 deadline_s=deadline_s,
             )
             self._jobs[job_id] = job
@@ -644,11 +664,13 @@ class AllocationService:
                     exec_key = job.key
                 elif job.kind == "module":
                     exec_key = module_cache_key(
-                        job.ir, job.file_spec, tier, job.flags
+                        job.ir, job.file_spec, tier, job.flags,
+                        machine=job.machine,
                     )
                 else:
                     exec_key = cache_key(
-                        job.ir, job.file_spec, tier, job.flags, canonical=True
+                        job.ir, job.file_spec, tier, job.flags,
+                        canonical=True, machine=job.machine,
                     )
                 probe_started = time.perf_counter()
                 with TELEMETRY.activate(job.trace):
@@ -689,7 +711,9 @@ class AllocationService:
                 if not job.span_sid:
                     job.span_sid = new_span_id()
                 header = job.trace.child(job.span_sid).header()
-            payloads.append((job.ir, job.file_spec, tier, job.flags, header))
+            payloads.append(
+                (job.ir, job.file_spec, tier, job.flags, job.machine, header)
+            )
         for job in jobs:
             job.attempts += 1
         if self.config.workers <= 0:
@@ -787,6 +811,7 @@ class AllocationService:
             with TELEMETRY.activate(job.trace):
                 artifact = build_module_artifact(
                     job.ir, job.file_spec, tier, job.flags,
+                    machine=job.machine,
                     store=_FragmentView(self), counters=self.incremental,
                 )
         except Exception as exc:

@@ -659,6 +659,10 @@ class ShardRouter:
             "method": normalized["method"],
             "flags": normalized["flags"],
         }
+        if normalized["machine"].get("model") != "dsa":
+            # Forward non-default machines verbatim, or the shard would
+            # re-derive a machine-less key and fork the content address.
+            body["machine"] = normalized["machine"]
         if normalized["deadline_ms"] is not None:
             body["deadline_ms"] = normalized["deadline_ms"]
         if trace is None and TELEMETRY.enabled:

@@ -26,6 +26,12 @@ from .machine import (
     platform_rv1,
     platform_rv2,
 )
+from .ooo import (
+    OooConfig,
+    OooCycleReport,
+    OooMachine,
+    normalize_machine_spec,
+)
 from .static_stats import (
     StaticStats,
     analyze_module_static,
@@ -48,6 +54,9 @@ __all__ = [
     "DsaMachine",
     "DynamicSimulator",
     "DynamicStats",
+    "OooConfig",
+    "OooCycleReport",
+    "OooMachine",
     "Platform",
     "StaticStats",
     "analyze_module_static",
@@ -58,6 +67,7 @@ __all__ = [
     "instruction_bank_conflicts",
     "instruction_subgroup_violations",
     "interleaved_files",
+    "normalize_machine_spec",
     "platform_dsa",
     "platform_rv1",
     "platform_rv2",

@@ -1,0 +1,36 @@
+"""Out-of-order pipeline machine model (the ROADMAP's scenario axis).
+
+A deterministic cycle-level OoO machine — register renamer, issue
+queue with oldest-first wakeup-select, reorder buffer with in-order
+retire, and a multi-ported banked register-file read stage — used to
+measure how much of the in-order bank-conflict penalty survives when
+out-of-order execution can hide it behind ILP.  See docs/SIMULATION.md.
+"""
+
+from .config import (
+    MACHINE_DEFAULT,
+    OooConfig,
+    SWEEP_PORTS,
+    SWEEP_WIDTHS,
+    normalize_machine_spec,
+)
+from .issue_queue import IssueQueue
+from .machine import OooCycleReport, OooMachine
+from .regfile import ReadArbitration, ReadPortArbiter
+from .renamer import RegisterRenamer
+from .rob import ReorderBuffer
+
+__all__ = [
+    "MACHINE_DEFAULT",
+    "IssueQueue",
+    "OooConfig",
+    "OooCycleReport",
+    "OooMachine",
+    "ReadArbitration",
+    "ReadPortArbiter",
+    "RegisterRenamer",
+    "ReorderBuffer",
+    "SWEEP_PORTS",
+    "SWEEP_WIDTHS",
+    "normalize_machine_spec",
+]

@@ -1,0 +1,138 @@
+"""Configuration for the out-of-order machine model.
+
+The sweep axes of the ROADMAP's "scenario axis" item: issue width
+{1,2,4} x read ports per bank {1,2,4} x ROB/IQ sizes, plus a rename
+on/off switch.  The *degenerate* point — width 1, a single read port,
+rename disabled — exists to anchor the model: it must reproduce the
+in-order :class:`~repro.sim.dsa.DsaMachine` bank-conflict and alignment
+cycle counts bit-identically (asserted in tests and CI), so every other
+point of the sweep measures how much of the in-order penalty survives
+out-of-order execution rather than an artifact of a second cost model.
+
+The service layer reuses :func:`normalize_machine_spec` to fold a
+request's ``machine`` field into the content-address key, so artifacts
+measured on different machine models can never alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Canonical machine spec of the default (in-order DSA) model.  Requests
+#: that omit ``machine`` or spell out the default hash identically to
+#: pre-machine-aware clients — the key payload only grows a ``machine``
+#: entry for non-default specs.
+MACHINE_DEFAULT = {"model": "dsa"}
+
+#: Sweep axes exercised by ``repro measure --machine ooo`` and CI.
+SWEEP_WIDTHS = (1, 2, 4)
+SWEEP_PORTS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class OooConfig:
+    """Parameters of the out-of-order pipeline.
+
+    Attributes:
+        issue_width: Instructions selected from the issue queue per
+            cycle (also the dispatch and retire width).
+        read_ports: Register-file read ports per bank.  Reads of one
+            bank beyond this many per cycle recirculate through the
+            read stage, each extra wave costing one cycle.
+        rob_size: Reorder-buffer entries; dispatch stalls when full.
+        iq_size: Issue-queue entries; dispatch stalls when full.
+        rename: Map architectural registers onto physical tags at
+            dispatch.  Renaming removes WAW/WAR ordering; with it off a
+            scoreboard enforces all three hazard classes at issue.
+        phys_regs: Physical-tag pool size for the renamer; ``None``
+            sizes it generously (architectural registers plus two tags
+            per ROB entry) so only deliberately tiny pools ever stall.
+    """
+
+    issue_width: int = 2
+    read_ports: int = 2
+    rob_size: int = 32
+    iq_size: int = 16
+    rename: bool = True
+    phys_regs: int | None = None
+
+    def __post_init__(self):
+        for name in ("issue_width", "read_ports", "rob_size", "iq_size"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.phys_regs is not None and self.phys_regs < 1:
+            raise ValueError(f"phys_regs must be positive, got {self.phys_regs!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def degenerate(cls) -> "OooConfig":
+        """The parity anchor: in-order-equivalent configuration."""
+        return cls(issue_width=1, read_ports=1, rename=False)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return (
+            self.issue_width == 1 and self.read_ports == 1 and not self.rename
+        )
+
+    def describe(self) -> str:
+        tag = "ren" if self.rename else "noren"
+        return (
+            f"ooo-w{self.issue_width}p{self.read_ports}"
+            f"-rob{self.rob_size}-iq{self.iq_size}-{tag}"
+        )
+
+    # ------------------------------------------------------------------
+    # Service schema round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        spec = {
+            "model": "ooo",
+            "issue_width": self.issue_width,
+            "read_ports": self.read_ports,
+            "rob_size": self.rob_size,
+            "iq_size": self.iq_size,
+            "rename": self.rename,
+        }
+        if self.phys_regs is not None:
+            spec["phys_regs"] = self.phys_regs
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "OooConfig":
+        known = {
+            "issue_width", "read_ports", "rob_size", "iq_size",
+            "rename", "phys_regs",
+        }
+        fields = {k: v for k, v in spec.items() if k in known}
+        unknown = set(spec) - known - {"model"}
+        if unknown:
+            raise ValueError(f"unknown ooo machine keys: {sorted(unknown)}")
+        return cls(**fields)
+
+
+def normalize_machine_spec(spec) -> dict:
+    """Canonicalize a request's ``machine`` field.
+
+    Accepts ``None``, a model name (``"dsa"`` / ``"ooo"``), or a dict
+    with a ``model`` key plus :class:`OooConfig` fields.  Returns the
+    canonical dict form with every defaulted field spelled out, so two
+    requests meaning the same machine always hash identically — and two
+    different machines never do.
+    """
+    if spec is None:
+        return dict(MACHINE_DEFAULT)
+    if isinstance(spec, str):
+        spec = {"model": spec}
+    if not isinstance(spec, dict):
+        raise ValueError(f"machine spec must be a name or object, got {type(spec).__name__}")
+    model = spec.get("model", "dsa")
+    if model == "dsa":
+        extra = set(spec) - {"model"}
+        if extra:
+            raise ValueError(f"dsa machine takes no parameters: {sorted(extra)}")
+        return dict(MACHINE_DEFAULT)
+    if model == "ooo":
+        return OooConfig.from_dict(spec).to_dict()
+    raise ValueError(f"unknown machine model {model!r} (expected dsa|ooo)")

@@ -1,0 +1,48 @@
+"""Issue queue with oldest-first wakeup-select.
+
+Dispatched instructions wait here until their source operands are ready;
+each cycle the select stage picks up to ``issue_width`` ready entries,
+*oldest in program order first*.  Age-ordered select keeps the model
+deterministic and starvation-free: a ready instruction can only be
+passed over by strictly older ready instructions, so it issues within
+``ceil(occupancy / width)`` cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class IssueQueue:
+    """Bounded buffer of dispatched-but-not-issued instruction indices."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"issue queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[int] = []  # program order == dispatch order
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def insert(self, index: int) -> None:
+        if not self.has_space:
+            raise RuntimeError("issue queue full; check has_space first")
+        self._entries.append(index)
+
+    def select(self, width: int, ready: Callable[[int], bool]) -> list[int]:
+        """Pop up to *width* ready entries, oldest first."""
+        picked: list[int] = []
+        for index in self._entries:
+            if len(picked) >= width:
+                break
+            if ready(index):
+                picked.append(index)
+        if picked:
+            chosen = set(picked)
+            self._entries = [i for i in self._entries if i not in chosen]
+        return picked

@@ -1,0 +1,100 @@
+"""Multi-ported banked register-file read stage.
+
+Each bank of the underlying :class:`~repro.banks.register_file` exposes
+``ports_per_bank`` read ports per cycle.  When an issue group's operand
+reads oversubscribe a bank, the surplus reads recirculate: the bank
+serves its reads in *waves* of ``ports_per_bank``, oldest instruction
+first, and every wave past the first holds the read stage one extra
+cycle.  The group's total conflict cost is therefore::
+
+    sum over banks of (ceil(reads_in_bank / ports) - 1)
+
+With one read port and a one-instruction group this collapses to the
+paper's N-1 serialization penalty — exactly
+:func:`repro.sim.static_stats.instruction_bank_conflicts` — which is
+what makes the degenerate machine configuration reproduce the in-order
+``DsaMachine`` conflict cycle counts bit-identically.
+
+Arbitration is *fair by age*: reads are queued in (instruction program
+order, operand order), so the oldest instruction's reads always land in
+the earliest waves and each extra cycle is attributed to the youngest
+instruction that forced the wave (the owner of the wave's first read).
+The attributed per-instruction cycles always sum back to the group
+total, keeping the hotspot profiler reconciled with the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...banks.register_file import RegisterFile
+from ...ir.types import PhysicalRegister
+
+
+@dataclass
+class ReadArbitration:
+    """Outcome of arbitrating one issue group's reads."""
+
+    #: Extra read-stage cycles for the whole group (beyond the base 1).
+    extra_cycles: int = 0
+    #: Extra cycles attributed per instruction index; sums to
+    #: :attr:`extra_cycles`.
+    per_instruction: dict[int, int] = field(default_factory=dict)
+    #: ``(index, detail, events)`` profiler sites: *index*'s reads of a
+    #: bank forced *events* recirculation waves described by *detail*.
+    sites: list[tuple[int, str, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ReadPortArbiter:
+    """Per-bank read-port scheduler of the OoO read stage."""
+
+    register_file: RegisterFile
+    ports_per_bank: int = 1
+
+    def __post_init__(self):
+        if self.ports_per_bank < 1:
+            raise ValueError(
+                f"ports_per_bank must be positive, got {self.ports_per_bank}"
+            )
+
+    def arbitrate(
+        self, group: list[tuple[int, tuple[PhysicalRegister, ...]]]
+    ) -> ReadArbitration:
+        """Schedule the reads of one issue group.
+
+        *group* is ``[(instruction_index, bankable_reads), ...]`` in
+        program order; each instruction's reads are already deduplicated
+        (a repeated read of one register is one port access).
+        """
+        result = ReadArbitration()
+        by_bank: dict[int, list[tuple[int, PhysicalRegister]]] = {}
+        for index, reads in group:
+            for reg in reads:
+                by_bank.setdefault(self.register_file.bank_of(reg), []).append(
+                    (index, reg)
+                )
+        ports = self.ports_per_bank
+        for bank in sorted(by_bank):
+            queue = by_bank[bank]
+            waves = (len(queue) + ports - 1) // ports
+            if waves <= 1:
+                continue
+            result.extra_cycles += waves - 1
+            owners: dict[int, int] = {}
+            for wave in range(1, waves):
+                owner = queue[wave * ports][0]
+                owners[owner] = owners.get(owner, 0) + 1
+                result.per_instruction[owner] = (
+                    result.per_instruction.get(owner, 0) + 1
+                )
+            for owner, events in owners.items():
+                names = ",".join(
+                    f"${r.regclass.name}{r.index}"
+                    for i, r in queue
+                    if i == owner
+                )
+                result.sites.append(
+                    (owner, f"port(bank{bank}:{names})/{ports}", events)
+                )
+        return result

@@ -1,0 +1,66 @@
+"""Register renaming: architectural registers onto physical tags.
+
+The renamer keeps the current architectural-to-physical mapping and a
+bounded pool of free tags.  Renaming a definition allocates a fresh tag
+and returns the tag it displaced; the displaced tag is released when the
+renaming instruction *retires* (the classic point at which no older
+in-flight reader can still name it).  Registers never written inside the
+simulated block keep their architectural value and need no tag — lookups
+return ``None`` for them, which the machine treats as always-ready.
+
+Tags are monotonically increasing integers; the pool bound models the
+physical register file's *capacity* (dispatch stalls when exhausted)
+without recycling tag numbers, which keeps the simulation trivially
+deterministic.
+"""
+
+from __future__ import annotations
+
+
+class RegisterRenamer:
+    """Architectural-to-physical mapping with a bounded free pool."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"renamer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.in_use = 0
+        self._map: dict = {}
+        self._next_tag = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all mappings (a new block starts from architectural state)."""
+        self.in_use = 0
+        self._map.clear()
+        self._next_tag = 0
+
+    def can_allocate(self, count: int) -> bool:
+        """Room for *count* fresh tags?"""
+        return self.in_use + count <= self.capacity
+
+    def lookup(self, reg):
+        """Current tag of *reg*, or ``None`` when it still holds the
+        architectural (pre-block) value."""
+        return self._map.get(reg)
+
+    def rename_def(self, reg) -> tuple[int, int | None]:
+        """Allocate a fresh tag for a definition of *reg*.
+
+        Returns ``(tag, displaced)`` where *displaced* is the tag the
+        new mapping shadows (``None`` when *reg* was architectural).
+        The caller releases *displaced* at retire.
+        """
+        if not self.can_allocate(1):
+            raise RuntimeError("renamer pool exhausted; check can_allocate first")
+        tag = self._next_tag
+        self._next_tag += 1
+        displaced = self._map.get(reg)
+        self._map[reg] = tag
+        self.in_use += 1
+        return tag, displaced
+
+    def release(self, tag: int | None) -> None:
+        """Return a displaced tag to the pool (no-op for ``None``)."""
+        if tag is not None:
+            self.in_use -= 1

@@ -1,0 +1,49 @@
+"""Reorder buffer: in-order retirement over out-of-order completion.
+
+Instructions enter at dispatch (program order) and leave strictly in
+that order once complete; a full ROB back-pressures dispatch.  Because
+retirement is the only architecturally visible ordering, the machine's
+observable instruction stream is identical to the in-order model's —
+only the *timing* differs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+
+class ReorderBuffer:
+    """Bounded FIFO of in-flight instruction indices."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"ROB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def push(self, index: int) -> None:
+        if not self.has_space:
+            raise RuntimeError("ROB full; check has_space first")
+        self._entries.append(index)
+
+    def retire(self, width: int, complete: Callable[[int], bool]) -> list[int]:
+        """Pop up to *width* complete entries from the head, in order.
+
+        Retirement stops at the first incomplete entry — younger
+        complete instructions wait behind it (in-order retire).
+        """
+        retired: list[int] = []
+        while self._entries and len(retired) < width:
+            head = self._entries[0]
+            if not complete(head):
+                break
+            retired.append(self._entries.popleft())
+        return retired

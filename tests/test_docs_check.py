@@ -127,7 +127,9 @@ def _subparser(name):
     raise AssertionError("parser has no subcommands?")
 
 
-@pytest.mark.parametrize("doc", ["docs/SERVICE.md", "docs/SCALING.md"])
+@pytest.mark.parametrize(
+    "doc", ["docs/SERVICE.md", "docs/SCALING.md", "docs/SIMULATION.md"]
+)
 def test_every_documented_flag_exists_on_the_parser(doc):
     text = (REPO / doc).read_text(encoding="utf-8")
     documented = set(DOC_FLAG.findall(text)) - EXTERNAL_FLAGS
@@ -266,6 +268,36 @@ def test_observability_doc_names_the_telemetry_routes():
     assert "/v1/metrics" in text
     assert "/v1/trace/" in text
     assert "X-Repro-Trace" in text
+
+
+def test_simulation_doc_is_wired_in():
+    architecture = (REPO / "docs/ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "SIMULATION.md" in architecture
+    assert "sim/ooo" in architecture
+    assert "ooo_sweep.py" in architecture
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/SIMULATION.md" in readme
+    simulation = (REPO / "docs/SIMULATION.md").read_text(encoding="utf-8")
+    for term in ("degenerate", "survival", "rename", "issue", "retire",
+                 "--machine ooo", "OOO_baseline.json", "machine-cycles"):
+        assert term in simulation, f"SIMULATION.md lost the {term} story"
+    glossary = (REPO / "docs/GLOSSARY.md").read_text(encoding="utf-8")
+    for term in ("register renaming", "issue queue", "ROB", "issue width",
+                 "read port", "degenerate parity", "penalty survival",
+                 "machine spec"):
+        assert term in glossary, f"GLOSSARY.md missing {term}"
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "ooo_survival.txt" in experiments
+    assert "OOO_baseline.json" in experiments
+    # The sweep knobs the docs advertise exist on the measure subcommand.
+    flags = {
+        opt
+        for action in _subparser("measure")._actions
+        for opt in action.option_strings
+    }
+    for flag in ("--machine", "--issue-width", "--read-ports", "--rob",
+                 "--iq", "--no-rename", "--record", "--out"):
+        assert flag in flags, f"measure lost {flag}"
 
 
 def test_scaling_doc_is_wired_in():
