@@ -162,6 +162,56 @@ def test_service_overhead(ctx, record_text):
     assert cached_ms < cold_ms, "a cache hit should beat executing"
 
 
+#: Durability acceptance gate: the write-ahead journal must cost at
+#: most this fraction of the warm (cache-hit) request latency.  The
+#: design makes this easy — a hit is accepted-and-terminal in one step
+#: and is never journaled (see docs/RESILIENCE.md) — so the gate guards
+#: against a future change accidentally putting frames on the hot path.
+JOURNAL_OVERHEAD_GATE = 0.05
+
+
+def test_journal_overhead(ctx, record_text, tmp_path):
+    kernels = _kernels(ctx)
+
+    def _arm(journal_dir):
+        config = ServiceConfig(workers=0, journal_dir=journal_dir)
+        warm = []
+        blobs = {}
+        service = AllocationService(config)
+        for _, ir in kernels:  # fill
+            _, job = _serve_once(service, ir)
+            blobs[ir] = job.artifact
+        for _ in range(ROUNDS):
+            for _, ir in kernels:
+                seconds, job = _serve_once(service, ir)
+                assert job.cache == "hit"
+                assert job.artifact == blobs[ir]
+                warm.append(seconds)
+        service.stop()
+        return statistics.median(warm), blobs
+
+    plain, blobs_plain = _arm(None)
+    journaled, blobs_journal = _arm(str(tmp_path / "wal"))
+    assert blobs_journal == blobs_plain, "journal changed served bytes"
+
+    overhead = (journaled - plain) / plain if plain else 0.0
+    record_text(
+        "journal_overhead",
+        "warm-hit latency with vs without --journal (median over "
+        f"{ROUNDS} rounds x {len(kernels)} SPECfp kernels):\n"
+        f"  no journal     {plain * 1000:9.3f} ms\n"
+        f"  --journal DIR  {journaled * 1000:9.3f} ms   "
+        f"({overhead * 100:+.1f}%; gate {JOURNAL_OVERHEAD_GATE:.0%}, "
+        "hits are never journaled)",
+    )
+    # Small absolute floor: at tens-of-microsecond medians, scheduler
+    # noise would otherwise dominate the relative gate.
+    assert journaled <= plain * (1.0 + JOURNAL_OVERHEAD_GATE) + 100e-6, (
+        f"journal added {overhead * 100:.1f}% to the warm hit path "
+        f"({plain * 1e6:.0f}us -> {journaled * 1e6:.0f}us)"
+    )
+
+
 #: Fleet-telemetry acceptance gate: tracing every request must cost at
 #: most this fraction of the warm (cache-hit) request latency.
 TELEMETRY_OVERHEAD_GATE = 0.05

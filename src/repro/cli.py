@@ -21,7 +21,10 @@ Usage::
         --no-rename --out deg.json               # degenerate parity dump
     python -m repro serve --port 8377            # allocation service
     python -m repro serve --shards 3             # sharded worker fleet
+    python -m repro serve --journal DIR          # crash-durable job queue
     python -m repro request --deadline-ms 50     # client for `serve`
+    python -m repro request --job-id j000002     # pre-restart job status
+    python -m repro loadgen --rolling-restart    # zero-goodput-loss proof
     python -m repro loadgen --requests 200       # seeded traffic harness
     python -m repro loadgen --server URL --record DIR  # + history record
     python -m repro verify ART.json --ir k.ir    # re-check an artifact
@@ -320,6 +323,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_retries=args.job_retries,
         job_retention=args.retention,
         max_queue_depth=args.max_queue_depth,
+        journal_dir=args.journal,
     )
     if args.verbose:
         ServiceHandler.verbose = True
@@ -333,6 +337,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = make_server(args.host, args.port, config)
         shutdown = shutdown_server
         what = "repro service"
+
+    # SIGTERM means *graceful*: stop accepting, let in-flight jobs
+    # finish, sync the journal, then exit.  (SIGKILL is the crash the
+    # journal exists for — recovery replays on the next boot.)  Shard
+    # workers install their own in-process handler; the frontend only
+    # needs to stop serving, router.close() SIGTERMs each worker.
+    import signal
+    import threading
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal signature
+        def _drain_and_stop():
+            service = getattr(server, "service", None)
+            if service is not None:
+                service.drain_wait(timeout=10.0)
+            server.shutdown()
+
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+
     host, port = server.server_address[:2]
     print(f"{what} listening on http://{host}:{port}", flush=True)
     if TELEMETRY.enabled:
@@ -402,7 +426,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
     )
     router = None
+    restart_thread = None
+    restart_report: dict = {}
     if args.server:
+        if args.rolling_restart:
+            raise SystemExit(
+                "loadgen: --rolling-restart needs the in-process fleet "
+                "(drop --server); restart HTTP fleets via POST "
+                "/v1/admin/drain per shard"
+            )
         from .service.client import ServiceClient
 
         target = HttpTarget(ServiceClient(args.server, timeout=args.timeout))
@@ -414,15 +446,36 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             LocalShard(
                 f"s{i}",
                 ServiceConfig(
-                    cache_dir=shard_cache_dir(args.cache_dir, f"s{i}")
+                    cache_dir=shard_cache_dir(args.cache_dir, f"s{i}"),
+                    journal_dir=shard_cache_dir(args.journal, f"s{i}"),
                 ),
             )
             for i in range(max(1, args.shards))
         ]
         router = ShardRouter(shards)
         target = RouterTarget(router)
+        if args.rolling_restart:
+            # Fire drain→restart→rejoin across the fleet mid-run: start
+            # about halfway through the arrival schedule so requests
+            # land on draining and freshly-recovered shards alike.
+            import threading
+            import time
+
+            from .service.loadgen import build_schedule
+
+            delay_s = build_schedule(config)[-1].at_s / 2.0
+
+            def _restart():
+                time.sleep(delay_s)
+                restart_report.update(router.rolling_restart())
+
+            restart_thread = threading.Thread(target=_restart, daemon=True)
+            restart_thread.start()
     try:
         report = run_loadgen(target, config)
+        if restart_thread is not None:
+            restart_thread.join(timeout=60.0)
+            report["rolling_restart"] = restart_report
     finally:
         if router is not None:
             router.close()
@@ -564,6 +617,31 @@ def _cmd_request(args: argparse.Namespace) -> int:
     from .ir import print_function
     from .service import ServiceError
     from .service.client import ServiceClient
+
+    if args.job_id:
+        # Query a prior job instead of resubmitting — the durable-queue
+        # path after a crash or restart: journal recovery re-registers
+        # the job (or its terminal tombstone) under the same id.
+        client = ServiceClient(
+            args.server, timeout=args.timeout, retries=args.retries
+        )
+        try:
+            status = client.poll(args.job_id)
+        except ServiceError as exc:
+            print(f"request failed: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(status, sort_keys=True))
+        if status.get("status") != "done":
+            return 1
+        if args.out:
+            try:
+                data = client.result(args.job_id)
+            except ServiceError as exc:
+                print(f"request failed: {exc}", file=sys.stderr)
+                return 1
+            with open(args.out, "wb") as fh:
+                fh.write(data)
+        return 0
 
     if args.ir == "-":
         ir = sys.stdin.read()
@@ -923,6 +1001,13 @@ def build_parser() -> argparse.ArgumentParser:
         "cache shard DIR/shard-sK, see docs/SCALING.md)",
     )
     p_serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead job journal under DIR: every accepted job is "
+        "journaled before the submit returns, and on restart "
+        "accepted-but-unfinished jobs are replayed (sharded mode "
+        "splits DIR/shard-sK per worker; see docs/RESILIENCE.md)",
+    )
+    p_serve.add_argument(
         "--no-telemetry", action="store_true",
         help="disable fleet telemetry (request spans and /v1/trace "
         "payloads; /v1/metrics and /v1/stats stay available)",
@@ -999,6 +1084,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="cache shard base directory for the in-process fleet "
         "(default: memory only)",
+    )
+    p_loadgen.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead job journal base directory for the in-process "
+        "fleet (DIR/shard-sK per shard; see docs/RESILIENCE.md)",
+    )
+    p_loadgen.add_argument(
+        "--rolling-restart", action="store_true",
+        help="drain→restart→rejoin every in-process shard one at a time "
+        "halfway through the run; the report gains a rolling_restart "
+        "block and goodput must not drop (in-process fleet only)",
     )
     p_loadgen.add_argument(
         "--record", default=None, metavar="DIR",
@@ -1091,6 +1187,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_req.add_argument(
         "--fail-on-degrade", action="store_true",
         help="exit 3 when the served tier is below the requested method",
+    )
+    p_req.add_argument(
+        "--job-id", default=None, metavar="JOB",
+        help="query the status of a prior (possibly pre-restart) job "
+        "instead of submitting; with --journal on the server the id "
+        "survives crashes (exit 0 done, 1 otherwise; --out fetches "
+        "the artifact bytes when done)",
     )
     p_req.set_defaults(func=_cmd_request)
 

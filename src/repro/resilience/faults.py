@@ -26,8 +26,13 @@ Sites (see :data:`SITES` for the modes each accepts):
                       the key to the next one in ring order
                       (``handoff``)
 ``shard.worker``      break a shard worker so the health loop sees it
-                      (``death`` kills the worker process/backend,
-                      ``unhealthy`` fails the probe without killing)
+                      (``death`` kills the worker process/backend
+                      gracefully, ``kill9`` hard-kills it — SIGKILL, no
+                      drain, no journal sync — ``unhealthy`` fails the
+                      probe without killing)
+``queue.journal``     break a write-ahead journal append (``torn-write``
+                      commits only a prefix of the frame — replay must
+                      truncate it; ``error`` raises mid-append)
 ==================  ====================================================
 
 Determinism: every point draws from its own ``random.Random`` seeded
@@ -71,7 +76,8 @@ SITES: dict[str, tuple[str, ...]] = {
     "client.request": ("timeout", "connreset"),
     "server.request": ("error", "delay", "reset"),
     "shard.route": ("handoff",),
-    "shard.worker": ("death", "unhealthy"),
+    "shard.worker": ("death", "unhealthy", "kill9"),
+    "queue.journal": ("torn-write", "error"),
 }
 
 
@@ -133,6 +139,11 @@ class FaultPoint:
             raise FaultError("times must be >= 0")
         if int(self.after) < 0:
             raise FaultError("after must be >= 0")
+        if not isinstance(self.detail, dict):
+            raise FaultError(
+                "detail must be a JSON object of mode knobs, got "
+                f"{type(self.detail).__name__}"
+            )
 
 
 @dataclass

@@ -11,6 +11,10 @@ stack rather than a batch script (see ``docs/SERVICE.md``):
   EWMA :class:`~repro.service.degrade.TierCostModel`;
 * :mod:`.queue` — :class:`~repro.service.queue.AllocationService`:
   submit/coalesce, batched dispatch, crash-tolerant execution;
+* :mod:`.durability` — the write-ahead job journal behind ``repro
+  serve --journal``: checksummed JSONL frames, recovery replay of
+  accepted-but-unfinished jobs, checkpoint compaction (see the
+  "Durability & lifecycle" section of ``docs/RESILIENCE.md``);
 * :mod:`.server` / :mod:`.client` — the HTTP/JSON front-end behind
   ``repro serve`` and its Python client;
 * :mod:`.shard` — the horizontal scale-out layer: consistent-hash
@@ -44,9 +48,16 @@ from .artifact import (
 from .cache import AllocationCache
 from .client import CircuitOpenError, ServiceClient, ServiceError
 from .degrade import LADDER, TierCostModel, ladder_from, select_tier
+from .durability import JobJournal, JournalReplay
 from .incremental import FragmentStore, IncrementalAllocator
 from .loadgen import LoadgenConfig, loadgen_record, run_loadgen
-from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
+from .queue import (
+    AllocationService,
+    Job,
+    ServiceConfig,
+    ServiceDrainingError,
+    ServiceOverloadError,
+)
 from .server import ServiceServer, make_server, shutdown_server
 from .shard import (
     HashRing,
@@ -69,6 +80,8 @@ __all__ = [
     "HashRing",
     "IncrementalAllocator",
     "Job",
+    "JobJournal",
+    "JournalReplay",
     "LADDER",
     "LoadgenConfig",
     "LocalShard",
@@ -78,6 +91,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceDrainingError",
     "ServiceError",
     "ServiceOverloadError",
     "ServiceServer",

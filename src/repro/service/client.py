@@ -59,9 +59,14 @@ MAX_BACKOFF_S = 5.0
 class ServiceError(RuntimeError):
     """Transport failure or an error response from the service."""
 
-    def __init__(self, message: str, status: int | None = None):
+    def __init__(
+        self, message: str, status: int | None = None, draining: bool = False
+    ):
         super().__init__(message)
         self.status = status
+        #: True for a 503 from a *draining* service: retrying the same
+        #: endpoint is pointless — the router hands the key elsewhere.
+        self.draining = draining
 
 
 class CircuitOpenError(ServiceError):
@@ -176,16 +181,23 @@ class ServiceClient:
                 return result
             except urllib.error.HTTPError as exc:
                 detail = exc.read().decode("utf-8", "replace")
+                draining = False
                 try:
-                    detail = json.loads(detail).get("error", detail)
+                    parsed = json.loads(detail)
+                    draining = bool(parsed.get("draining"))
+                    detail = parsed.get("error", detail)
                 except (json.JSONDecodeError, AttributeError):
                     pass
                 error = ServiceError(
-                    f"{path}: HTTP {exc.code}: {detail}", status=exc.code
+                    f"{path}: HTTP {exc.code}: {detail}",
+                    status=exc.code,
+                    draining=draining,
                 )
-                if exc.code not in RETRYABLE_STATUSES:
-                    # A definitive answer from the server: the breaker
-                    # stays closed (transport works) and we do not retry.
+                if exc.code not in RETRYABLE_STATUSES or draining:
+                    # A definitive answer from the server (a draining
+                    # 503 included — this endpoint will keep refusing
+                    # until it restarts): the breaker stays closed
+                    # (transport works) and we do not retry.
                     self.breaker.record(ok=True)
                     raise error from exc
                 header = exc.headers.get("Retry-After") if exc.headers else None
@@ -317,6 +329,14 @@ class ServiceClient:
                 f"job {status['job_id']} failed: {status.get('error')}"
             )
         return status, self.result_json(status["job_id"])
+
+    # ------------------------------------------------------------------
+    # Lifecycle control
+    # ------------------------------------------------------------------
+    def drain(self) -> dict:
+        """``POST /v1/admin/drain`` — idempotent; returns the lifecycle
+        view (poll until ``drained`` is true before restarting)."""
+        return self._request("/v1/admin/drain", body={})
 
     # ------------------------------------------------------------------
     # Telemetry fetchers

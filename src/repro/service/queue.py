@@ -80,6 +80,7 @@ from .artifact import (
 )
 from .cache import AllocationCache
 from .degrade import TierCostModel, select_tier
+from .durability import JobJournal
 
 
 class ServiceOverloadError(RuntimeError):
@@ -88,6 +89,23 @@ class ServiceOverloadError(RuntimeError):
     def __init__(self, depth: int, limit: int, retry_after_s: float = 1.0):
         super().__init__(
             f"queue depth {depth} at limit {limit}; request shed"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDrainingError(ServiceOverloadError):
+    """The service is draining; new work is rejected, in-flight finishes.
+
+    A subclass of :class:`ServiceOverloadError` so the HTTP layer's
+    existing 503 + ``Retry-After`` path applies unchanged — but the
+    router treats it as a *handoff* signal (route to another shard, do
+    not trip the breaker), and the client does not retry the same
+    endpoint.
+    """
+
+    def __init__(self, retry_after_s: float = 1.0):
+        RuntimeError.__init__(
+            self, "service is draining; new work rejected, retry elsewhere"
         )
         self.retry_after_s = retry_after_s
 
@@ -230,6 +248,17 @@ class ServiceConfig:
     #: Simultaneous HTTP handlers allowed before the server sheds with
     #: ``429`` (enforced by :class:`repro.service.server.ServiceServer`).
     max_concurrent_requests: int = 32
+    #: Write-ahead job journal directory (None = no durability): every
+    #: accepted cache-miss job is journaled at submit and at its
+    #: terminal state; :meth:`AllocationService.recover` replays
+    #: non-terminal jobs after a crash (see ``repro.service.durability``).
+    journal_dir: str | None = None
+    #: Frames accumulated before compaction is considered (the journal
+    #: compacts once terminal frames also outnumber pending jobs).
+    journal_compact_min: int = 256
+    #: fsync(2) the journal after every frame (survives power loss, not
+    #: just process death) — off by default, it costs a disk round-trip.
+    journal_fsync: bool = False
 
 
 @dataclass
@@ -257,6 +286,9 @@ class Job:
     artifact: bytes | None = None
     coalesced: int = 0
     attempts: int = 0
+    #: Set when the failure exhausted its retry budget and landed in the
+    #: dead-letter record (journaled durably when a journal is on).
+    dead_lettered: bool = False
     execution_s: float | None = None
     submitted_mono: float = field(default_factory=time.monotonic)
     finished_mono: float | None = None
@@ -319,6 +351,7 @@ class Job:
             "degraded": self.degraded,
             "coalesced": self.coalesced,
             "attempts": self.attempts,
+            "dead_lettered": self.dead_lettered,
             "error": self.error,
             "execution_s": self.execution_s,
             "stages": {k: round(v, 6) for k, v in self.stages.items()},
@@ -351,6 +384,21 @@ class AllocationService:
         self._finished_jobs = 0
         self._thread: threading.Thread | None = None
         self._stopping = False
+        #: Recovered job ids that coalesced onto another recovered job;
+        #: polls for the original id resolve to the surviving job.
+        self._aliases: dict[str, str] = {}
+        #: Draining: finish in-flight work, reject new submissions with
+        #: :class:`ServiceDrainingError` (503 + Retry-After upstream).
+        self.draining = False
+        self.journal: JobJournal | None = None
+        if self.config.journal_dir:
+            self.journal = JobJournal(
+                self.config.journal_dir,
+                compact_min_frames=self.config.journal_compact_min,
+                fsync=self.config.journal_fsync,
+                dead_letter_limit=self.config.dead_letter_limit,
+            )
+        self._recovered = False
         self.counters = {
             "requests": 0,
             "cache_hits": 0,
@@ -369,6 +417,8 @@ class AllocationService:
             "jobs_evicted": 0,
             "shed": 0,
             "duplicate_deliveries": 0,
+            "drained_rejects": 0,
+            "recovered_jobs": 0,
         }
         #: Incremental (module) execution counters: the reuse/execute
         #: split that proves only changed functions re-ran.
@@ -391,6 +441,7 @@ class AllocationService:
     def start(self) -> None:
         if self._thread is not None:
             return
+        self.recover()
         self._stopping = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatch",
@@ -399,16 +450,194 @@ class AllocationService:
         self._thread.start()
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._stopping = True
-        self._queue.put(None)  # wake the dispatcher
-        self._thread.join(timeout=10)
-        self._thread = None
+        if self._thread is not None:
+            self._stopping = True
+            self._queue.put(None)  # wake the dispatcher
+            self._thread.join(timeout=10)
+            self._thread = None
+        if self.journal is not None:
+            try:
+                self.journal.sync()
+            except OSError:
+                pass
+            self.journal.close()
 
     def _dispatch_loop(self) -> None:
         while not self._stopping:
             self.process_once(block=True)
+
+    # ------------------------------------------------------------------
+    # Durability: recovery replay (see repro.service.durability)
+    # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Replay the journal and re-enqueue non-terminal jobs.
+
+        Idempotent by construction: every replayed job re-submits under
+        its pre-crash id, and because results are content-addressed a
+        job whose artifact already reached the cache resolves instantly
+        and byte-identically.  Replayed jobs run at their requested tier
+        — the original deadline died with its client, so recovery never
+        degrades below what was asked for.
+
+        Safe to call repeatedly; only the first call on a journaled
+        service does work (``start`` calls it automatically).
+        """
+        report = {"recovered": 0, "restored": 0, "dead_letter": 0,
+                  "truncated": 0, "quarantined": 0}
+        if self.journal is None or self._recovered:
+            return report
+        self._recovered = True
+        replay = self.journal.replay()
+        report["truncated"] = replay.truncated
+        report["quarantined"] = replay.quarantined
+        report["dead_letter"] = len(replay.dead_letter)
+        with self._lock:
+            # Restore the durable dead-letter list (oldest first, bounded).
+            merged = replay.dead_letter + self.dead_letter
+            self.dead_letter = merged[-self.config.dead_letter_limit:]
+        for record in replay.pending:
+            body = {
+                "ir": record["ir"],
+                "file": record["file"],
+                "method": record["method"],
+                "flags": record.get("flags") or {},
+            }
+            if record.get("machine"):
+                body["machine"] = record["machine"]
+            rec_id = record["job_id"]
+            try:
+                job = self.submit(body, job_id=rec_id)
+            except ServiceOverloadError:
+                # Queue full mid-recovery: the record stays pending in
+                # the journal; the next restart retries it.
+                continue
+            report["recovered"] += 1
+            with self._lock:
+                self.counters["recovered_jobs"] += 1
+            if job.finished:
+                # Resolved from cache during re-submit — accepted and
+                # terminal in one step, nothing left pending.
+                self.journal.drop_pending(rec_id)
+            elif job.job_id != rec_id:
+                # Coalesced onto another recovered job with the same
+                # content address; alias the old id so polls still work.
+                with self._lock:
+                    self._aliases[rec_id] = job.job_id
+                self.journal.drop_pending(rec_id)
+        report["restored"] = self._restore_tombstones(replay.finished)
+        # Checkpoint the recovered state so the next restart replays the
+        # (small) live set, not the whole pre-crash history.
+        try:
+            self.journal.compact()
+        except OSError:
+            pass
+        TELEMETRY.event_for(None, "service.recovered", **report)
+        return report
+
+    def _restore_tombstones(self, finished: list) -> int:
+        """Re-materialize pre-crash finished jobs as pollable entries.
+
+        A client that saw its job complete must still be able to fetch
+        the status and result after a restart (the rolling-restart
+        zero-goodput-loss invariant).  ``done`` tombstones reload their
+        artifact bytes through the verified cache probe; a record whose
+        artifact fell out of the cache is skipped (the client resubmits
+        and, content-addressed, usually hits anyway).
+        """
+        restored = 0
+        # Last terminal record per job id wins; respect retention.
+        latest: dict[str, dict] = {}
+        for record in finished:
+            if record.get("job_id"):
+                latest[record["job_id"]] = record
+        records = list(latest.values())[-self.config.job_retention:]
+        for record in records:
+            job_id = record["job_id"]
+            if self.get(job_id) is not None:
+                continue
+            status = record.get("status")
+            served = record.get("served_method")
+            job = Job(
+                job_id=job_id,
+                key=record.get("key") or "",
+                ir="",
+                file_spec={},
+                requested_method=served or "?",
+                flags={},
+            )
+            job.attempts = int(record.get("attempts") or 0)
+            if status == "done" and record.get("key"):
+                data = self._cache_lookup(record["key"], None)
+                if data is None:
+                    continue
+                job.cache = "hit"
+                job.resolve(data, served or "?", bool(record.get("degraded")))
+            elif status == "failed":
+                job.dead_lettered = record.get("dead_letter") is not None
+                job.fail(record.get("error") or "failed before restart")
+            else:
+                continue
+            with self._lock:
+                self._jobs[job_id] = job
+                self._finished_jobs += 1
+                try:
+                    self._counter = max(self._counter, int(job_id.lstrip("j")))
+                except ValueError:
+                    pass
+            restored += 1
+        if restored:
+            self._evict_finished()
+        return restored
+
+    # ------------------------------------------------------------------
+    # Lifecycle control: drain (finish in-flight, reject new)
+    # ------------------------------------------------------------------
+    def drain(self) -> dict:
+        """Enter draining mode and report the current lifecycle state.
+
+        Idempotent: repeated calls keep returning the live lifecycle
+        view, so callers poll this until ``drained`` flips true.
+        """
+        if not self.draining:
+            self.draining = True
+            TELEMETRY.event_for(None, "service.draining")
+        return self.lifecycle()
+
+    def resume(self) -> dict:
+        """Leave draining mode (a drained shard rejoining the ring)."""
+        self.draining = False
+        return self.lifecycle()
+
+    def is_drained(self) -> bool:
+        """True when no accepted work remains queued or in flight."""
+        with self._lock:
+            return self._queue.qsize() == 0 and not self._inflight
+
+    def drain_wait(self, timeout: float = 30.0, poll_s: float = 0.01) -> bool:
+        """Drain and block until quiescent (or *timeout*); True if drained."""
+        self.drain()
+        deadline = time.monotonic() + timeout
+        while not self.is_drained():
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+        if self.journal is not None:
+            try:
+                self.journal.sync()
+            except OSError:
+                pass
+        return True
+
+    def lifecycle(self) -> dict:
+        with self._lock:
+            inflight = len(self._inflight)
+        return {
+            "draining": self.draining,
+            "drained": self.draining and self.is_drained(),
+            "inflight": inflight,
+            "queue_depth": self._queue.qsize(),
+            "journal": self.journal is not None,
+        }
 
     # ------------------------------------------------------------------
     # Verified cache access
@@ -446,7 +675,12 @@ class AllocationService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, request: dict, trace: TraceContext | None = None) -> Job:
+    def submit(
+        self,
+        request: dict,
+        trace: TraceContext | None = None,
+        job_id: str | None = None,
+    ) -> Job:
         """Validate, content-address, and enqueue one request.
 
         The returned job's ``cache`` field is this *submission's*
@@ -458,7 +692,22 @@ class AllocationService:
         *trace* rides alongside the request (it is **not** part of the
         body, so it can never enter the cache key): when distributed
         tracing is on, the job's spans land under it.
+
+        *job_id*, when given, pins the new job's id (recovery replays
+        jobs under their pre-crash ids so clients can keep polling).
+
+        With a journal configured, a queued (cache-miss) job is written
+        to the write-ahead journal *before* this method returns — the
+        acceptance the caller sees is durable.  Hits and coalesces are
+        never journaled: a hit is accepted-and-terminal in one step
+        (there is no crash window), and a coalesce rides the journaled
+        job it attached to.
         """
+        if self.draining:
+            with self._lock:
+                self.counters["drained_rejects"] += 1
+            TELEMETRY.event_for(trace, "service.drain_reject")
+            raise ServiceDrainingError()
         normalized = normalize_request(request)
         kind = normalized["kind"]
         ir = normalized["ir"]
@@ -484,7 +733,8 @@ class AllocationService:
         probe_s = time.perf_counter() - probe_started
         if cached is not None:
             job = self._new_job(
-                key, ir, file_spec, method, flags, deadline_s, kind, machine
+                key, ir, file_spec, method, flags, deadline_s, kind, machine,
+                job_id=job_id,
             )
             job.trace = trace
             job.stages["cache"] = probe_s
@@ -514,7 +764,8 @@ class AllocationService:
                 TELEMETRY.event_for(trace, "service.shed", depth=depth)
                 raise ServiceOverloadError(depth, self.config.max_queue_depth)
             job = self._new_job(
-                key, ir, file_spec, method, flags, deadline_s, kind, machine
+                key, ir, file_spec, method, flags, deadline_s, kind, machine,
+                job_id=job_id,
             )
             job.trace = trace
             job.stages["cache"] = probe_s
@@ -522,6 +773,14 @@ class AllocationService:
                 job.span_sid = new_span_id()
             self._inflight[key] = job
             self.counters["cache_misses"] += 1
+        if self.journal is not None:
+            # Write-ahead: the acceptance is durable before the caller
+            # sees it.  A journal-append failure must not lose the job
+            # we are about to run — degrade to best-effort durability.
+            try:
+                self.journal.record_accepted(job)
+            except (OSError, InjectedFault):
+                pass
         self._queue.put(job)
         METRICS.set_gauge("service.queue.depth", self._queue.qsize())
         self._evict_finished()
@@ -529,11 +788,19 @@ class AllocationService:
 
     def _new_job(
         self, key, ir, file_spec, method, flags, deadline_s,
-        kind="function", machine=None,
+        kind="function", machine=None, job_id=None,
     ) -> Job:
         with self._lock:
-            self._counter += 1
-            job_id = f"j{self._counter:06d}"
+            if job_id is None:
+                self._counter += 1
+                job_id = f"j{self._counter:06d}"
+            else:
+                # Recovery pins pre-crash ids; keep the counter ahead of
+                # them so fresh jobs never collide with recovered ones.
+                try:
+                    self._counter = max(self._counter, int(job_id.lstrip("j")))
+                except ValueError:
+                    pass
             job = Job(
                 job_id=job_id,
                 key=key,
@@ -550,7 +817,35 @@ class AllocationService:
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            if job is None and job_id in self._aliases:
+                job = self._jobs.get(self._aliases[job_id])
+            return job
+
+    def lookup(self, job_id: str) -> dict | None:
+        """Status view for *job_id*, falling back to dead-letter records.
+
+        A dead-lettered job may have been evicted from the job table (or
+        belong to a pre-crash incarnation recovered from the journal);
+        its durable record still answers ``--job-id`` queries.
+        """
+        job = self.get(job_id)
+        if job is not None:
+            return job.describe()
+        with self._lock:
+            for record in reversed(self.dead_letter):
+                if record.get("job_id") == job_id:
+                    return {
+                        "job_id": job_id,
+                        "status": "failed",
+                        "dead_lettered": True,
+                        "key": record.get("key"),
+                        "function": record.get("function"),
+                        "requested_method": record.get("requested_method"),
+                        "attempts": record.get("attempts"),
+                        "error": record.get("error"),
+                    }
+        return None
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         job = self.get(job_id)
@@ -915,7 +1210,8 @@ class AllocationService:
             function=job.function_name, vreg="-", step="dead-letter",
             job=job.job_id, attempts=job.attempts, error=error[:200],
         )
-        self._fail(job, error)
+        job.dead_lettered = True
+        self._fail(job, error, dead_letter=record)
 
     # ------------------------------------------------------------------
     def _finish(self, job: Job, data: bytes, tier: str, degraded: bool) -> None:
@@ -940,10 +1236,11 @@ class AllocationService:
             if degraded:
                 self.counters["degraded"] += 1
         METRICS.inc(f"service.tier.{tier}")
+        self._journal_terminal(job)
         self._record_served(job)
         self._evict_finished()
 
-    def _fail(self, job: Job, error: str) -> None:
+    def _fail(self, job: Job, error: str, dead_letter: dict | None = None) -> None:
         if job.finished:
             return
         job.fail(error)
@@ -952,8 +1249,29 @@ class AllocationService:
             self._finished_jobs += 1
             self.counters["failed"] += 1
         METRICS.inc("service.failed")
+        self._journal_terminal(job, dead_letter=dead_letter)
         self._record_failed(job, error)
         self._evict_finished()
+
+    def _journal_terminal(self, job: Job, dead_letter: dict | None = None) -> None:
+        """Write-ahead the terminal state; never let the journal fail a
+        finished job (an append error degrades durability, not service).
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_terminal(
+                job.job_id,
+                job.status,
+                key=job.key,
+                served_method=job.served_method,
+                degraded=job.degraded,
+                error=job.error,
+                dead_letter=dead_letter,
+                attempts=job.attempts,
+            )
+        except (OSError, InjectedFault):
+            pass
 
     def _note_degradation(self, job: Job, tier: str) -> None:
         remaining = job.remaining_s()
@@ -1066,6 +1384,7 @@ class AllocationService:
             "tiers": self.cost_model.snapshot(),
             "dead_letter": dead_letter,
             "slo": self.slo.snapshot(),
+            "lifecycle": self.lifecycle(),
             "config": {
                 "workers": self.config.workers,
                 "batch_size": self.config.batch_size,
@@ -1076,6 +1395,8 @@ class AllocationService:
                 "max_queue_depth": self.config.max_queue_depth,
             },
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
         faults = FAULTS.stats()
         if faults is not None:
             stats["faults"] = faults

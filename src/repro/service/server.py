@@ -50,7 +50,13 @@ from urllib.parse import parse_qs, urlparse
 from ..obs.telemetry import TELEMETRY, TRACE_HEADER, TraceContext, render_prometheus
 from ..resilience.faults import FAULTS
 from .artifact import RequestError
-from .queue import AllocationService, Job, ServiceConfig, ServiceOverloadError
+from .queue import (
+    AllocationService,
+    Job,
+    ServiceConfig,
+    ServiceDrainingError,
+    ServiceOverloadError,
+)
 
 #: Every route the service answers, as ``(method, path template)``.
 #: The docs-check test cross-references this against ``docs/SERVICE.md``
@@ -64,6 +70,7 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("POST", "/v1/allocate"),
     ("GET", "/v1/metrics"),
     ("GET", "/v1/trace/<trace_id>"),
+    ("POST", "/v1/admin/drain"),
 )
 
 #: Default wait bound of the synchronous ``/v1/allocate`` endpoint.
@@ -244,7 +251,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _get_job(self, job_id: str, want_result: bool) -> None:
         job = self.service.get(job_id)
         if job is None:
-            self._send_json({"error": f"unknown job {job_id!r}"}, 404)
+            # Dead-lettered jobs outlive the job table (and, with a
+            # journal, the process): answer from the durable record.
+            view = self.service.lookup(job_id)
+            if view is None:
+                self._send_json({"error": f"unknown job {job_id!r}"}, 404)
+            else:
+                self._send_json(view, 500 if want_result else 200)
             return
         if not want_result:
             self._send_json(_job_status(job))
@@ -269,14 +282,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(_job_status(job), 202 if job.status == "queued" else 200)
             elif url.path == "/v1/allocate":
                 self._allocate_sync(url)
+            elif url.path == "/v1/admin/drain":
+                self._drain(url)
             else:
                 self._send_json({"error": f"no such path {url.path!r}"}, 404)
         except RequestError as exc:
             self._send_json({"error": str(exc)}, 400)
         except ServiceOverloadError as exc:
-            self._send_json(
-                {"error": str(exc)}, 503, retry_after_s=exc.retry_after_s
-            )
+            payload = {"error": str(exc)}
+            if isinstance(exc, ServiceDrainingError):
+                payload["draining"] = True
+            self._send_json(payload, 503, retry_after_s=exc.retry_after_s)
+
+    def _drain(self, url) -> None:
+        """Enter draining mode (idempotent; body is optional and ignored).
+
+        Returns the live lifecycle view so callers can poll this same
+        endpoint until ``drained`` flips true before restarting.
+        """
+        self._send_json(self.service.drain())
 
     def _request_span(self):
         """A :attr:`span_name` span under the caller's trace context,

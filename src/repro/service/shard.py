@@ -46,8 +46,15 @@ The pieces:
 
 Chaos coverage: the ``shard.route`` fault site (mode ``handoff``)
 forces the router to skip its first choice, and ``shard.worker``
-(``death`` / ``unhealthy``) breaks workers under the health loop
-(:mod:`repro.resilience.faults`).
+(``death`` / ``kill9`` / ``unhealthy``) breaks workers under the health
+loop (:mod:`repro.resilience.faults`).
+
+Lifecycle (PR 10, see ``docs/RESILIENCE.md``): ``POST
+/v1/admin/drain?shard=NAME`` drains one worker (off the ring for new
+keys, in-flight finishes, polls keep resolving), and
+:meth:`ShardRouter.rolling_restart` drains → restarts → rejoins shards
+one at a time — with per-shard journals (``--journal``) a restarted or
+even SIGKILLed worker replays its accepted-but-unfinished jobs on boot.
 
 Telemetry: when :data:`~repro.obs.telemetry.TELEMETRY` is enabled the
 frontend opens a ``frontend.request`` span per HTTP request, the router
@@ -81,7 +88,12 @@ from ..obs.telemetry import (
 from ..resilience.faults import FAULTS
 from .artifact import RequestError, normalize_request
 from .client import ServiceClient, ServiceError, _CircuitBreaker
-from .queue import AllocationService, ServiceConfig, ServiceOverloadError
+from .queue import (
+    AllocationService,
+    ServiceConfig,
+    ServiceDrainingError,
+    ServiceOverloadError,
+)
 from .server import (
     DEFAULT_SYNC_TIMEOUT_S,
     MAX_SYNC_TIMEOUT_S,
@@ -227,14 +239,41 @@ class LocalShard:
         self._dead = True
         self.service.stop()
 
+    def kill9(self) -> None:
+        """Hard kill: no drain, no journal sync — as SIGKILL would.
+
+        In-process there is no way to *not* keep the page cache, so the
+        observable difference from :meth:`kill` is that the service is
+        abandoned without ``stop()`` (no journal close/sync)."""
+        self._dead = True
+
     def close(self) -> None:
         self.kill()
 
     def respawn(self) -> None:
-        """Fresh service over the same config (and thus cache dir)."""
-        self.service = AllocationService(self._config)
-        self.service.start()
+        """Fresh service over the same config (and thus cache dir).
+
+        With a journal configured, the fresh service's ``start`` replays
+        it — recovery is part of the spawn path, not a special case.
+        The swap is ordered so concurrent pollers always see a usable
+        service: the old one (intact until the swap) or the new one
+        (only after recovery completed).
+        """
+        fresh = AllocationService(self._config)
+        if not self._dead:
+            self.service.stop()  # graceful: journal synced before replay
+        fresh.start()  # replays the journal before anyone can poll it
+        self.service = fresh
         self._dead = False
+
+    def drain(self) -> dict:
+        """Finish in-flight work, reject new submits; returns lifecycle."""
+        self._check()
+        return self.service.drain()
+
+    def resume(self) -> dict:
+        self._check()
+        return self.service.resume()
 
     def healthy(self) -> bool:
         return not self._dead
@@ -252,6 +291,9 @@ class LocalShard:
         self._check()
         job = self.service.get(job_id)
         if job is None:
+            view = self.service.lookup(job_id)  # durable dead-letter view
+            if view is not None:
+                return view
             raise ServiceError(f"unknown job {job_id!r}", status=404)
         return job.describe()
 
@@ -306,17 +348,34 @@ def _shard_worker_main(
     child's spans ``shard-<name>`` so the merged trace shows which
     worker ran what.
     """
+    import signal
+
     from .server import make_server
 
     if telemetry:
         TELEMETRY.enable(process=f"shard-{name}" if name else "shard")
     server = make_server(host, 0, ServiceConfig(**config_kwargs))
+
+    def _graceful(signum, frame):
+        # SIGTERM = graceful: finish in-flight work, sync the journal,
+        # then leave.  SIGKILL skips all of this — that is the crash
+        # the write-ahead journal recovers from.
+        def _stop():
+            server.service.drain_wait(timeout=10.0)
+            server.shutdown()
+
+        threading.Thread(target=_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
     conn.send(server.server_address[1])
     conn.close()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        server.server_close()
+        server.service.stop()  # closes + syncs the journal
 
 
 class ProcessShard:
@@ -382,18 +441,44 @@ class ProcessShard:
         )
 
     # -- lifecycle -----------------------------------------------------
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
     def kill(self) -> None:
+        """SIGTERM: the worker's graceful path (drain + journal sync)."""
         if self.process is not None and self.process.is_alive():
             self.process.terminate()
-            self.process.join(timeout=5)
+            self.process.join(timeout=10)
+
+    def kill9(self) -> None:
+        """SIGKILL: no drain, no sync — the crash the journal exists for."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=10)
 
     def close(self) -> None:
         self.kill()
 
     def respawn(self) -> None:
-        """Replace the worker process; same name, same cache shard."""
+        """Replace the worker process; same name, same cache shard.
+
+        The fresh worker's service ``start`` replays its journal (when
+        one is configured), so recovery rides the normal boot path.
+        """
         self.kill()
         self._boot()
+
+    def drain(self) -> dict:
+        """``POST /v1/admin/drain`` on the worker; poll until drained."""
+        return self._call(self.client.drain)
+
+    def resume(self) -> dict:
+        # The HTTP surface has no resume: a drained worker restarts
+        # (fresh process, fresh non-draining service) instead.
+        raise ShardError(
+            f"shard {self.name!r}: resume means respawn for process shards"
+        )
 
     def healthy(self) -> bool:
         if self.process is None or not self.process.is_alive():
@@ -488,7 +573,13 @@ class ShardRouter:
             "respawned": 0,
             "health_checks": 0,
             "no_shard": 0,
+            "drains": 0,
+            "drain_handoffs": 0,
+            "rolling_restarts": 0,
         }
+        #: Shards currently draining: out of the ring (no new keys) but
+        #: still in :attr:`shards` so polls for in-flight jobs resolve.
+        self._draining: set[str] = set()
         #: Requests routed per shard name (deterministic for a fixed
         #: request sequence — the loadgen shard-balance report).
         self.routed: dict[str, int] = {}
@@ -523,6 +614,7 @@ class ShardRouter:
             if shard is None:
                 return
             self.ring.remove(name)
+            self._draining.discard(name)
             self._evicted[name] = shard
             self.counters["evicted"] += 1
         TELEMETRY.event("router.evict", shard=name)
@@ -543,6 +635,88 @@ class ShardRouter:
             self.counters["respawned"] += 1
         TELEMETRY.event("router.respawn", shard=name)
 
+    # -- lifecycle: drain / rolling restart ---------------------------
+    def drain(self, name: str) -> dict:
+        """Put shard *name* in draining mode and take it off the ring.
+
+        New keys route to the survivors immediately; the shard stays in
+        :attr:`shards` so polls/results for its in-flight jobs keep
+        resolving until it quiesces.  Returns the shard's lifecycle view
+        (call again to poll ``drained``).
+        """
+        with self._lock:
+            shard = self.shards.get(name)
+            if shard is None:
+                raise ShardError(f"shard {name!r} is not in the fleet")
+            first = name not in self._draining
+            if first:
+                self._draining.add(name)
+                self.ring.remove(name)
+                self.counters["drains"] += 1
+        if first:
+            TELEMETRY.event("router.drain", shard=name)
+        return shard.drain()
+
+    def rejoin(self, name: str) -> None:
+        """Put a drained (and usually restarted) shard back on the ring."""
+        with self._lock:
+            if name not in self.shards:
+                raise ShardError(f"shard {name!r} is not in the fleet")
+            self._draining.discard(name)
+            self.ring.add(name)
+            self.breakers[name] = _CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown_s
+            )
+            self.started[name] = time.monotonic()
+        TELEMETRY.event("router.rejoin", shard=name)
+
+    def rolling_restart(
+        self, *, wait_timeout_s: float = 30.0, poll_s: float = 0.02
+    ) -> dict:
+        """Drain → restart → rejoin every shard, one at a time.
+
+        At every instant all but one shard serve traffic, and the one
+        being restarted first finishes everything it accepted — so a
+        rolling restart under load loses zero goodput (the chaos suite
+        gates this).  Returns a report with per-shard outcomes.
+        """
+        report = {"restarted": [], "timed_out": [], "order": []}
+        with self._lock:
+            names = sorted(self.shards)
+        for name in names:
+            report["order"].append(name)
+            try:
+                lifecycle = self.drain(name)
+            except (ShardError, ServiceError) as exc:
+                report["timed_out"].append({"shard": name, "error": str(exc)})
+                continue
+            deadline = time.monotonic() + wait_timeout_s
+            while not lifecycle.get("drained"):
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(poll_s)
+                try:
+                    lifecycle = self.drain(name)  # idempotent poll
+                except (ShardError, ServiceError):
+                    break
+            with self._lock:
+                shard = self.shards.get(name)
+            if shard is None:  # evicted mid-drain by the health loop
+                report["timed_out"].append({"shard": name, "error": "evicted"})
+                continue
+            shard.respawn()
+            self.rejoin(name)
+            with self._lock:
+                self.counters["respawned"] += 1
+            report["restarted"].append(name)
+        with self._lock:
+            self.counters["rolling_restarts"] += 1
+        TELEMETRY.event("router.rolling_restart", **{
+            "restarted": len(report["restarted"]),
+            "timed_out": len(report["timed_out"]),
+        })
+        return report
+
     def _shard_failed(self, name: str) -> None:
         with self._lock:
             breaker = self.breakers.get(name)
@@ -557,9 +731,11 @@ class ShardRouter:
         """Probe every live shard; evict the broken, respawn the cooled.
 
         The ``shard.worker`` fault site hooks in here: ``death`` kills
-        the worker outright (the probe then finds the corpse),
-        ``unhealthy`` fails the probe without killing — the two chaos
-        shapes the eviction/respawn machinery must absorb.
+        the worker outright (the probe then finds the corpse), ``kill9``
+        hard-kills it with no drain or journal sync (recovery must come
+        from the write-ahead journal), and ``unhealthy`` fails the probe
+        without killing — the chaos shapes the eviction/respawn and
+        durability machinery must absorb.
         """
         report = {"healthy": [], "evicted": [], "respawned": []}
         with self._lock:
@@ -572,6 +748,10 @@ class ShardRouter:
                 if point is not None:
                     if point.mode == "death":
                         shard.kill()
+                    elif point.mode == "kill9":
+                        # SIGKILL: no drain, no journal sync — recovery
+                        # must come from the write-ahead journal alone.
+                        getattr(shard, "kill9", shard.kill)()
                     elif point.mode == "unhealthy":
                         forced_unhealthy = True
             ok = not forced_unhealthy and shard.healthy()
@@ -720,9 +900,25 @@ class ShardRouter:
                     status = shard.submit(body)
             except RequestError:
                 raise
+            except ServiceDrainingError as exc:
+                # A draining shard is healthy, just leaving: hand the
+                # key to the next choice without touching the breaker.
+                with self._lock:
+                    self.counters["drain_handoffs"] += 1
+                TELEMETRY.event_for(ctx, "router.drain_handoff", shard=name)
+                last_error = exc
+                continue
             except ServiceOverloadError:
                 raise
             except ServiceError as exc:
+                if exc.draining:
+                    with self._lock:
+                        self.counters["drain_handoffs"] += 1
+                    TELEMETRY.event_for(
+                        ctx, "router.drain_handoff", shard=name
+                    )
+                    last_error = exc
+                    continue
                 if exc.status in (429, 503):
                     raise ServiceOverloadError(
                         0, 0, retry_after_s=1.0
@@ -806,6 +1002,7 @@ class ShardRouter:
                     "replicas": self.ring.replicas,
                 },
                 "evicted": sorted(self._evicted),
+                "draining": sorted(self._draining),
                 "breakers": {
                     name: breaker.state
                     for name, breaker in self.breakers.items()
@@ -816,6 +1013,9 @@ class ShardRouter:
                             now - self.started.get(name, now), 3
                         ),
                         "last_health_check": self.last_health.get(name),
+                        # Worker pid (None for in-process shards): the
+                        # CI kill-restart gate targets its SIGKILL here.
+                        "pid": getattr(live[name], "pid", None),
                     }
                     for name in sorted(live)
                 },
@@ -984,16 +1184,35 @@ class ShardFrontendHandler(ServiceHandler):
                 )
             elif url.path == "/v1/allocate":
                 self._allocate(url)
+            elif url.path == "/v1/admin/drain":
+                self._drain(url)
             else:
                 self._send_json({"error": f"no such path {url.path!r}"}, 404)
         except RequestError as exc:
             self._send_json({"error": str(exc)}, 400)
         except ServiceOverloadError as exc:
-            self._send_json(
-                {"error": str(exc)}, 503, retry_after_s=exc.retry_after_s
-            )
+            payload = {"error": str(exc)}
+            if isinstance(exc, ServiceDrainingError):
+                payload["draining"] = True
+            self._send_json(payload, 503, retry_after_s=exc.retry_after_s)
         except (ShardError, ServiceError) as exc:
             self._send_json({"error": str(exc)}, 503, retry_after_s=1.0)
+
+    def _drain(self, url) -> None:
+        """``POST /v1/admin/drain?shard=NAME`` — drain one worker shard.
+
+        Idempotent: repeat to poll ``drained``.  Without the ``shard``
+        query the frontend cannot guess which worker to take down, so it
+        answers 400 with the fleet roster.
+        """
+        query = parse_qs(url.query)
+        name = query.get("shard", [None])[0]
+        if name is None:
+            raise RequestError(
+                "drain which shard? pass ?shard=NAME, one of "
+                f"{self.router.ring.members}"
+            )
+        self._send_json(self.router.drain(name))
 
     def _allocate(self, url) -> None:
         query = parse_qs(url.query)
@@ -1048,9 +1267,13 @@ def make_shard_server(
     """Boot a worker fleet and bind the front end (``repro serve --shards``).
 
     Workers are named ``s0..s{N-1}``; each gets a private cache shard
-    under the configured ``cache_dir`` (:func:`shard_cache_dir`).  Pass
-    a pre-built *router* to serve custom shard objects (the tests mount
-    :class:`LocalShard` fleets this way).  ``port=0`` binds a free port.
+    under the configured ``cache_dir`` (:func:`shard_cache_dir`), and —
+    when ``journal_dir`` is configured — a private write-ahead journal
+    under it (same per-name layout, same no-cross-worker-race argument:
+    keyspace partitioning means no two live shards share a journal).
+    Pass a pre-built *router* to serve custom shard objects (the tests
+    mount :class:`LocalShard` fleets this way).  ``port=0`` binds a free
+    port.
     """
     base = config or ServiceConfig()
     if router is None:
@@ -1058,7 +1281,9 @@ def make_shard_server(
         for i in range(max(1, shards)):
             name = f"s{i}"
             worker_config = replace(
-                base, cache_dir=shard_cache_dir(base.cache_dir, name)
+                base,
+                cache_dir=shard_cache_dir(base.cache_dir, name),
+                journal_dir=shard_cache_dir(base.journal_dir, name),
             )
             workers.append(ProcessShard(name, worker_config, host=host))
         router = ShardRouter(workers, replicas=replicas)

@@ -205,6 +205,50 @@ def test_shard_frontend_serves_the_same_routes():
     assert "no such path" in source
 
 
+def test_durability_doc_is_wired_in():
+    """The durability layer's docs, flags, routes, and glossary entries
+    stay attached to the code they describe."""
+    from repro.service.server import ROUTES
+
+    resilience = (REPO / "docs/RESILIENCE.md").read_text(encoding="utf-8")
+    for term in (
+        "Durability & lifecycle",
+        "repro-journal/1",
+        "`queue.journal`",
+        "`kill9`",
+        "rolling restart",
+        "exactly-once by idempotency",
+        "quarantine.jsonl",
+        "checkpoint.jsonl",
+    ):
+        assert term in resilience, f"RESILIENCE.md lost {term!r}"
+
+    glossary = (REPO / "docs/GLOSSARY.md").read_text(encoding="utf-8")
+    for term in ("write-ahead journal", "recovery replay", "drain",
+                 "rolling restart", "exactly-once by idempotency"):
+        assert term in glossary, f"GLOSSARY.md lost {term!r}"
+
+    serve_flags = {
+        opt
+        for action in _subparser("serve")._actions
+        for opt in action.option_strings
+    }
+    assert "--journal" in serve_flags
+    loadgen_flags = {
+        opt
+        for action in _subparser("loadgen")._actions
+        for opt in action.option_strings
+    }
+    assert {"--journal", "--rolling-restart"} <= loadgen_flags
+    request_flags = {
+        opt
+        for action in _subparser("request")._actions
+        for opt in action.option_strings
+    }
+    assert "--job-id" in request_flags
+    assert ("POST", "/v1/admin/drain") in ROUTES
+
+
 # ----------------------------------------------------------------------
 # Fleet telemetry: documented metric names vs a rendered exposition
 # ----------------------------------------------------------------------

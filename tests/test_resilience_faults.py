@@ -31,6 +31,44 @@ def test_unknown_site_and_mode_rejected():
         FaultPoint(site="queue.execute", mode="death", after=-1)
 
 
+def test_unknown_site_error_lists_valid_sites():
+    """A typo'd plan must say what *would* have been accepted — the
+    difference between a 5-second fix and a debugging session."""
+    from repro.resilience.faults import SITES
+
+    with pytest.raises(FaultError) as err:
+        FaultPoint(site="queue.jornal", mode="torn-write")
+    message = str(err.value)
+    assert "queue.jornal" in message
+    for site in SITES:
+        assert site in message
+
+
+def test_unknown_mode_error_lists_site_modes():
+    with pytest.raises(FaultError) as err:
+        FaultPoint(site="queue.journal", mode="torn")
+    message = str(err.value)
+    assert "queue.journal" in message
+    for mode in ("torn-write", "error"):
+        assert mode in message
+
+
+def test_non_dict_detail_rejected():
+    with pytest.raises(FaultError) as err:
+        FaultPoint(site="queue.journal", mode="torn-write", detail=0.5)
+    assert "detail" in str(err.value)
+    # The valid spelling of the same intent.
+    FaultPoint(site="queue.journal", mode="torn-write", detail={"keep": 0.5})
+
+
+def test_durability_sites_registered():
+    """The chaos suite's new sites exist with exactly these modes."""
+    from repro.resilience.faults import SITES
+
+    assert SITES["queue.journal"] == ("torn-write", "error")
+    assert "kill9" in SITES["shard.worker"]
+
+
 def test_plan_from_dict_validates_keys():
     plan = FaultPlan.from_dict(
         {"seed": 7, "faults": [{"site": "queue.execute", "mode": "error"}]}
